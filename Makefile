@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-fast artifacts examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-fast:
+	dune exec bench/main.exe -- --fast
+
+# The reproduction record: full test log and full harness output.
+artifacts:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+# CSV series for external plotting (figures 8 and 9).
+csv:
+	dune exec bench/main.exe -- --only fig8,fig9 --no-bechamel --csv data
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/now_cluster.exe
+	dune exec examples/dynamic_reconfig.exe
+	dune exec examples/election_demo.exe
+	dune exec examples/traffic_storm.exe
+	dune exec examples/epoch_daemon.exe
+
+clean:
+	dune clean
