@@ -1,0 +1,323 @@
+(* san_map: command-line front end for the SAN mapping system.
+
+   Subcommands:
+     topo    — generate a topology, print statistics, optionally DOT
+     map     — discover a topology with the Berkeley (or Myricom)
+               mapper, verify the result, optionally save JSON/DOT
+     routes  — map, then compute and check UP*/DOWN* routes
+     diff    — compare two saved maps, anchored at host names
+     verify  — incrementally check a saved map against the live
+               fabric (one probe per known port), remapping on change *)
+
+open Cmdliner
+open San_topology
+
+(* ------------------------------------------------------------------ *)
+(* Topology selection                                                  *)
+
+let build_topology spec seed =
+  let rng = San_util.Prng.create seed in
+  match String.split_on_char ':' spec with
+  | [ "c" ] -> fst (Generators.now_c ())
+  | [ "ca" ] -> fst (Generators.now_ca ())
+  | [ "cab" ] | [ "now" ] -> fst (Generators.now_cab ())
+  | [ "hypercube"; d ] -> Generators.hypercube ~dim:(int_of_string d) ()
+  | [ "mesh"; r; c ] ->
+    Generators.mesh ~rows:(int_of_string r) ~cols:(int_of_string c) ()
+  | [ "torus"; r; c ] ->
+    Generators.torus ~rows:(int_of_string r) ~cols:(int_of_string c) ()
+  | [ "ring"; n ] -> Generators.ring ~switches:(int_of_string n) ~hosts_per_switch:1 ()
+  | [ "star"; n ] -> Generators.star ~leaves:(int_of_string n) ()
+  | [ "chain"; n ] -> Generators.chain ~switches:(int_of_string n) ()
+  | [ "fat-tree"; l; h; s ] ->
+    Generators.fat_tree ~leaves:(int_of_string l)
+      ~hosts_per_leaf:(int_of_string h) ~spines:(int_of_string s) ()
+  | [ "random"; sw; h ] ->
+    Generators.random_connected ~rng ~switches:(int_of_string sw)
+      ~hosts:(int_of_string h) ~extra_links:(int_of_string sw / 2) ()
+  | [ "ccc"; d ] -> Generators.cube_connected_cycles ~dim:(int_of_string d) ()
+  | [ "shuffle"; d ] -> Generators.shuffle_exchange ~dim:(int_of_string d) ()
+  | [ "pendant" ] -> Generators.pendant_branch ()
+  | _ ->
+    raise
+      (Invalid_argument
+         (spec
+        ^ ": unknown topology (try c, ca, cab, hypercube:D, mesh:R:C, \
+           torus:R:C, ring:N, star:N, chain:N, fat-tree:L:H:S, ccc:D, \
+           shuffle:D, random:SW:HOSTS, pendant)"))
+
+let topo_arg =
+  let doc =
+    "Topology to operate on: c | ca | cab | hypercube:D | mesh:R:C | \
+     torus:R:C | ring:N | star:N | chain:N | fat-tree:L:H:S | ccc:D | \
+     shuffle:D | random:SW:H | pendant."
+  in
+  Arg.(value & opt string "c" & info [ "t"; "topology" ] ~docv:"SPEC" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (topology generation, load balancing)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let dot_arg =
+  let doc = "Write the result as a Graphviz file." in
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+
+let mapper_arg =
+  let doc = "Host that runs the mapper (default: first host)." in
+  Arg.(value & opt (some string) None & info [ "mapper" ] ~docv:"HOST" ~doc)
+
+let pick_mapper g = function
+  | Some name -> (
+    match Graph.host_by_name g name with
+    | Some h -> h
+    | None -> failwith ("no such host: " ^ name))
+  | None -> (
+    match Graph.hosts g with
+    | h :: _ -> h
+    | [] -> failwith "topology has no hosts")
+
+(* ------------------------------------------------------------------ *)
+(* topo                                                                *)
+
+let run_topo spec seed dot =
+  let g = build_topology spec seed in
+  Format.printf "%s: %a@." spec Graph.pp_stats g;
+  Format.printf "diameter %d, connected %b, switch bridges %d, |F| %d@."
+    (Analysis.diameter g) (Analysis.is_connected g)
+    (List.length (Core_set.switch_bridges g))
+    (Array.fold_left
+       (fun a b -> if b then a + 1 else a)
+       0
+       (Core_set.separated_set g));
+  (match Graph.hosts g with
+  | root :: _ ->
+    Format.printf "Q = %d, oracle search depth Q+D+1 = %d@."
+      (Core_set.q_bound g ~root)
+      (Core_set.search_depth g ~root)
+  | [] -> ());
+  Option.iter
+    (fun f ->
+      Dot.to_file ~graph_name:spec g f;
+      Format.printf "wrote %s@." f)
+    dot;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* map                                                                 *)
+
+let algo_arg =
+  let doc = "Mapping algorithm: berkeley (the paper's) or myricom (baseline)." in
+  Arg.(value & opt (enum [ ("berkeley", `Berkeley); ("myricom", `Myricom) ]) `Berkeley
+       & info [ "algo" ] ~doc)
+
+let model_arg =
+  let doc = "Worm collision model: circuit or cut-through." in
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("circuit", San_simnet.Collision.Circuit);
+             ("cut-through", San_simnet.Collision.Cut_through) ])
+        San_simnet.Collision.Circuit
+    & info [ "model" ] ~doc)
+
+let depth_arg =
+  let doc = "Exploration depth (default: the oracle bound Q+D+1)." in
+  Arg.(value & opt (some int) None & info [ "depth" ] ~docv:"N" ~doc)
+
+let policy_arg =
+  let doc = "Probe policy: faithful (default) or exhaustive." in
+  Arg.(
+    value
+    & opt (enum [ ("faithful", San_mapper.Berkeley.faithful);
+                  ("exhaustive", San_mapper.Berkeley.exhaustive) ])
+        San_mapper.Berkeley.faithful
+    & info [ "policy" ] ~doc)
+
+let json_arg =
+  let doc = "Save the resulting map as JSON (loadable by `diff' and `verify')." in
+  Cmdliner.Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let run_map spec seed mapper_name algo model depth policy dot json =
+  let g = build_topology spec seed in
+  let mapper = pick_mapper g mapper_name in
+  let verify map =
+    match
+      Iso.check ~map ~actual:g ~exclude:(Core_set.separated_set g) ()
+    with
+    | Ok () -> Format.printf "verified: map isomorphic to N - F@."
+    | Error e -> Format.printf "verification FAILED: %s@." e
+  in
+  (match algo with
+  | `Berkeley -> (
+    let net = San_simnet.Network.create ~model g in
+    let depth =
+      match depth with
+      | Some d -> San_mapper.Berkeley.Fixed d
+      | None -> San_mapper.Berkeley.Oracle
+    in
+    let r = San_mapper.Berkeley.run ~policy ~depth net ~mapper in
+    Format.printf
+      "berkeley: %d explorations, %d probes (host %d/%d, switch %d/%d), %.1f \
+       ms simulated, depth %d@."
+      r.San_mapper.Berkeley.explorations
+      (San_mapper.Berkeley.total_probes r)
+      r.San_mapper.Berkeley.host_hits r.San_mapper.Berkeley.host_probes
+      r.San_mapper.Berkeley.switch_hits r.San_mapper.Berkeley.switch_probes
+      (r.San_mapper.Berkeley.elapsed_ns /. 1e6)
+      r.San_mapper.Berkeley.depth_used;
+    match r.San_mapper.Berkeley.map with
+    | Ok map ->
+      Format.printf "map: %a@." Graph.pp_stats map;
+      verify map;
+      Option.iter (fun f -> Dot.to_file map f; Format.printf "wrote %s@." f) dot;
+      Option.iter (fun f -> Serial.save map f; Format.printf "wrote %s@." f) json
+    | Error e -> Format.printf "export failed: %s@." e)
+  | `Myricom -> (
+    let r = San_myricom.Myricom.run ~model g ~mapper in
+    let c = r.San_myricom.Myricom.counts in
+    Format.printf
+      "myricom: %d probes (loop %d, host %d, switch %d, compare %d), %.1f ms \
+       simulated, %d switches@."
+      (San_myricom.Myricom.total c)
+      c.San_myricom.Myricom.loop_probes c.San_myricom.Myricom.host_probes
+      c.San_myricom.Myricom.switch_probes c.San_myricom.Myricom.compare_probes
+      (r.San_myricom.Myricom.elapsed_ns /. 1e6)
+      r.San_myricom.Myricom.switches_found;
+    match r.San_myricom.Myricom.map with
+    | Ok map ->
+      Format.printf "map: %a@." Graph.pp_stats map;
+      verify map;
+      Option.iter (fun f -> Dot.to_file map f; Format.printf "wrote %s@." f) dot;
+      Option.iter (fun f -> Serial.save map f; Format.printf "wrote %s@." f) json
+    | Error e -> Format.printf "export failed: %s@." e));
+  0
+
+(* ------------------------------------------------------------------ *)
+(* routes                                                              *)
+
+let loads_arg =
+  let doc = "Print the N hottest channels." in
+  Arg.(value & opt int 0 & info [ "loads" ] ~docv:"N" ~doc)
+
+let run_routes spec seed mapper_name loads =
+  let g = build_topology spec seed in
+  let mapper = pick_mapper g mapper_name in
+  let net = San_simnet.Network.create g in
+  let r = San_mapper.Berkeley.run net ~mapper in
+  (match r.San_mapper.Berkeley.map with
+  | Error e -> Format.printf "mapping failed: %s@." e
+  | Ok map ->
+    let rng = San_util.Prng.create seed in
+    let table = San_routing.Routes.compute ~rng map in
+    let st = San_routing.Routes.length_stats table in
+    Format.printf "routes: %d pairs, turns %d / %.2f / %d (min/avg/max)@."
+      st.San_routing.Routes.pairs st.San_routing.Routes.min_len
+      st.San_routing.Routes.avg_len st.San_routing.Routes.max_len;
+    Format.printf "delivery on actual network: %s@."
+      (match San_routing.Routes.verify_delivery ~against:g table with
+      | Ok () -> "ok"
+      | Error e -> e);
+    Format.printf "deadlock freedom: %s@."
+      (match San_routing.Deadlock.check_routes table with
+      | Ok () -> "channel dependency graph acyclic"
+      | Error e -> e);
+    if loads > 0 then
+      San_routing.Routes.channel_loads table
+      |> List.filteri (fun i _ -> i < loads)
+      |> List.iter (fun ((n, p), l) ->
+             Format.printf "  channel (%s, port %d): %d routes@."
+               (let nm = Graph.name map n in
+                if nm = "" then string_of_int n else nm)
+               p l));
+  0
+
+(* ------------------------------------------------------------------ *)
+(* diff                                                                *)
+
+let map_file pos_name =
+  Arg.(required & pos pos_name (some string) None & info [] ~docv:"MAP.json")
+
+let run_diff old_file new_file =
+  match (Serial.load old_file, Serial.load new_file) with
+  | Error e, _ -> Format.printf "%s: %s@." old_file e; 1
+  | _, Error e -> Format.printf "%s: %s@." new_file e; 1
+  | Ok old_map, Ok new_map -> (
+    match Diff.diff ~old_map ~new_map with
+    | [] ->
+      Format.printf "maps are identical (up to port offsets)@.";
+      0
+    | changes ->
+      List.iter (fun c -> Format.printf "%a@." Diff.pp_change c) changes;
+      0)
+
+(* ------------------------------------------------------------------ *)
+(* verify: incremental check of a saved map against a live topology    *)
+
+let prev_arg =
+  let doc = "Previously saved map (JSON) to verify against the live fabric." in
+  Arg.(required & opt (some string) None & info [ "previous" ] ~docv:"FILE" ~doc)
+
+let run_verify spec seed mapper_name prev_file json =
+  let g = build_topology spec seed in
+  let mapper = pick_mapper g mapper_name in
+  match Serial.load prev_file with
+  | Error e -> Format.printf "%s: %s@." prev_file e; 1
+  | Ok previous ->
+    let net = San_simnet.Network.create g in
+    let r = San_mapper.Incremental.run net ~mapper ~previous in
+    (match r.San_mapper.Incremental.verdict with
+    | San_mapper.Incremental.Unchanged ->
+      Format.printf "map verified unchanged: %d probes, %.1f ms simulated@."
+        r.San_mapper.Incremental.verify_probes
+        (r.San_mapper.Incremental.total_elapsed_ns /. 1e6)
+    | San_mapper.Incremental.Changed n ->
+      Format.printf
+        "%d discrepancies; remapped in full (total %.1f ms simulated)@." n
+        (r.San_mapper.Incremental.total_elapsed_ns /. 1e6));
+    (match (r.San_mapper.Incremental.map, json) with
+    | Ok m, Some f ->
+      Serial.save m f;
+      Format.printf "wrote %s@." f
+    | Ok _, None -> ()
+    | Error e, _ -> Format.printf "map export failed: %s@." e);
+    0
+
+(* ------------------------------------------------------------------ *)
+
+let topo_cmd =
+  Cmd.v
+    (Cmd.info "topo" ~doc:"Generate a topology and print its statistics")
+    Term.(const run_topo $ topo_arg $ seed_arg $ dot_arg)
+
+let map_cmd =
+  Cmd.v
+    (Cmd.info "map" ~doc:"Discover a topology with in-band probes")
+    Term.(
+      const run_map $ topo_arg $ seed_arg $ mapper_arg $ algo_arg $ model_arg
+      $ depth_arg $ policy_arg $ dot_arg $ json_arg)
+
+let routes_cmd =
+  Cmd.v
+    (Cmd.info "routes" ~doc:"Map, then compute and verify UP*/DOWN* routes")
+    Term.(const run_routes $ topo_arg $ seed_arg $ mapper_arg $ loads_arg)
+
+let diff_cmd =
+  Cmd.v
+    (Cmd.info "diff" ~doc:"Compare two saved maps (JSON), anchored at hosts")
+    Term.(const run_diff $ map_file 0 $ map_file 1)
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Incrementally verify a saved map against the live fabric")
+    Term.(const run_verify $ topo_arg $ seed_arg $ mapper_arg $ prev_arg $ json_arg)
+
+let () =
+  let info =
+    Cmd.info "san_map" ~version:"1.0.0"
+      ~doc:"System area network mapping (SPAA'97 reproduction)"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ topo_cmd; map_cmd; routes_cmd; diff_cmd; verify_cmd ]))

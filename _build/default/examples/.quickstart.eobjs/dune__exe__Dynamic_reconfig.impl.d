@@ -1,0 +1,1 @@
+examples/dynamic_reconfig.ml: Analysis Berkeley Diff Faults Format Generators Graph List Network Option San_mapper San_routing San_simnet San_topology San_util

@@ -1,0 +1,1 @@
+examples/election_demo.ml: Berkeley Election Format Generators Graph List Network Option San_mapper San_simnet San_topology San_util

@@ -1,0 +1,1 @@
+examples/epoch_daemon.ml: Berkeley Diff Faults Format Generators Graph Incremental List Option Printf Result San_mapper San_routing San_simnet San_topology San_util Serial Sys

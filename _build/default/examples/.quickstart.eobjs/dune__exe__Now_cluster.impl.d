@@ -1,0 +1,1 @@
+examples/now_cluster.ml: Berkeley Core_set Dot Format Generators Graph Iso List Network Option San_mapper San_routing San_simnet San_topology San_util

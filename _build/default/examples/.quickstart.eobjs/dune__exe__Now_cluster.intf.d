@@ -1,0 +1,1 @@
+examples/now_cluster.mli:

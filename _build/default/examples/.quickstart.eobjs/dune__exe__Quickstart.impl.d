@@ -1,0 +1,1 @@
+examples/quickstart.ml: Berkeley Format Graph Iso Network Option Route San_mapper San_routing San_simnet San_topology Worm

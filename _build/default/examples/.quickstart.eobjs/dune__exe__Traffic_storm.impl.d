@@ -1,0 +1,1 @@
+examples/traffic_storm.ml: Array Event_sim Format Generators Graph List Network Option Printf Result San_mapper San_routing San_simnet San_topology San_util

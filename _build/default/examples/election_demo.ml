@@ -1,0 +1,55 @@
+(* Master/slave versus election-mode mapping (§4.2, Figure 7).
+
+   The master mode is faster but a single point of failure; in
+   election mode every host maps actively and the contenders elect a
+   leader through the interface addresses carried in each probe. This
+   demo runs both on the C subcluster and the full NOW, showing the
+   election's cost distribution and its heavy tail.
+
+   Run with: dune exec examples/election_demo.exe *)
+
+open San_topology
+open San_simnet
+open San_mapper
+
+let runs = 15
+
+let demo name g =
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  let jrng = San_util.Prng.create 11 in
+  let master =
+    List.init runs (fun _ ->
+        let net = Network.create ~jitter:(0.08, jrng) g in
+        (Berkeley.run net ~mapper).Berkeley.elapsed_ns)
+  in
+  let erng = San_util.Prng.create 5 in
+  let outcomes =
+    List.init runs (fun _ ->
+        let net = Network.create ~jitter:(0.08, jrng) g in
+        Election.run ~rng:erng net)
+  in
+  let election = List.map (fun o -> o.Election.total_ns) outcomes in
+  Format.printf "%-6s master   %a ms (min/avg/max over %d runs)@." name
+    San_util.Summary.pp_ms
+    (San_util.Summary.of_list master)
+    runs;
+  Format.printf "%-6s election %a ms@." name San_util.Summary.pp_ms
+    (San_util.Summary.of_list election);
+  let w = List.hd outcomes in
+  Format.printf "       winner: %s (address %d) among %d contenders@."
+    (Graph.name g w.Election.winner)
+    w.Election.winner w.Election.contenders;
+  let restarted =
+    List.length (List.filter (fun o -> o.Election.restart_extra_ns > 0.0) outcomes)
+  in
+  Format.printf
+    "       %d/%d runs paid probe collisions; %d/%d refought the election@."
+    (List.length
+       (List.filter (fun o -> o.Election.collision_extra_ns > 0.0) outcomes))
+    runs restarted runs
+
+let () =
+  Format.printf "=== C subcluster ===@.";
+  demo "C" (fst (Generators.now_c ()));
+  Format.printf "=== full 100-node NOW ===@.";
+  demo "NOW" (fst (Generators.now_cab ()))

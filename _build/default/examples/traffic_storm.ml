@@ -1,0 +1,94 @@
+(* Wormhole traffic on the mapped network: the full §5.5 story,
+   observed physically.
+
+   1. Map the C subcluster with in-band probes (nothing but probe
+      responses is used).
+   2. Compute UP*/DOWN* routes on the map.
+   3. Inject application-sized worms for EVERY host pair at the same
+      instant into the discrete-event wormhole simulator — worms hold
+      channels, block in FIFO order, and are forward-reset by the
+      55 ms switch ROM timer if they deadlock.
+   4. Watch every worm arrive: the channel-dependency-graph argument,
+      demonstrated by the hardware model rather than asserted.
+   5. For contrast, drive a deliberately cyclic route set into a ring
+      and watch the forward-reset fire — and then watch probe-sized
+      worms sail through the same cycle because per-port buffering
+      absorbs them (the paper's cut-through subtlety).
+
+   Run with: dune exec examples/traffic_storm.exe *)
+
+open San_topology
+open San_simnet
+
+let () =
+  (* 1-2: map, then route on the map. *)
+  let g, _ = Generators.now_c () in
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  let net = Network.create g in
+  let result = San_mapper.Berkeley.run net ~mapper in
+  let map = Result.get_ok result.San_mapper.Berkeley.map in
+  let table = San_routing.Routes.compute map in
+  Format.printf "mapped %a; %d routes computed on the map@." Graph.pp_stats map
+    (List.length (San_routing.Routes.all table));
+
+  (* 3-4: the storm runs on the ACTUAL network with map-derived turn
+     strings (offset invariance at work). *)
+  let sim = Event_sim.create g in
+  List.iter
+    (fun (src, dst, turns) ->
+      let actual_src = Option.get (Graph.host_by_name g (Graph.name map src)) in
+      ignore dst;
+      ignore
+        (Event_sim.inject sim ~at_ns:0.0 ~src:actual_src ~turns
+           ~payload_bytes:4096 ()))
+    (San_routing.Routes.all table);
+  Event_sim.run sim;
+  let st = Event_sim.stats sim in
+  Format.printf
+    "storm: %d worms at t=0 -> %d delivered, %d deadlocked, %d misrouted@."
+    st.Event_sim.injected st.Event_sim.delivered st.Event_sim.dropped_reset
+    st.Event_sim.dropped_bad_route;
+  let lats = Event_sim.latencies sim in
+  Format.printf "latency: avg %.0f us, p95 %.0f us, max %.0f us@."
+    (st.Event_sim.avg_latency_ns /. 1e3)
+    (San_util.Summary.percentile lats 0.95 /. 1e3)
+    (st.Event_sim.max_latency_ns /. 1e3);
+
+  (* 5: the counterexample. *)
+  let rg = Graph.create () in
+  let sw = Array.init 4 (fun i -> Graph.add_switch rg ~name:(Printf.sprintf "r%d" i) ()) in
+  for i = 0 to 3 do
+    Graph.connect rg (sw.(i), 0) (sw.((i + 1) mod 4), 1)
+  done;
+  let hosts =
+    Array.init 4 (fun i ->
+        let h = Graph.add_host rg ~name:(Printf.sprintf "h%d" i) in
+        Graph.connect rg (h, 0) (sw.(i), 2);
+        h)
+  in
+  let cyclic = Array.to_list (Array.map (fun h -> (h, [ -2; -1; 1 ])) hosts) in
+  (match San_routing.Deadlock.check_acyclic rg cyclic with
+  | Error e -> Format.printf "adversarial ring: checker says %s@." e
+  | Ok () -> Format.printf "adversarial ring: checker MISSED the cycle?!@.");
+  let big = Event_sim.create rg in
+  List.iter
+    (fun (src, turns) ->
+      ignore (Event_sim.inject big ~at_ns:0.0 ~src ~turns ~payload_bytes:100_000 ()))
+    cyclic;
+  Event_sim.run big;
+  let sb = Event_sim.stats big in
+  Format.printf
+    "  100 KB worms: %d/%d forward-reset at %.1f ms (deadlock, broken by the ROM timer)@."
+    sb.Event_sim.dropped_reset sb.Event_sim.injected
+    (sb.Event_sim.finished_at_ns /. 1e6);
+  let small = Event_sim.create rg in
+  List.iter
+    (fun (src, turns) ->
+      ignore (Event_sim.inject small ~at_ns:0.0 ~src ~turns ~payload_bytes:16 ()))
+    cyclic;
+  Event_sim.run small;
+  let ss = Event_sim.stats small in
+  Format.printf
+    "  probe-sized worms on the same cycle: %d/%d delivered (absorbed by \
+     per-port buffers)@."
+    ss.Event_sim.delivered ss.Event_sim.injected

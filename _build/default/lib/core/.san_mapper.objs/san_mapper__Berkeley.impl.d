@@ -1,0 +1,1 @@
+lib/core/berkeley.ml: Core_set Graph List Model Network Probe_order Route San_simnet San_topology San_util Stats Stdlib

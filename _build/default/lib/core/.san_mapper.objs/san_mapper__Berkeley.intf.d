@@ -1,0 +1,1 @@
+lib/core/berkeley.mli: Graph Model Network Route San_simnet San_topology Stdlib

@@ -1,0 +1,1 @@
+lib/core/election.ml: Array Berkeley Graph List Network San_simnet San_topology San_util Stdlib

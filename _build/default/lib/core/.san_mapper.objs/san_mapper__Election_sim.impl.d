@@ -1,0 +1,1 @@
+lib/core/election_sim.ml: Array Berkeley Core_set Effect Event_sim Float Graph List Model Network Option Params Route San_simnet San_topology San_util Stdlib

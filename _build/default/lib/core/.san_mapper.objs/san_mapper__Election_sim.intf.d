@@ -1,0 +1,1 @@
+lib/core/election_sim.mli: Berkeley Graph San_simnet San_topology San_util Stdlib

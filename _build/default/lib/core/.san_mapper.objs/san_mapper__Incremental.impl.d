@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Berkeley Graph Hashtbl List Network Queue San_simnet San_topology Stdlib

@@ -1,0 +1,1 @@
+lib/core/incremental.mli: Berkeley Graph Network San_simnet San_topology Stdlib

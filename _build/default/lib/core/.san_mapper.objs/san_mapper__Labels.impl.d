@@ -1,0 +1,1 @@
+lib/core/labels.ml: Berkeley Core_set Graph Hashtbl List Network Option Printf Queue Route San_simnet San_topology Stats Stdlib

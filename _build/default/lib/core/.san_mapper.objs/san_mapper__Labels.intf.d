@@ -1,0 +1,1 @@
+lib/core/labels.mli: Berkeley Graph Network San_simnet San_topology Stdlib

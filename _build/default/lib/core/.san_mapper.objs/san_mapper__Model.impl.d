@@ -1,0 +1,1 @@
+lib/core/model.ml: Array Graph Hashtbl List Option Printf Queue San_simnet San_topology

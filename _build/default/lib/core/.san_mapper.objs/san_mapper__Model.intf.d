@@ -1,0 +1,1 @@
+lib/core/model.mli: Graph San_simnet San_topology

@@ -1,0 +1,1 @@
+lib/core/online.ml: Array Berkeley Core_set Event_sim Graph List Model Network Params Route San_routing San_simnet San_topology San_util Stdlib

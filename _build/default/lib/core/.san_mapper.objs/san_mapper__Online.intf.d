@@ -1,0 +1,1 @@
+lib/core/online.mli: Berkeley Graph San_simnet San_topology San_util Stdlib

@@ -1,0 +1,1 @@
+lib/core/parallel.ml: Analysis Array Berkeley Float Graph Hashtbl List Merge_maps Option San_simnet San_topology Stdlib

@@ -1,0 +1,1 @@
+lib/core/parallel.mli: Berkeley Graph San_simnet San_topology Stdlib

@@ -1,0 +1,1 @@
+lib/core/population.ml: Analysis Array Berkeley Graph Hashtbl List Result San_simnet San_topology San_util

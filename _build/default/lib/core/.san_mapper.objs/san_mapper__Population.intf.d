@@ -1,0 +1,1 @@
+lib/core/population.mli: Berkeley Graph San_simnet San_topology San_util

@@ -1,0 +1,1 @@
+lib/core/probe_order.mli: Model

@@ -1,0 +1,1 @@
+lib/core/randomized.ml: Array Berkeley Graph List Model Network San_simnet San_topology San_util Stats Stdlib

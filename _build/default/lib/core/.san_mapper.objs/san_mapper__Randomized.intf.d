@@ -1,0 +1,1 @@
+lib/core/randomized.mli: Berkeley Graph Network San_simnet San_topology San_util Stdlib

@@ -1,0 +1,1 @@
+lib/core/selfid.ml: Graph Hashtbl List Network Params Queue San_simnet San_topology Stdlib Worm

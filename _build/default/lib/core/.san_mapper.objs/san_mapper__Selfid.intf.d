@@ -1,0 +1,1 @@
+lib/core/selfid.mli: Graph San_simnet San_topology Stdlib

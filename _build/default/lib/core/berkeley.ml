@@ -1,0 +1,206 @@
+open San_topology
+open San_simnet
+
+type policy = {
+  skip_explored : bool;
+  skip_known : bool;
+  window_pruning : bool;
+  host_probe_first : bool;
+  retries : int;
+}
+
+let faithful =
+  {
+    skip_explored = true;
+    skip_known = true;
+    window_pruning = true;
+    host_probe_first = false;
+    retries = 0;
+  }
+
+let exhaustive =
+  {
+    skip_explored = false;
+    skip_known = false;
+    window_pruning = false;
+    host_probe_first = false;
+    retries = 0;
+  }
+
+type depth = Oracle | Fixed of int
+
+type trace_point = {
+  step : int;
+  created_nodes : int;
+  live_nodes : int;
+  live_edges : int;
+  frontier_length : int;
+  hosts_found : int;
+  elapsed_ns : float;
+}
+
+type result = {
+  map : (Graph.t, string) Stdlib.result;
+  explorations : int;
+  host_probes : int;
+  host_hits : int;
+  switch_probes : int;
+  switch_hits : int;
+  elapsed_ns : float;
+  depth_used : int;
+  created_vertices : int;
+  live_vertices : int;
+  trace : trace_point list;
+}
+
+let total_probes r = r.host_probes + r.switch_probes
+
+type service = {
+  sv_radix : int;
+  sv_host_probe : turns:Route.t -> Network.response * float;
+  sv_switch_probe : turns:Route.t -> Network.response * float;
+}
+
+let service_of_network net ~mapper =
+  {
+    sv_radix = Graph.radix (Network.graph net);
+    sv_host_probe = (fun ~turns -> Network.host_probe net ~src:mapper ~turns);
+    sv_switch_probe =
+      (fun ~turns -> Network.switch_probe net ~src:mapper ~turns);
+  }
+
+(* The breadth-first exploration engine, shared between the standard
+   driver, the §6 randomized extension (which seeds the model with
+   coupon-collected paths before completing breadth-first), and the
+   on-line mapper over the event-driven simulator. Returns
+   (explorations, elapsed_ns, trace) and leaves the model stabilised
+   but unpruned. *)
+let explore_service ~policy ~depth_used ~record_trace sv model seeds =
+  let frontier : Model.vid San_util.Fifo.t = San_util.Fifo.create () in
+  List.iter (San_util.Fifo.add frontier) seeds;
+  let elapsed = ref 0.0 in
+  let explorations = ref 0 in
+  let trace = ref [] in
+  let turn_order = Probe_order.turn_order ~radix:sv.sv_radix in
+  let with_retries send =
+    (* One initial attempt plus up to [retries] re-sends on silence. *)
+    let rec go attempt =
+      let (resp : Network.response), cost = send () in
+      elapsed := !elapsed +. cost;
+      match resp with
+      | Network.Nothing when attempt < policy.retries -> go (attempt + 1)
+      | r -> r
+    in
+    go 0
+  in
+  let probe_pair v turn =
+    let probe = Model.probe_string model v @ [ turn ] in
+    let try_host () =
+      let resp = with_retries (fun () -> sv.sv_host_probe ~turns:probe) in
+      match resp with
+      | Network.Host name ->
+        ignore (Model.add_host_vertex model ~parent:v ~turn ~probe ~name);
+        true
+      | Network.Switch | Network.Nothing -> false
+    in
+    let try_switch () =
+      let resp = with_retries (fun () -> sv.sv_switch_probe ~turns:probe) in
+      match resp with
+      | Network.Switch ->
+        let child = Model.add_switch_vertex model ~parent:v ~turn ~probe in
+        San_util.Fifo.add frontier child;
+        true
+      | Network.Host _ | Network.Nothing -> false
+    in
+    if policy.host_probe_first then (
+      if not (try_host ()) then ignore (try_switch ()))
+    else if not (try_switch ()) then ignore (try_host ())
+  in
+  let explore v =
+    Model.set_explored model v;
+    List.iter
+      (fun turn ->
+        let skip =
+          (policy.skip_known && Probe_order.already_known model v ~turn)
+          || (policy.window_pruning && Probe_order.provably_illegal model v ~turn)
+        in
+        if not skip then probe_pair v turn)
+      turn_order;
+    incr explorations;
+    if record_trace then
+      trace :=
+        {
+          step = !explorations;
+          created_nodes = Model.created_vertices model;
+          live_nodes = Model.live_vertices model;
+          live_edges = Model.live_edges model;
+          frontier_length = San_util.Fifo.length frontier;
+          hosts_found = Model.known_hosts model;
+          elapsed_ns = !elapsed;
+        }
+        :: !trace
+  in
+  let rec drain () =
+    match San_util.Fifo.next_element frontier with
+    | None -> ()
+    | Some v ->
+      let within_depth =
+        List.length (Model.probe_string model v) < depth_used
+      in
+      let skip =
+        (not within_depth)
+        || (not (Model.is_live model v))
+        || (policy.skip_explored && Model.is_explored model v)
+      in
+      if not skip then explore v;
+      drain ()
+  in
+  drain ();
+  (!explorations, !elapsed, List.rev !trace)
+
+let explore_from ~policy ~depth_used ~record_trace net ~mapper model seeds =
+  explore_service ~policy ~depth_used ~record_trace
+    (service_of_network net ~mapper)
+    model seeds
+
+let finish ~model ~explorations ~elapsed ~depth_used ~trace net =
+  Model.prune model;
+  let map =
+    match Model.to_graph model with
+    | g -> Ok g
+    | exception Model.Inconsistent m -> Error m
+  in
+  let st = Network.stats net in
+  {
+    map;
+    explorations;
+    host_probes = st.Stats.host_probes;
+    host_hits = st.Stats.host_hits;
+    switch_probes = st.Stats.switch_probes;
+    switch_hits = st.Stats.switch_hits;
+    elapsed_ns = elapsed;
+    depth_used;
+    created_vertices = Model.created_vertices model;
+    live_vertices = Model.live_vertices model;
+    trace;
+  }
+
+let resolve_depth net ~mapper = function
+  | Oracle -> Core_set.search_depth (Network.graph net) ~root:mapper
+  | Fixed d -> d
+
+let run ?(policy = faithful) ?(depth = Oracle) ?(record_trace = false) net
+    ~mapper =
+  let g = Network.graph net in
+  if not (Graph.is_host g mapper) then
+    invalid_arg "Berkeley.run: mapper must be a host";
+  Network.reset_stats net;
+  let depth_used = resolve_depth net ~mapper depth in
+  let model =
+    Model.create ~mapper_name:(Graph.name g mapper) ~radix:(Graph.radix g)
+  in
+  let explorations, elapsed, trace =
+    explore_from ~policy ~depth_used ~record_trace net ~mapper model
+      [ Model.root_switch model ]
+  in
+  finish ~model ~explorations ~elapsed ~depth_used ~trace net

@@ -1,0 +1,43 @@
+(** Incremental remapping: the cheap epoch.
+
+    The deployed system remaps periodically, and on most epochs nothing
+    has changed. A full remap pays for replicate exploration — many
+    probes per physical switch — but once a trusted map exists,
+    switch identities are known: one route per switch and {e one probe
+    per port} suffice to confirm every wire (and every vacancy) is
+    still as mapped. On the 100-node NOW that is ~7x fewer probes than
+    a full remap.
+
+    Any discrepancy — a probe that should have answered and did not,
+    answered when it should not have, or answered with the wrong kind
+    or host name — means the map is stale; this driver then simply
+    falls back to a full {!Berkeley} run (re-exploring only the
+    affected region is possible in principle, but a stale map gives no
+    reliable boundary for "affected"). *)
+
+open San_topology
+open San_simnet
+
+type verdict =
+  | Unchanged  (** every port answered as mapped *)
+  | Changed of int  (** discrepancies found; a full remap was run *)
+
+type result = {
+  verdict : verdict;
+  verify_probes : int;
+  verify_elapsed_ns : float;
+  total_elapsed_ns : float;  (** verification plus any fallback remap *)
+  map : (Graph.t, string) Stdlib.result;  (** the current map *)
+}
+
+val run :
+  ?policy:Berkeley.policy ->
+  ?depth:Berkeley.depth ->
+  Network.t ->
+  mapper:Graph.node ->
+  previous:Graph.t ->
+  result
+(** [run net ~mapper ~previous] verifies [previous] against the live
+    network and remaps in full only if it is stale. The mapper host is
+    located in [previous] by name; if absent, a full remap runs
+    immediately. *)

@@ -1,0 +1,31 @@
+(** The simplified labelling algorithm of §3.1, as a reference oracle.
+
+    This is a direct transcription of the paper's pseudo-code: the
+    model [M] stays a {e tree} of probe-string vertices; replicates are
+    never merged physically but given equal {e labels} (EXPLORE, then
+    rounds of MERGE deductions until stabilisation, then PRUNE on the
+    label-quotient graph). The production algorithm ({!Berkeley} over
+    {!Model}) is the §3.3 series of modifications of this one; tests
+    check the two produce isomorphic maps when run with the same probe
+    budget, which is exactly the paper's claim that each modification
+    preserves correctness.
+
+    Because nothing is merged during exploration, the tree holds every
+    successful probe string up to the depth bound — exponential in the
+    depth. Use on small networks and depths only. *)
+
+open San_topology
+open San_simnet
+
+type result = {
+  map : (Graph.t, string) Stdlib.result;
+      (** the quotient M / L after pruning *)
+  tree_vertices : int;  (** vertices in the un-merged model tree *)
+  labels : int;  (** distinct labels after stabilisation (pre-prune) *)
+  host_probes : int;
+  switch_probes : int;
+}
+
+val run : ?depth:Berkeley.depth -> Network.t -> mapper:Graph.node -> result
+(** Run the simplified algorithm. [depth] defaults to the oracle bound
+    [Q + D + 1], like the paper's analysis assumes. *)

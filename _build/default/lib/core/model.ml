@@ -1,0 +1,477 @@
+open San_topology
+
+exception Inconsistent of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Inconsistent s)) fmt
+
+type vid = int
+type vkind = Vhost of string | Vswitch
+
+type edge = {
+  eid : int;
+  mutable ea : vid; (* always a canonical vertex *)
+  mutable ia : int; (* slot in ea's frame *)
+  mutable eb : vid;
+  mutable ib : int;
+  mutable e_dead : bool;
+}
+
+type vertex = {
+  v_id : vid;
+  v_kind : vkind;
+  v_probe : San_simnet.Route.t;
+  mutable parent : vid; (* union-find; self when canonical *)
+  mutable pshift : int; (* own slot + pshift = parent slot *)
+  slots : (int, edge list ref) Hashtbl.t; (* canonical vertices only *)
+  mutable explored : bool;
+  mutable dead : bool;
+  mutable wlo : int; (* feasible actual entry-port offset window *)
+  mutable whi : int;
+}
+
+type t = {
+  m_radix : int;
+  mutable verts : vertex array;
+  mutable nverts : int;
+  host_names : (string, vid) Hashtbl.t;
+  mergelist : vid Queue.t;
+  mutable all_edges : edge list;
+  mutable n_edges_created : int;
+  mutable n_edges_live : int;
+  mutable n_verts_live : int;
+  m_root_host : vid;
+  m_root_switch : vid;
+}
+
+let radix t = t.m_radix
+let root_host t = t.m_root_host
+let root_switch t = t.m_root_switch
+
+let vertex t v =
+  if v < 0 || v >= t.nverts then fail "no vertex %d" v;
+  t.verts.(v)
+
+(* Union-find lookup accumulating frame shifts, with path compression. *)
+let rec find t v =
+  let vx = t.verts.(v) in
+  if vx.parent = v then (v, 0)
+  else begin
+    let r, s = find t vx.parent in
+    if vx.parent <> r then begin
+      vx.pshift <- vx.pshift + s;
+      vx.parent <- r
+    end;
+    (r, vx.pshift)
+  end
+
+let canonical t v = fst (find t v)
+let frame_shift t v = snd (find t v)
+
+let alloc t kind probe =
+  let id = t.nverts in
+  let vx =
+    {
+      v_id = id;
+      v_kind = kind;
+      v_probe = probe;
+      parent = id;
+      pshift = 0;
+      slots = Hashtbl.create 4;
+      explored = false;
+      dead = false;
+      wlo = 0;
+      whi = t.m_radix - 1;
+    }
+  in
+  if id >= Array.length t.verts then begin
+    let cap = max 16 (2 * Array.length t.verts) in
+    let a = Array.make cap vx in
+    Array.blit t.verts 0 a 0 id;
+    t.verts <- a
+  end;
+  t.verts.(id) <- vx;
+  t.nverts <- id + 1;
+  t.n_verts_live <- t.n_verts_live + 1;
+  id
+
+let narrow_window t vx i =
+  match vx.v_kind with
+  | Vhost name -> if i <> 0 then fail "host %s wired at slot %d" name i
+  | Vswitch ->
+    vx.wlo <- max vx.wlo (-i);
+    vx.whi <- min vx.whi (t.m_radix - 1 - i);
+    if vx.wlo > vx.whi then
+      fail "switch vertex %d: slot %d leaves no feasible port offset" vx.v_id i
+
+let slot_list vx i =
+  match Hashtbl.find_opt vx.slots i with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.add vx.slots i l;
+    l
+
+let live_slot_edges l = List.filter (fun e -> not e.e_dead) !l
+
+(* Attach a fresh edge between two canonical (vertex, slot) ends and
+   queue any slot conflict it creates. *)
+let add_edge t (va, ia) (vb, ib) =
+  let xa = vertex t va and xb = vertex t vb in
+  if va = vb && ia = ib then fail "edge from slot (%d,%d) to itself" va ia;
+  let e =
+    { eid = t.n_edges_created; ea = va; ia; eb = vb; ib; e_dead = false }
+  in
+  t.n_edges_created <- t.n_edges_created + 1;
+  t.n_edges_live <- t.n_edges_live + 1;
+  t.all_edges <- e :: t.all_edges;
+  narrow_window t xa ia;
+  narrow_window t xb ib;
+  let la = slot_list xa ia in
+  la := e :: !la;
+  if List.length (live_slot_edges la) > 1 then Queue.add va t.mergelist;
+  let lb = slot_list xb ib in
+  lb := e :: !lb;
+  if List.length (live_slot_edges lb) > 1 then Queue.add vb t.mergelist
+
+(* Merge canonical [absorb] into canonical [keep]; [shift] converts
+   absorb-frame slots into keep-frame slots. *)
+let do_merge t ~keep ~absorb ~shift =
+  if keep = absorb then begin
+    if shift <> 0 then
+      fail "vertex %d deduced equal to itself at shift %d" keep shift
+  end
+  else begin
+    let xk = vertex t keep and xa = vertex t absorb in
+    if xk.dead || xa.dead then fail "merge involving a pruned vertex";
+    (match (xk.v_kind, xa.v_kind) with
+    | Vswitch, Vswitch -> ()
+    | Vhost n1, Vhost n2 ->
+      if n1 <> n2 then fail "hosts %s and %s deduced equal" n1 n2
+    | Vhost n, Vswitch | Vswitch, Vhost n ->
+      fail "host %s deduced equal to a switch" n);
+    xk.explored <- xk.explored || xa.explored;
+    (* Offsets: o_keep = o_absorb - shift. *)
+    xk.wlo <- max xk.wlo (xa.wlo - shift);
+    xk.whi <- min xk.whi (xa.whi - shift);
+    if xk.wlo > xk.whi then
+      fail "merging %d into %d leaves no feasible port offset" absorb keep;
+    (* Re-home every edge of [absorb]. *)
+    let moved = Hashtbl.fold (fun i l acc -> (i, !l) :: acc) xa.slots [] in
+    Hashtbl.reset xa.slots;
+    List.iter
+      (fun (i, edges) ->
+        let tgt = i + shift in
+        List.iter
+          (fun e ->
+            if not e.e_dead then begin
+              if e.ea = absorb && e.ia = i then begin
+                e.ea <- keep;
+                e.ia <- tgt
+              end;
+              if e.eb = absorb && e.ib = i then begin
+                e.eb <- keep;
+                e.ib <- tgt
+              end;
+              if e.ea = e.eb && e.ia = e.ib then
+                fail "merge wires slot (%d,%d) to itself" e.ea e.ia;
+              let l = slot_list xk tgt in
+              (* A self-edge of [absorb] is visited from both of its
+                 slots; insert it only once per slot. *)
+              if not (List.memq e !l) then l := e :: !l;
+              if List.length (live_slot_edges l) > 1 then
+                Queue.add keep t.mergelist
+            end)
+          edges)
+      moved;
+    xa.parent <- keep;
+    xa.pshift <- shift;
+    t.n_verts_live <- t.n_verts_live - 1;
+    Queue.add keep t.mergelist
+  end
+
+let kill_edge t e =
+  if not e.e_dead then begin
+    e.e_dead <- true;
+    t.n_edges_live <- t.n_edges_live - 1
+  end
+
+let endpoints_key e =
+  let p1 = (e.ea, e.ia) and p2 = (e.eb, e.ib) in
+  if p1 <= p2 then (p1, p2) else (p2, p1)
+
+(* Process one canonical vertex: deduplicate its slots and fire the
+   first slot-conflict deduction found, if any.  Returns true if a
+   merge fired (the caller re-queues and restarts). *)
+let process_vertex t c =
+  let xc = vertex t c in
+  let fired = ref false in
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) xc.slots [] in
+  let rec loop = function
+    | [] -> ()
+    | i :: rest ->
+      let l = slot_list xc i in
+      (* Drop dead edges and duplicates (same actual wire found twice). *)
+      let seen = Hashtbl.create 4 in
+      let deduped =
+        List.filter
+          (fun e ->
+            if e.e_dead then false
+            else begin
+              let key = endpoints_key e in
+              if Hashtbl.mem seen key then begin
+                kill_edge t e;
+                false
+              end
+              else begin
+                Hashtbl.add seen key ();
+                true
+              end
+            end)
+          !l
+      in
+      l := deduped;
+      (match deduped with
+      | e1 :: e2 :: _ ->
+        let other e =
+          if e.ea = c && e.ia = i then (e.eb, e.ib)
+          else if e.eb = c && e.ib = i then (e.ea, e.ia)
+          else fail "edge %d not anchored at slot (%d,%d)" e.eid c i
+        in
+        let w1, j1 = other e1 and w2, j2 = other e2 in
+        (* An actual port has a single cable: the two far ends are
+           replicates, aligned so that slot j2 becomes slot j1. *)
+        do_merge t ~keep:w1 ~absorb:w2 ~shift:(j1 - j2);
+        fired := true
+      | [ _ ] | [] -> ());
+      if not !fired then loop rest
+  in
+  loop keys;
+  !fired
+
+let run_merge_loop t =
+  while not (Queue.is_empty t.mergelist) do
+    let v = Queue.take t.mergelist in
+    let c, _ = find t v in
+    let xc = vertex t c in
+    if not xc.dead then
+      if process_vertex t c then Queue.add c t.mergelist
+  done
+
+let create ~mapper_name ~radix =
+  if radix < 2 then invalid_arg "Model.create: radix too small";
+  let t =
+    {
+      m_radix = radix;
+      verts = [||];
+      nverts = 0;
+      host_names = Hashtbl.create 64;
+      mergelist = Queue.create ();
+      all_edges = [];
+      n_edges_created = 0;
+      n_edges_live = 0;
+      n_verts_live = 0;
+      m_root_host = 0;
+      m_root_switch = 1;
+    }
+  in
+  let h = alloc t (Vhost mapper_name) [] in
+  let s = alloc t Vswitch [] in
+  assert (h = 0 && s = 1);
+  Hashtbl.replace t.host_names mapper_name h;
+  (* The mapper's single cable necessarily leads to a switch; the
+     probe enters that switch at its frame's slot 0. *)
+  add_edge t (s, 0) (h, 0);
+  t
+
+let add_switch_vertex t ~parent ~turn ~probe =
+  let p, s = find t parent in
+  let child = alloc t Vswitch probe in
+  add_edge t (p, turn + s) (child, 0);
+  run_merge_loop t;
+  child
+
+let add_host_vertex t ~parent ~turn ~probe ~name =
+  let p, s = find t parent in
+  let child = alloc t (Vhost name) probe in
+  add_edge t (p, turn + s) (child, 0);
+  (match Hashtbl.find_opt t.host_names name with
+  | None -> Hashtbl.replace t.host_names name child
+  | Some old ->
+    let oc, _ = find t old in
+    let cc, _ = find t child in
+    if oc <> cc then do_merge t ~keep:oc ~absorb:cc ~shift:0);
+  run_merge_loop t;
+  child
+
+let kind t v = (vertex t v).v_kind
+let probe_string t v = (vertex t v).v_probe
+let is_explored t v = (vertex t (canonical t v)).explored
+let set_explored t v = (vertex t (canonical t v)).explored <- true
+let is_live t v = not (vertex t (canonical t v)).dead
+
+let slot_occupied t v i =
+  let c, _ = find t v in
+  match Hashtbl.find_opt (vertex t c).slots i with
+  | None -> false
+  | Some l -> live_slot_edges l <> []
+
+let turn_slot t v turn = turn + frame_shift t v
+
+let neighbor_end_via t v ~slot =
+  let c, _ = find t v in
+  let xc = vertex t c in
+  match Hashtbl.find_opt xc.slots slot with
+  | None -> None
+  | Some l -> (
+    match live_slot_edges l with
+    | [] -> None
+    | e :: _ ->
+      let far, fslot =
+        if e.ea = c && e.ia = slot then (e.eb, e.ib) else (e.ea, e.ia)
+      in
+      (* Express the far slot in [far]'s own vid frame so it stays
+         meaningful if the class is re-framed by later merges. *)
+      Some (far, fslot - frame_shift t far))
+
+let neighbor_via t v ~turn =
+  Option.map fst (neighbor_end_via t v ~slot:(turn_slot t v turn))
+
+let offset_window t v =
+  let c, _ = find t v in
+  let xc = vertex t c in
+  (xc.wlo, xc.whi)
+
+let incident_edges t c =
+  let xc = vertex t (canonical t c) in
+  let tbl = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ l ->
+      List.iter
+        (fun e -> if not e.e_dead then Hashtbl.replace tbl e.eid e)
+        !l)
+    xc.slots;
+  Hashtbl.fold (fun _ e acc -> e :: acc) tbl []
+
+let degree t v = List.length (incident_edges t v)
+
+let prune t =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for v = 0 to t.nverts - 1 do
+      let xv = t.verts.(v) in
+      if xv.parent = v && (not xv.dead) && xv.v_kind = Vswitch then
+        if degree t v <= 1 then begin
+          List.iter (kill_edge t) (incident_edges t v);
+          xv.dead <- true;
+          t.n_verts_live <- t.n_verts_live - 1;
+          changed := true
+        end
+    done
+  done
+
+let known_hosts t = Hashtbl.length t.host_names
+let created_vertices t = t.nverts
+let live_vertices t = t.n_verts_live
+let created_edges t = t.n_edges_created
+let live_edges t = t.n_edges_live
+
+let live_canonicals t =
+  let acc = ref [] in
+  for v = t.nverts - 1 downto 0 do
+    let xv = t.verts.(v) in
+    if xv.parent = v && not xv.dead then acc := v :: !acc
+  done;
+  !acc
+
+let to_graph t =
+  let g = Graph.create ~radix:t.m_radix () in
+  let node_of = Hashtbl.create 64 in
+  let base_of = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      let xv = vertex t v in
+      let used_slots =
+        Hashtbl.fold
+          (fun i l acc -> if live_slot_edges l <> [] then i :: acc else acc)
+          xv.slots []
+      in
+      (* Every slot must have settled to at most one edge. *)
+      Hashtbl.iter
+        (fun i l ->
+          if List.length (live_slot_edges l) > 1 then
+            fail "unresolved replicates at slot (%d,%d): explore deeper" v i)
+        xv.slots;
+      let node =
+        match xv.v_kind with
+        | Vhost name ->
+          if used_slots <> [ 0 ] && used_slots <> [] then
+            fail "host %s uses slots other than 0" name;
+          Graph.add_host g ~name
+        | Vswitch ->
+          (match used_slots with
+          | [] -> ()
+          | _ ->
+            let lo = List.fold_left min max_int used_slots in
+            let hi = List.fold_left max min_int used_slots in
+            if hi - lo > t.m_radix - 1 then
+              fail "switch vertex %d: slot span %d..%d exceeds radix" v lo hi;
+            Hashtbl.replace base_of v lo);
+          Graph.add_switch g ~name:(Printf.sprintf "m%d" v) ()
+      in
+      Hashtbl.replace node_of v node)
+    (live_canonicals t);
+  let base v = Option.value ~default:0 (Hashtbl.find_opt base_of v) in
+  List.iter
+    (fun e ->
+      if not e.e_dead then begin
+        let na = Hashtbl.find node_of e.ea and nb = Hashtbl.find node_of e.eb in
+        Graph.connect g (na, e.ia - base e.ea) (nb, e.ib - base e.eb)
+      end)
+    t.all_edges;
+  g
+
+let check_invariants t =
+  try
+    List.iter
+      (fun v ->
+        let xv = vertex t v in
+        if xv.wlo > xv.whi then fail "vertex %d: empty offset window" v;
+        Hashtbl.iter
+          (fun i l ->
+            List.iter
+              (fun e ->
+                if not e.e_dead then begin
+                  let anchored =
+                    (e.ea = v && e.ia = i) || (e.eb = v && e.ib = i)
+                  in
+                  if not anchored then
+                    fail "edge %d listed at slot (%d,%d) but anchored elsewhere"
+                      e.eid v i
+                end)
+              !l)
+          xv.slots)
+      (live_canonicals t);
+    let live_count = ref 0 in
+    List.iter
+      (fun e ->
+        if not e.e_dead then begin
+          incr live_count;
+          let check_end (v, i) =
+            let xv = vertex t v in
+            if xv.parent <> v then fail "edge %d endpoint %d not canonical" e.eid v;
+            if xv.dead then fail "edge %d endpoint %d is dead" e.eid v;
+            match Hashtbl.find_opt xv.slots i with
+            | Some l when List.memq e !l -> ()
+            | _ -> fail "edge %d missing from slot (%d,%d)" e.eid v i
+          in
+          check_end (e.ea, e.ia);
+          check_end (e.eb, e.ib)
+        end)
+      t.all_edges;
+    if !live_count <> t.n_edges_live then
+      fail "live edge counter %d vs actual %d" t.n_edges_live !live_count;
+    if List.length (live_canonicals t) <> t.n_verts_live then
+      fail "live vertex counter mismatch";
+    Ok ()
+  with Inconsistent m -> Error m

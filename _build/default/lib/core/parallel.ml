@@ -1,0 +1,108 @@
+open San_topology
+
+type result = {
+  map : (Graph.t, string) Stdlib.result;
+  mappers : int;
+  local_depth : int;
+  trust_radius : int;
+  wall_ns : float;
+  sum_ns : float;
+  total_probes : int;
+  failed_locals : int;
+}
+
+let spread_mappers g ~count =
+  let hosts = Array.of_list (Graph.hosts g) in
+  let n = Array.length hosts in
+  if n = 0 then []
+  else
+    let count = max 1 (min count n) in
+    List.init count (fun i -> hosts.(i * n / count))
+
+(* Keep only the trusted core of a local map: switches within
+   [radius] of the local mapper plus their directly attached hosts. *)
+let trim map ~center ~radius =
+  let dist = Analysis.bfs_distances map center in
+  let keep v =
+    if Graph.is_host map v then
+      v = center
+      || (match Graph.neighbor map (v, 0) with
+         | Some (sw, _) -> dist.(sw) <= radius
+         | None -> false)
+    else dist.(v) <= radius
+  in
+  let g = Graph.create ~radix:(Graph.radix map) () in
+  let node_of = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      if keep v then
+        Hashtbl.replace node_of v
+          (if Graph.is_host map v then Graph.add_host g ~name:(Graph.name map v)
+           else Graph.add_switch g ~name:(Graph.name map v) ()))
+    (Graph.nodes map);
+  List.iter
+    (fun ((a, pa), (b, pb)) ->
+      match (Hashtbl.find_opt node_of a, Hashtbl.find_opt node_of b) with
+      | Some na, Some nb -> Graph.connect g (na, pa) (nb, pb)
+      | _ -> ())
+    (Graph.wires map);
+  g
+
+let run ?(policy = Berkeley.faithful) ?(local_depth = 5) ?trust_radius ?model
+    ?params ~mappers g =
+  (match mappers with
+  | [] -> invalid_arg "Parallel.run: no mappers"
+  | l ->
+    List.iter
+      (fun m ->
+        if not (Graph.is_host g m) then
+          invalid_arg "Parallel.run: mappers must be hosts")
+      l);
+  let trust_radius = Option.value trust_radius ~default:(local_depth - 2) in
+  let locals =
+    List.map
+      (fun m ->
+        let net = San_simnet.Network.create ?model ?params g in
+        let r =
+          Berkeley.run ~policy ~depth:(Berkeley.Fixed local_depth) net ~mapper:m
+        in
+        (m, r))
+      mappers
+  in
+  let wall =
+    List.fold_left
+      (fun acc (_, r) -> Float.max acc r.Berkeley.elapsed_ns)
+      0.0 locals
+  in
+  let sum =
+    List.fold_left (fun acc (_, r) -> acc +. r.Berkeley.elapsed_ns) 0.0 locals
+  in
+  let total_probes =
+    List.fold_left (fun acc (_, r) -> acc + Berkeley.total_probes r) 0 locals
+  in
+  let trimmed, failed =
+    List.fold_left
+      (fun (ok, failed) (m, r) ->
+        match r.Berkeley.map with
+        | Error _ -> (ok, failed + 1)
+        | Ok map -> (
+          match Graph.host_by_name map (Graph.name g m) with
+          | None -> (ok, failed + 1)
+          | Some center -> (trim map ~center ~radius:trust_radius :: ok, failed)))
+      ([], 0) locals
+  in
+  let map =
+    match trimmed with
+    | [] -> Error "every local map failed"
+    | maps -> Merge_maps.union_all (List.rev maps)
+  in
+  {
+    map;
+    mappers = List.length mappers;
+    local_depth;
+    trust_radius;
+    wall_ns = wall;
+    sum_ns = sum;
+    total_probes;
+    failed_locals = failed;
+  }

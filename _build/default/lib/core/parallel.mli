@@ -1,0 +1,42 @@
+(** Parallel mapping (§6): every chosen host maps its local region
+    concurrently; the partial maps are merged into a global view.
+
+    Each local mapper explores only to [local_depth] and its map is
+    trimmed to a trust radius (the outermost ring of a depth-bounded
+    exploration can hold replicates that had no chance to merge).
+    Trimmed partial maps are then glued with {!San_topology.Merge_maps}
+    — shared hosts anchor the correspondence exactly as they anchor
+    replicate merging. Wall-clock time is the slowest local mapper
+    (probes of concurrent mappers do not collide under the quiescence
+    assumption, like the paper's passive-responder concurrency). *)
+
+open San_topology
+
+type result = {
+  map : (Graph.t, string) Stdlib.result;
+  mappers : int;
+  local_depth : int;
+  trust_radius : int;
+  wall_ns : float;  (** slowest local mapper *)
+  sum_ns : float;  (** total work across mappers *)
+  total_probes : int;
+  failed_locals : int;  (** local maps dropped (export failure) *)
+}
+
+val run :
+  ?policy:Berkeley.policy ->
+  ?local_depth:int ->
+  ?trust_radius:int ->
+  ?model:San_simnet.Collision.model ->
+  ?params:San_simnet.Params.t ->
+  mappers:Graph.node list ->
+  Graph.t ->
+  result
+(** [run ~mappers g] maps [g] in parallel from the given hosts.
+    [local_depth] defaults to 5 and [trust_radius] to
+    [local_depth - 2]. @raise Invalid_argument on an empty or non-host
+    mapper list. *)
+
+val spread_mappers : Graph.t -> count:int -> Graph.node list
+(** A convenience placement: [count] hosts spread evenly over the
+    host list (always including the first host). *)

@@ -1,0 +1,21 @@
+(** Port-exploration order and probe-elimination heuristics (§3.3.3).
+
+    When a probe enters a switch at an effectively random port, small
+    turns are the most likely to hit a legal port: excluding 0, turns
+    of ±1 succeed most often, then ±2, and ±7 only rarely. Probing in
+    that order makes the offset window (tracked by {!Model}) shrink
+    fastest, which lets the mapper skip turns that are {e provably}
+    illegal — the paper's rule of eliminating probes "only when we are
+    sure they will fail". *)
+
+val turn_order : radix:int -> int list
+(** [+1; -1; +2; -2; ...], magnitude ascending — never 0. *)
+
+val provably_illegal : Model.t -> Model.vid -> turn:int -> bool
+(** True when no feasible entry-port offset of the vertex's class
+    leaves [turn] inside the port range, so the probe is certain to
+    die with ILLEGAL TURN. *)
+
+val already_known : Model.t -> Model.vid -> turn:int -> bool
+(** True when the canonical slot this turn addresses is already wired
+    in the model (the probe is certain to succeed and teach nothing). *)

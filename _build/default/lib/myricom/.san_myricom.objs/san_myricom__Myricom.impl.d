@@ -1,0 +1,1 @@
+lib/myricom/myricom.ml: Analysis Collision Graph Hashtbl List Network Option Params Printf Queue Route San_simnet San_topology Stdlib Worm

@@ -1,0 +1,1 @@
+lib/myricom/myricom.mli: Collision Graph Params San_simnet San_topology Stdlib

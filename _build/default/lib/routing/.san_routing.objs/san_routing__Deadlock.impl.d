@@ -1,0 +1,1 @@
+lib/routing/deadlock.ml: Graph Hashtbl List Option Printf Routes San_simnet San_topology Worm

@@ -1,0 +1,1 @@
+lib/routing/deadlock.mli: Graph Route Routes San_simnet San_topology

@@ -1,0 +1,1 @@
+lib/routing/distribute.ml: Float Graph Hashtbl List Option Routes San_simnet San_topology

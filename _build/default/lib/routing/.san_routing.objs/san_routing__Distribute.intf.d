@@ -1,0 +1,1 @@
+lib/routing/distribute.mli: Graph Routes San_simnet San_topology

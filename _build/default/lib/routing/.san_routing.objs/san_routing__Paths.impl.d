@@ -1,0 +1,1 @@
+lib/routing/paths.ml: Array Graph List San_topology San_util Updown

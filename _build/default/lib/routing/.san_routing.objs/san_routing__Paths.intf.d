@@ -1,0 +1,1 @@
+lib/routing/paths.mli: Graph San_topology San_util Updown

@@ -1,0 +1,1 @@
+lib/routing/routes.ml: Format Graph Hashtbl List Option Paths Printf Route San_simnet San_topology San_util Updown Worm

@@ -1,0 +1,1 @@
+lib/routing/routes.mli: Graph Route San_simnet San_topology San_util Updown

@@ -1,0 +1,1 @@
+lib/routing/updown.ml: Analysis Array Graph List San_topology

@@ -1,0 +1,1 @@
+lib/routing/updown.mli: Graph San_topology

@@ -1,0 +1,51 @@
+open San_topology
+open San_simnet
+
+type channel = Graph.wire_end
+
+let dependencies g routes =
+  let deps = Hashtbl.create 256 in
+  List.iter
+    (fun (src, turns) ->
+      let trace = Worm.eval g ~src ~turns in
+      let rec pairs = function
+        | (a : Worm.hop) :: (b :: _ as rest) ->
+          Hashtbl.replace deps (a.Worm.exit_end, b.Worm.exit_end) ();
+          pairs rest
+        | [ _ ] | [] -> ()
+      in
+      pairs trace.Worm.hops)
+    routes;
+  Hashtbl.fold (fun d () acc -> d :: acc) deps []
+
+let check_acyclic g routes =
+  let deps = dependencies g routes in
+  let adj = Hashtbl.create 256 in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace adj a (b :: Option.value ~default:[] (Hashtbl.find_opt adj a)))
+    deps;
+  (* Iterative three-colour DFS. *)
+  let color : (channel, [ `Grey | `Black ]) Hashtbl.t = Hashtbl.create 256 in
+  let cycle = ref None in
+  let rec visit c =
+    match Hashtbl.find_opt color c with
+    | Some `Black -> ()
+    | Some `Grey -> if !cycle = None then cycle := Some c
+    | None ->
+      Hashtbl.replace color c `Grey;
+      List.iter visit (Option.value ~default:[] (Hashtbl.find_opt adj c));
+      Hashtbl.replace color c `Black
+  in
+  List.iter (fun (a, _) -> visit a) deps;
+  match !cycle with
+  | None -> Ok ()
+  | Some (n, p) ->
+    Error
+      (Printf.sprintf "channel dependency cycle through channel (%d,%d)" n p)
+
+let check_routes table =
+  let routes =
+    List.map (fun (src, _, r) -> (src, r)) (Routes.all table)
+  in
+  check_acyclic (Routes.graph table) routes

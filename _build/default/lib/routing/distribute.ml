@@ -1,0 +1,87 @@
+open San_topology
+
+type slice = { owner : Graph.node; entries : int; bytes : int }
+
+type plan = { slices : slice list; total_bytes : int }
+
+(* Encoding budget per route entry: a 2-byte destination id, a 1-byte
+   length, one byte per turn. *)
+let entry_bytes turns = 3 + List.length turns
+
+let plan table =
+  let g = Routes.graph table in
+  let per_host = Hashtbl.create 64 in
+  List.iter
+    (fun (src, _, turns) ->
+      let e, b =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt per_host src)
+      in
+      Hashtbl.replace per_host src (e + 1, b + entry_bytes turns))
+    (Routes.all table);
+  let slices =
+    List.filter_map
+      (fun h ->
+        match Hashtbl.find_opt per_host h with
+        | Some (entries, bytes) -> Some { owner = h; entries; bytes }
+        | None -> None)
+      (Graph.hosts g)
+  in
+  { slices; total_bytes = List.fold_left (fun a s -> a + s.bytes) 0 slices }
+
+type report = {
+  hosts_updated : int;
+  hosts_missed : int;
+  duration_ns : float;
+  total_messages : int;
+}
+
+let simulate ?(params = San_simnet.Params.default) table ~actual ~leader =
+  let map = Routes.graph table in
+  let leader_in_map =
+    Graph.host_by_name map (Graph.name actual leader)
+  in
+  match leader_in_map with
+  | None -> Error "leader is not in the route table's graph"
+  | Some leader_m ->
+    let p = plan table in
+    let sim = San_simnet.Event_sim.create ~params actual in
+    let t = ref 0.0 in
+    let sent = ref [] in
+    let skipped = ref 0 in
+    List.iter
+      (fun s ->
+        if s.owner <> leader_m then begin
+          match
+            ( Routes.route table ~src:leader_m ~dst:s.owner,
+              Graph.host_by_name actual (Graph.name map s.owner) )
+          with
+          | Some turns, Some _ ->
+            let src =
+              Option.get (Graph.host_by_name actual (Graph.name map leader_m))
+            in
+            t := !t +. params.San_simnet.Params.send_overhead_ns;
+            let wid =
+              San_simnet.Event_sim.inject sim ~at_ns:!t ~src ~turns
+                ~payload_bytes:s.bytes ()
+            in
+            sent := wid :: !sent
+          | _ -> incr skipped
+        end)
+      p.slices;
+    San_simnet.Event_sim.run sim;
+    let delivered, last =
+      List.fold_left
+        (fun (n, last) wid ->
+          match San_simnet.Event_sim.outcome sim wid with
+          | San_simnet.Event_sim.Delivered { at_ns; _ } ->
+            (n + 1, Float.max last at_ns)
+          | _ -> (n, last))
+        (0, 0.0) !sent
+    in
+    Ok
+      {
+        hosts_updated = delivered;
+        hosts_missed = List.length !sent - delivered + !skipped;
+        duration_ns = last;
+        total_messages = List.length !sent;
+      }

@@ -1,0 +1,43 @@
+(** In-band route distribution (§5.5: "derives mutually deadlock-free
+    routes from it and distributes them throughout the system").
+
+    After mapping, the master (or elected leader) must install each
+    host's route-table slice in its network interface. The only
+    transport available is the network itself, and the only routes the
+    leader can trust are the freshly computed ones — so each slice
+    travels as a single worm along the leader's own route to that
+    host. Slices are sized realistically (a couple of bytes per turn
+    plus per-entry headers, the scale of the 128 KB LANai SRAM budget
+    the paper mentions), and delivery runs on the discrete-event
+    wormhole simulator, so distribution contends with itself. *)
+
+open San_topology
+
+type slice = {
+  owner : Graph.node;  (** the host this slice belongs to *)
+  entries : int;  (** routes in the slice (one per destination) *)
+  bytes : int;  (** encoded size *)
+}
+
+type plan = { slices : slice list; total_bytes : int }
+
+val plan : Routes.t -> plan
+(** Slice the table per source host. *)
+
+type report = {
+  hosts_updated : int;
+  hosts_missed : int;  (** slices that never arrived *)
+  duration_ns : float;  (** first send to last delivery *)
+  total_messages : int;
+}
+
+val simulate :
+  ?params:San_simnet.Params.t ->
+  Routes.t ->
+  actual:Graph.t ->
+  leader:Graph.node ->
+  (report, string) result
+(** Deliver every slice from [leader] over the actual network using
+    the worm simulator; hosts are matched by name (the table usually
+    comes from a map). Fails if the leader is missing from the
+    table's graph. *)

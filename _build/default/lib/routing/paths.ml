@@ -1,0 +1,96 @@
+open San_topology
+
+(* State encoding: node n in phase Up -> 2n, phase Down -> 2n+1. *)
+
+type t = { pt_ud : Updown.t; dist : int array array; nstates : int }
+
+let updown t = t.pt_ud
+
+let inf = max_int / 4
+
+let state_up n = 2 * n
+let state_down n = (2 * n) + 1
+
+let compute ud =
+  let g = Updown.graph ud in
+  let n = Graph.num_nodes g in
+  let ns = 2 * n in
+  let dist = Array.make_matrix ns ns inf in
+  for s = 0 to ns - 1 do
+    dist.(s).(s) <- 0
+  done;
+  (* One-hop transitions. *)
+  List.iter
+    (fun ((u, _), (v, _)) ->
+      let hop a b =
+        if Updown.is_up ud a b then begin
+          (* up edge: only usable while still in the Up phase *)
+          dist.(state_up a).(state_up b) <- 1
+        end
+        else begin
+          (* down edge: usable from either phase, lands in Down *)
+          dist.(state_up a).(state_down b) <- 1;
+          dist.(state_down a).(state_down b) <- 1
+        end
+      in
+      hop u v;
+      hop v u)
+    (Graph.wires g);
+  for k = 0 to ns - 1 do
+    let dk = dist.(k) in
+    for i = 0 to ns - 1 do
+      let dik = dist.(i).(k) in
+      if dik < inf then begin
+        let di = dist.(i) in
+        for j = 0 to ns - 1 do
+          let v = dik + dk.(j) in
+          if v < di.(j) then di.(j) <- v
+        done
+      end
+    done
+  done;
+  { pt_ud = ud; dist; nstates = ns }
+
+let dist_to_dst t s dst =
+  min t.dist.(s).(state_up dst) t.dist.(s).(state_down dst)
+
+let distance t ~src ~dst =
+  let d = dist_to_dst t (state_up src) dst in
+  if d >= inf then None else Some d
+
+let node_path ?rng t ~src ~dst =
+  let ud = t.pt_ud in
+  let g = Updown.graph ud in
+  match distance t ~src ~dst with
+  | None -> None
+  | Some total ->
+    let pick candidates =
+      match (rng, candidates) with
+      | _, [] -> None
+      | None, c :: _ -> Some c
+      | Some rng, l -> Some (List.nth l (San_util.Prng.int rng (List.length l)))
+    in
+    let rec walk state acc remaining =
+      let node = state / 2 in
+      if node = dst && remaining = 0 then Some (List.rev (node :: acc))
+      else begin
+        let succs =
+          List.filter_map
+            (fun (_, (v, _)) ->
+              let next_state =
+                if state mod 2 = 0 && Updown.is_up ud node v then
+                  Some (state_up v)
+                else if not (Updown.is_up ud node v) then Some (state_down v)
+                else None
+              in
+              match next_state with
+              | Some s when dist_to_dst t s dst = remaining - 1 -> Some s
+              | Some _ | None -> None)
+            (Graph.wired_ports g node)
+        in
+        match pick succs with
+        | None -> None
+        | Some s -> walk s (node :: acc) (remaining - 1)
+      end
+    in
+    walk (state_up src) [] total

@@ -1,0 +1,30 @@
+(** Compliant all-pairs shortest paths.
+
+    The paper computes routes with Floyd–Warshall over paths compliant
+    with the UP*/DOWN* orientation. We run Floyd–Warshall on the
+    phase-expanded graph — states are [(node, Up | Down)], an up edge
+    keeps the Up phase, a down edge enters and stays in the Down phase
+    — which makes every shortest path automatically compliant.
+    Reconstruction walks greedily along distance-decreasing states,
+    breaking ties randomly where multiple shortest continuations exist
+    (the paper's load-balancing option over parallel links and equal
+    paths). *)
+
+open San_topology
+
+type t
+
+val compute : Updown.t -> t
+(** All-pairs compliant distances. O(V³) on the doubled state space;
+    instantaneous at SAN scales. *)
+
+val distance : t -> src:Graph.node -> dst:Graph.node -> int option
+(** Compliant hop distance, [None] if unreachable without an illegal
+    turn. *)
+
+val node_path :
+  ?rng:San_util.Prng.t -> t -> src:Graph.node -> dst:Graph.node -> Graph.node list option
+(** A shortest compliant node sequence [src; ...; dst]. Deterministic
+    without [rng]; with it, ties are broken uniformly. *)
+
+val updown : t -> Updown.t

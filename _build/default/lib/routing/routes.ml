@@ -1,0 +1,151 @@
+open San_topology
+open San_simnet
+
+type t = {
+  rt_graph : Graph.t;
+  rt_ud : Updown.t;
+  table : (Graph.node * Graph.node, Route.t) Hashtbl.t;
+  missing : (Graph.node * Graph.node) list;
+}
+
+let graph t = t.rt_graph
+let updown t = t.rt_ud
+
+(* Choose a wire from u to v, uniformly over parallels when [rng]. *)
+let pick_wire ?rng g u v =
+  let candidates =
+    List.filter (fun (_, (w, _)) -> w = v) (Graph.wired_ports g u)
+  in
+  match (rng, candidates) with
+  | _, [] -> None
+  | None, c :: _ -> Some c
+  | Some rng, l -> Some (List.nth l (San_util.Prng.int rng (List.length l)))
+
+(* Translate a node path h0, s1, ..., sk, h1 into a turn string: the
+   turn at each switch is (exit port - entry port). *)
+let turns_of_path ?rng g = function
+  | [] | [ _ ] -> Some []
+  | src :: rest ->
+    let rec go prev entry_port acc = function
+      | [] -> Some (List.rev acc)
+      | next :: more -> (
+        match pick_wire ?rng g prev next with
+        | None -> None
+        | Some (exit_port, (_, far_port)) ->
+          let acc =
+            if Graph.is_host g prev then acc (* leaving the source host *)
+            else (exit_port - entry_port) :: acc
+          in
+          go next far_port acc more)
+    in
+    go src 0 [] rest
+
+let compute ?rng ?root ?ignore_hosts ?labeling g =
+  let ud = Updown.build ?root ?ignore_hosts ?labeling g in
+  let pt = Paths.compute ud in
+  let table = Hashtbl.create 256 in
+  let missing = ref [] in
+  let hosts = Graph.hosts g in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if src <> dst then
+            match Paths.node_path ?rng pt ~src ~dst with
+            | None -> missing := (src, dst) :: !missing
+            | Some path -> (
+              match turns_of_path ?rng g path with
+              | None -> missing := (src, dst) :: !missing
+              | Some turns -> Hashtbl.replace table (src, dst) turns))
+        hosts)
+    hosts;
+  { rt_graph = g; rt_ud = ud; table; missing = !missing }
+
+let route t ~src ~dst = Hashtbl.find_opt t.table (src, dst)
+
+let all t =
+  Hashtbl.fold (fun (s, d) r acc -> (s, d, r) :: acc) t.table []
+  |> List.sort compare
+
+let unreachable_pairs t = List.sort compare t.missing
+
+type length_stats = { pairs : int; min_len : int; avg_len : float; max_len : int }
+
+let length_stats t =
+  let n = ref 0 and mn = ref max_int and mx = ref 0 and sum = ref 0 in
+  Hashtbl.iter
+    (fun _ r ->
+      let len = List.length r in
+      incr n;
+      mn := min !mn len;
+      mx := max !mx len;
+      sum := !sum + len)
+    t.table;
+  if !n = 0 then { pairs = 0; min_len = 0; avg_len = 0.0; max_len = 0 }
+  else
+    {
+      pairs = !n;
+      min_len = !mn;
+      avg_len = float_of_int !sum /. float_of_int !n;
+      max_len = !mx;
+    }
+
+let channel_loads t =
+  let loads = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun (src, _) turns ->
+      let trace = Worm.eval t.rt_graph ~src ~turns in
+      List.iter
+        (fun (h : Worm.hop) ->
+          let k = h.Worm.exit_end in
+          Hashtbl.replace loads k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt loads k)))
+        trace.Worm.hops)
+    t.table;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) loads []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let verify_delivery ?against t =
+  let target = Option.value against ~default:t.rt_graph in
+  let translate n =
+    if target == t.rt_graph then Some n
+    else Graph.host_by_name target (Graph.name t.rt_graph n)
+  in
+  let problems = ref [] in
+  Hashtbl.iter
+    (fun (src, dst) turns ->
+      match (translate src, translate dst) with
+      | Some s, Some d -> (
+        let trace = Worm.eval target ~src:s ~turns in
+        match trace.Worm.outcome with
+        | Worm.Arrived h when h = d -> ()
+        | outcome ->
+          problems :=
+            Format.asprintf "route %s->%s (%a): %a" (Graph.name target s)
+              (Graph.name t.rt_graph dst) Route.pp turns Worm.pp_outcome outcome
+            :: !problems)
+      | None, _ | _, None ->
+        problems :=
+          Printf.sprintf "hosts of pair (%d,%d) missing from target" src dst
+          :: !problems)
+    t.table;
+  match !problems with
+  | [] -> Ok ()
+  | p :: _ ->
+    Error (Printf.sprintf "%d bad routes; first: %s" (List.length !problems) p)
+
+let verify_updown t =
+  let problems = ref 0 in
+  let first = ref "" in
+  Hashtbl.iter
+    (fun (src, _) turns ->
+      let trace = Worm.eval t.rt_graph ~src ~turns in
+      let path = Worm.path_nodes t.rt_graph ~src trace in
+      if not (Updown.valid_path t.rt_ud path) then begin
+        incr problems;
+        if !first = "" then
+          first := Format.asprintf "route from %d: %a" src Route.pp turns
+      end)
+    t.table;
+  if !problems = 0 then Ok ()
+  else Error (Printf.sprintf "%d non-compliant routes; first: %s" !problems !first)

@@ -1,0 +1,59 @@
+(** Source-route tables: the artifact the paper's system distributes
+    to every network interface after mapping (§5.5).
+
+    Routes are computed on the {e map}; because Myrinet routing flits
+    encode relative turns, and the map's port numbering agrees with the
+    actual network up to a constant shift per switch, a turn string
+    computed on the map drives the actual network identically — this
+    is why mapping up to indexing offsets suffices. [verify_delivery]
+    checks exactly that, by evaluating every route as a worm, on the
+    map or on the actual network. *)
+
+open San_topology
+open San_simnet
+
+type t
+
+val compute :
+  ?rng:San_util.Prng.t ->
+  ?root:Graph.node ->
+  ?ignore_hosts:Graph.node list ->
+  ?labeling:Updown.labeling ->
+  Graph.t ->
+  t
+(** Orient the graph (UP*/DOWN* orientation), run the compliant all-pairs
+    computation, and derive one turn route per ordered host pair.
+    [rng] enables random tie-breaking over equal-length paths and
+    parallel wires (load balance); without it the choice is
+    deterministic. *)
+
+val graph : t -> Graph.t
+val updown : t -> Updown.t
+
+val route : t -> src:Graph.node -> dst:Graph.node -> Route.t option
+(** The turn string from [src] to [dst]; [None] when no compliant path
+    exists or for [src = dst]. *)
+
+val all : t -> (Graph.node * Graph.node * Route.t) list
+(** Every computed route. *)
+
+val unreachable_pairs : t -> (Graph.node * Graph.node) list
+(** Ordered host pairs with no compliant route (empty on connected
+    maps — UP*/DOWN* always connects a connected graph). *)
+
+type length_stats = { pairs : int; min_len : int; avg_len : float; max_len : int }
+
+val length_stats : t -> length_stats
+
+val channel_loads : t -> (Graph.wire_end * int) list
+(** Number of routes crossing each directed channel (identified by its
+    exit wire end), descending — exposes the root-congestion effect
+    the paper notes for UP*/DOWN*. *)
+
+val verify_delivery : ?against:Graph.t -> t -> (unit, string) result
+(** Check every route's worm reaches the intended host. [against]
+    (default: the routing graph) lets a map-derived table be validated
+    on the actual network; hosts are matched by name. *)
+
+val verify_updown : t -> (unit, string) result
+(** Check every route's node path is a legal up*/down* path. *)

@@ -1,0 +1,54 @@
+(** UP*/DOWN* edge orientation (§5.5).
+
+    A switch as far from all hosts as possible roots a breadth-first
+    labelling of the map; an edge traversal is {e up} when it moves to
+    a node with a smaller (label, id) pair — towards the root — and
+    {e down} otherwise. A valid route follows zero or more up edges
+    then zero or more down edges, never turning from down onto up,
+    which (Glass–Ni turn model) breaks every channel-dependency cycle.
+
+    {e Locally dominant} switches — all of whose neighbours are closer
+    to the root — could never be transited (every path through them
+    would turn down-then-up), so they are relabelled below the minimum
+    of their neighbours' labels, turning them into additional
+    root-like minima (the paper's §5.5 fix). *)
+
+open San_topology
+
+type t
+
+type labeling = Bfs | Dfs
+(** [Bfs] is the paper's breadth-first labelling. [Dfs] labels in
+    depth-first preorder — the classic alternative (the later
+    "depth-first up*/down*" of the literature) that tends to spread
+    traffic away from the root at the price of longer routes; §6 asks
+    for more robust route-derivation strategies, and this is the
+    cheapest such knob. Any total order gives deadlock freedom. *)
+
+val build :
+  ?root:Graph.node ->
+  ?ignore_hosts:Graph.node list ->
+  ?labeling:labeling ->
+  Graph.t ->
+  t
+(** [build g] orients the map. [root] defaults to the switch
+    maximising its distance to all hosts, with [ignore_hosts] (e.g.
+    the designated utility host) excluded from that computation;
+    [labeling] defaults to [Bfs].
+    @raise Invalid_argument if the graph has no switch. *)
+
+val graph : t -> Graph.t
+val root : t -> Graph.node
+val label : t -> Graph.node -> int
+val relabeled : t -> Graph.node list
+(** The locally dominant switches that were relabelled. *)
+
+val is_up : t -> Graph.node -> Graph.node -> bool
+(** [is_up t u v] — is traversing from [u] to [v] an up move? *)
+
+val legal_turn : t -> Graph.node -> Graph.node -> Graph.node -> bool
+(** [legal_turn t a b c]: may a route that arrived at [b] from [a]
+    continue to [c]? (Forbids down-onto-up.) *)
+
+val valid_path : t -> Graph.node list -> bool
+(** Is this node sequence an up*/down* path? *)

@@ -1,0 +1,1 @@
+lib/simnet/collision.ml: Array Hashtbl List Params Worm

@@ -1,0 +1,1 @@
+lib/simnet/collision.mli: Params Worm

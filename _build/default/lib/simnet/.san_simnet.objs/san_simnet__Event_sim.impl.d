@@ -1,0 +1,1 @@
+lib/simnet/event_sim.ml: Array Float Graph Hashtbl List Option Params Queue San_topology San_util Worm

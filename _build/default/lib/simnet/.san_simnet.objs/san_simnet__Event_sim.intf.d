@@ -1,0 +1,1 @@
+lib/simnet/event_sim.mli: Graph Params Route San_topology Worm

@@ -1,0 +1,1 @@
+lib/simnet/network.ml: Collision Graph List Params Route San_topology San_util Stats Worm

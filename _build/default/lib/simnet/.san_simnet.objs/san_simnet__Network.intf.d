@@ -1,0 +1,1 @@
+lib/simnet/network.mli: Collision Graph Params Route San_topology San_util Stats

@@ -1,0 +1,1 @@
+lib/simnet/params.ml: Float

@@ -1,0 +1,1 @@
+lib/simnet/route.ml: Array Format List

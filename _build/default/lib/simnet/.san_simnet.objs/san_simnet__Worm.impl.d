@@ -1,0 +1,1 @@
+lib/simnet/worm.ml: Format Graph List Route San_topology

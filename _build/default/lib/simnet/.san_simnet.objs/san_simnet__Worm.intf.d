@@ -1,0 +1,1 @@
+lib/simnet/worm.mli: Format Graph Route San_topology

@@ -1,0 +1,61 @@
+type model = Circuit | Cut_through
+
+let model_to_string = function
+  | Circuit -> "circuit"
+  | Cut_through -> "cut-through"
+
+(* A directed channel is identified by the wire end the head exits
+   through; an undirected wire by the canonically ordered end pair. *)
+let directed_id (h : Worm.hop) = h.exit_end
+
+let undirected_id (h : Worm.hop) =
+  if h.exit_end <= h.entry_end then (h.exit_end, h.entry_end)
+  else (h.entry_end, h.exit_end)
+
+let has_duplicate ids =
+  let tbl = Hashtbl.create 16 in
+  List.exists
+    (fun id ->
+      if Hashtbl.mem tbl id then true
+      else begin
+        Hashtbl.add tbl id ();
+        false
+      end)
+    ids
+
+(* Cut-through: the head enters channel c for hop index i at time
+   i * hop_latency; the tail clears it [drain] later.  A reuse at hop
+   j > i blocks iff the head returns before the tail cleared. *)
+let cut_through_blocks params (trace : Worm.trace) =
+  let hops = Array.of_list trace.hops in
+  let drain =
+    Params.worm_drain_ns params ~route_flits:(Array.length hops)
+  in
+  if drain <= 0.0 then false
+  else begin
+    let last_use = Hashtbl.create 16 in
+    let blocked = ref false in
+    Array.iteri
+      (fun j h ->
+        let id = directed_id h in
+        (match Hashtbl.find_opt last_use id with
+        | Some i ->
+          let gap = float_of_int (j - i) *. Params.hop_latency_ns params in
+          if gap < drain then blocked := true
+        | None -> ());
+        Hashtbl.replace last_use id j)
+      hops;
+    !blocked
+  end
+
+let host_probe_blocks model params (trace : Worm.trace) =
+  match model with
+  | Circuit -> has_duplicate (List.map directed_id trace.hops)
+  | Cut_through -> cut_through_blocks params trace
+
+let switch_probe_blocks model params ~forward_hops (trace : Worm.trace) =
+  match model with
+  | Circuit ->
+    let forward = List.filteri (fun i _ -> i < forward_hops) trace.hops in
+    has_duplicate (List.map undirected_id forward)
+  | Cut_through -> cut_through_blocks params trace

@@ -1,0 +1,82 @@
+(** Discrete-event wormhole simulation of concurrent traffic.
+
+    The analytic {!Collision} models cover a single probe colliding
+    with itself on a quiescent network — all the paper needs for its
+    proof. This simulator executes {e many worms at once} at channel
+    granularity, with real wormhole semantics:
+
+    - a worm's head advances one switch per {!Params.switch_latency_ns};
+    - a directed channel (one direction of a wire) carries one worm at
+      a time; a blocked head waits in FIFO order while the worm's tail
+      keeps {e holding every channel behind it} — the defining wormhole
+      hazard;
+    - a stalled worm keeps occupying its last
+      [ceil (length / per-port buffer)] channels (the tail compresses
+      into downstream buffers); a worm that fits entirely within one
+      port buffer is {e absorbed} and frees its channel even while its
+      head is blocked — the paper's "even modest per-port buffering",
+      which is why short probes melt out of each other's way while
+      application-sized worms exhibit the full wormhole hazard;
+    - a head blocked longer than {!Params.blocked_port_reset_ms} is
+      destroyed by the switch ROM's forward-reset, releasing its
+      channels — exactly how real Myrinet hardware breaks deadlocked
+      cycles, so deadlock needs no detector here: it {e happens}, then
+      the timeout clears it.
+
+    This is the testbed on which §5.5's claim becomes observable: route
+    sets whose channel dependency graph is acyclic ({!San_routing}
+    tables) deliver every worm under arbitrary contention, while a
+    dependency cycle reproducibly deadlocks and gets forward-reset. *)
+
+open San_topology
+
+type t
+
+type worm_id = int
+
+type drop_reason =
+  | Bad_route of Worm.outcome  (** structural death (§2.2 failure modes) *)
+  | Forward_reset  (** blocked past the ROM timeout — deadlock or starvation *)
+
+type outcome =
+  | Pending  (** still in flight when the simulation stopped *)
+  | Delivered of { dst : Graph.node; at_ns : float; latency_ns : float }
+  | Dropped of { reason : drop_reason; at_ns : float }
+
+val create : ?params:Params.t -> Graph.t -> t
+
+val inject :
+  t -> at_ns:float -> src:Graph.node -> turns:Route.t -> ?payload_bytes:int ->
+  unit -> worm_id
+(** Schedule a worm. [payload_bytes] defaults to the params' probe
+    payload. @raise Invalid_argument if [src] is not a host. *)
+
+val run : ?until_ns:float -> t -> unit
+(** Process events (all of them, or up to the horizon). *)
+
+val step : t -> float option
+(** Process exactly one event; returns its timestamp, or [None] when
+    the queue is empty. Lets a co-simulation (e.g. the emergent
+    election) interleave decisions between hardware events. *)
+
+val peek_time : t -> float option
+(** Timestamp of the next pending event without processing it. *)
+
+val now_ns : t -> float
+val outcome : t -> worm_id -> outcome
+
+type stats = {
+  injected : int;
+  delivered : int;
+  dropped_bad_route : int;
+  dropped_reset : int;
+  in_flight : int;
+  avg_latency_ns : float;  (** over delivered worms *)
+  max_latency_ns : float;
+  finished_at_ns : float;
+}
+
+val stats : t -> stats
+
+val latencies : t -> float list
+(** Delivery latencies, unordered. *)

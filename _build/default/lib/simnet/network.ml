@@ -1,0 +1,224 @@
+open San_topology
+
+type response = Switch | Host of string | Nothing
+
+type t = {
+  net_graph : Graph.t;
+  net_model : Collision.model;
+  net_params : Params.t;
+  responding : Graph.node -> bool;
+  slowdown : float;
+  jitter : (float * San_util.Prng.t) option;
+  traffic : (float * San_util.Prng.t) option;
+  run_bias : float;
+  net_stats : Stats.t;
+}
+
+let create ?(model = Collision.Circuit) ?(params = Params.default)
+    ?(responding = fun _ -> true) ?(software_slowdown = 1.0) ?jitter ?traffic g =
+  let run_bias =
+    (* Per-run correlated load level: most runs sit within ±frac/2 of
+       nominal; roughly one in ten lands on a busy machine and pays up
+       to 3*frac more (the skew visible in the paper's max columns). *)
+    match jitter with
+    | None -> 1.0
+    | Some (frac, rng) ->
+      let base =
+        1.0 +. (0.5 *. frac *. ((2.0 *. San_util.Prng.float rng 1.0) -. 1.0))
+      in
+      if San_util.Prng.float rng 1.0 < 0.1 then
+        base +. (3.0 *. frac *. San_util.Prng.float rng 1.0)
+      else base
+  in
+  {
+    net_graph = g;
+    net_model = model;
+    net_params = params;
+    responding;
+    slowdown = software_slowdown;
+    jitter;
+    traffic;
+    run_bias;
+    net_stats = Stats.create ();
+  }
+
+(* Cross-traffic: a probe survives each wire crossing independently.
+   [crossings] should count the full round trip, since the reply worm
+   shares the fabric too. *)
+let survives_traffic t ~crossings =
+  match t.traffic with
+  | None -> true
+  | Some (p, rng) ->
+    let q = (1.0 -. p) ** float_of_int crossings in
+    San_util.Prng.float rng 1.0 < q
+
+let jittered t cost =
+  match t.jitter with
+  | None -> cost
+  | Some (frac, rng) ->
+    cost *. t.run_bias
+    *. (1.0 +. (0.5 *. frac *. ((2.0 *. San_util.Prng.float rng 1.0) -. 1.0)))
+
+let graph t = t.net_graph
+let stats t = t.net_stats
+let params t = t.net_params
+let model t = t.net_model
+let reset_stats t = Stats.reset t.net_stats
+
+let probe_cost_hit t ~hops =
+  let p = t.net_params in
+  (t.slowdown *. (p.send_overhead_ns +. p.recv_overhead_ns))
+  +. (float_of_int hops *. Params.hop_latency_ns p)
+  +. p.reply_overhead_ns
+
+let probe_cost_miss t =
+  let p = t.net_params in
+  (t.slowdown *. p.send_overhead_ns) +. p.probe_timeout_ns
+
+let host_probe t ~src ~turns =
+  let trace = Worm.eval t.net_graph ~src ~turns:(Route.host_probe turns) in
+  let success =
+    match trace.outcome with
+    | Worm.Arrived h ->
+      if Collision.host_probe_blocks t.net_model t.net_params trace then None
+      else if t.responding h then Some (Graph.name t.net_graph h)
+      else None
+    | Worm.Illegal_turn _ | Worm.No_such_wire _ | Worm.Hit_host_too_soon _
+    | Worm.Stranded _ | Worm.Unwired_source ->
+      None
+  in
+  let success =
+    match success with
+    | Some name when survives_traffic t ~crossings:(2 * List.length trace.hops)
+      ->
+      Some name
+    | Some _ | None -> None
+  in
+  let st = t.net_stats in
+  st.Stats.host_probes <- st.Stats.host_probes + 1;
+  match success with
+  | Some name ->
+    st.Stats.host_hits <- st.Stats.host_hits + 1;
+    (* Round trip: the reply retraces the same number of wire
+       crossings in the opposite direction. *)
+    let hops = 2 * List.length trace.hops in
+    let cost = jittered t (probe_cost_hit t ~hops) in
+    Stats.add_time st cost;
+    (Host name, cost)
+  | None ->
+    let cost = jittered t (probe_cost_miss t) in
+    Stats.add_time st cost;
+    (Nothing, cost)
+
+let walk_probe t ~src ~turns =
+  let trace = Worm.eval t.net_graph ~src ~turns in
+  let answer =
+    match trace.outcome with
+    | Worm.Arrived h when t.responding h ->
+      Some (Graph.name t.net_graph h, List.length turns, List.length trace.hops)
+    | Worm.Hit_host_too_soon (idx, h) when t.responding h ->
+      (* The §6 firmware tweak: the host reads the early worm and
+         answers with its identity and the consumed prefix length. *)
+      Some (Graph.name t.net_graph h, idx, List.length trace.hops)
+    | Worm.Arrived _ | Worm.Hit_host_too_soon _ | Worm.Illegal_turn _
+    | Worm.No_such_wire _ | Worm.Stranded _ | Worm.Unwired_source ->
+      None
+  in
+  let answer =
+    match answer with
+    | Some _ when Collision.host_probe_blocks t.net_model t.net_params trace ->
+      None
+    | a -> a
+  in
+  let answer =
+    match answer with
+    | Some (name, consumed, hops)
+      when survives_traffic t ~crossings:(2 * hops) ->
+      Some (name, consumed)
+    | Some _ | None -> None
+  in
+  let st = t.net_stats in
+  st.Stats.host_probes <- st.Stats.host_probes + 1;
+  match answer with
+  | Some (name, consumed) ->
+    st.Stats.host_hits <- st.Stats.host_hits + 1;
+    let cost = jittered t (probe_cost_hit t ~hops:(2 * List.length trace.hops)) in
+    Stats.add_time st cost;
+    (Some (name, consumed), cost)
+  | None ->
+    let cost = jittered t (probe_cost_miss t) in
+    Stats.add_time st cost;
+    (None, cost)
+
+let loop_probe t ~src ~turns ~turn =
+  let trace = Worm.eval t.net_graph ~src ~turns in
+  let answer =
+    match trace.outcome with
+    | Worm.Arrived _ | Worm.Illegal_turn _ | Worm.No_such_wire _
+    | Worm.Hit_host_too_soon _ | Worm.Unwired_source ->
+      None
+    | Worm.Stranded sw -> (
+      (* The worm's head sits at [sw], which it entered through the
+         last hop's entry end. *)
+      match List.rev trace.hops with
+      | [] -> None
+      | last :: _ ->
+        let _, in_port = last.Worm.entry_end in
+        let out_port = in_port + turn in
+        if out_port < 0 || out_port >= Graph.radix t.net_graph then None
+        else (
+          match Graph.neighbor t.net_graph (sw, out_port) with
+          | Some (peer, q) when peer = sw -> Some (q - out_port)
+          | Some _ | None -> None))
+  in
+  let answer =
+    match answer with
+    | Some d
+      when survives_traffic t ~crossings:(2 * (List.length trace.hops + 1)) ->
+      Some d
+    | Some _ | None -> None
+  in
+  let st = t.net_stats in
+  st.Stats.switch_probes <- st.Stats.switch_probes + 1;
+  match answer with
+  | Some d ->
+    st.Stats.switch_hits <- st.Stats.switch_hits + 1;
+    let cost = jittered t (probe_cost_hit t ~hops:(2 * (List.length trace.hops + 1))) in
+    Stats.add_time st cost;
+    (Some d, cost)
+  | None ->
+    let cost = jittered t (probe_cost_miss t) in
+    Stats.add_time st cost;
+    (None, cost)
+
+let switch_probe t ~src ~turns =
+  let route = Route.switch_probe turns in
+  let trace = Worm.eval t.net_graph ~src ~turns:route in
+  let forward_hops = List.length turns + 1 in
+  let success =
+    match trace.outcome with
+    | Worm.Arrived h ->
+      h = src
+      && not
+           (Collision.switch_probe_blocks t.net_model t.net_params
+              ~forward_hops trace)
+    | Worm.Illegal_turn _ | Worm.No_such_wire _ | Worm.Hit_host_too_soon _
+    | Worm.Stranded _ | Worm.Unwired_source ->
+      false
+  in
+  let success =
+    success && survives_traffic t ~crossings:(List.length trace.hops)
+  in
+  let st = t.net_stats in
+  st.Stats.switch_probes <- st.Stats.switch_probes + 1;
+  if success then begin
+    st.Stats.switch_hits <- st.Stats.switch_hits + 1;
+    let cost = jittered t (probe_cost_hit t ~hops:(List.length trace.hops)) in
+    Stats.add_time st cost;
+    (Switch, cost)
+  end
+  else begin
+    let cost = jittered t (probe_cost_miss t) in
+    Stats.add_time st cost;
+    (Nothing, cost)
+  end

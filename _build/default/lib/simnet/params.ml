@@ -1,0 +1,37 @@
+type t = {
+  switch_latency_ns : float;
+  gbits_per_s : float;
+  per_port_buffer_bytes : int;
+  probe_payload_bytes : int;
+  deadlock_break_ms : float;
+  blocked_port_reset_ms : float;
+  send_overhead_ns : float;
+  recv_overhead_ns : float;
+  reply_overhead_ns : float;
+  probe_timeout_ns : float;
+  embedded_slowdown : float;
+}
+
+let default =
+  {
+    switch_latency_ns = 550.0;
+    gbits_per_s = 1.28;
+    per_port_buffer_bytes = 108;
+    probe_payload_bytes = 16;
+    deadlock_break_ms = 50.0;
+    blocked_port_reset_ms = 55.0;
+    send_overhead_ns = 120_000.0;
+    recv_overhead_ns = 60_000.0;
+    reply_overhead_ns = 20_000.0;
+    probe_timeout_ns = 400_000.0;
+    embedded_slowdown = 2.0;
+  }
+
+let bytes_per_ns t = t.gbits_per_s /. 8.0
+
+let hop_latency_ns t = t.switch_latency_ns
+
+let worm_drain_ns t ~route_flits =
+  let len = float_of_int (t.probe_payload_bytes + route_flits) in
+  let slack = float_of_int t.per_port_buffer_bytes in
+  Float.max 0.0 ((len -. slack) /. bytes_per_ns t)

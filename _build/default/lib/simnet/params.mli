@@ -1,0 +1,42 @@
+(** Hardware and software timing parameters of the simulated system.
+
+    Hardware constants come from the paper's §1.1 description of the
+    Myrinet components (550 ns worst-case switch latency, 1.28 Gb/s
+    links, 108 bytes of per-port buffering, 50 ms deadlock breaking,
+    55 ms blocked-output-port reset). Software constants model the
+    paper's measurement platform: a 167 MHz UltraSPARC mapper crossing
+    the SBUS per probe, active-message reply handlers, and a mapper
+    probe timeout "longer than the time of an average round-trip"
+    (§5.2). They are calibrated so that mapping the C subcluster lands
+    in the paper's few-hundred-millisecond regime; absolute times are
+    implementation properties, shapes are what we reproduce. *)
+
+type t = {
+  switch_latency_ns : float;  (** per-hop head latency through a crossbar *)
+  gbits_per_s : float;  (** link signalling rate *)
+  per_port_buffer_bytes : int;  (** slack that lets a worm's tail drain *)
+  probe_payload_bytes : int;  (** header + payload + CRC, excluding routing flits *)
+  deadlock_break_ms : float;  (** hardware self-deadlock destruction delay *)
+  blocked_port_reset_ms : float;  (** forward-reset timer in switch ROMs *)
+  send_overhead_ns : float;  (** mapper software cost to emit one probe *)
+  recv_overhead_ns : float;  (** mapper software cost to process a response *)
+  reply_overhead_ns : float;  (** responder's active-message handler cost *)
+  probe_timeout_ns : float;  (** mapper gives up waiting after this *)
+  embedded_slowdown : float;
+      (** multiplier on software overheads for the Myricom baseline's
+          37.5 MHz in-NIC implementation (§4.2) *)
+}
+
+val default : t
+
+val bytes_per_ns : t -> float
+(** Link throughput, derived from [gbits_per_s]. *)
+
+val hop_latency_ns : t -> float
+(** Head progress per hop: switch latency (propagation is negligible
+    at SAN scales and folded in). *)
+
+val worm_drain_ns : t -> route_flits:int -> float
+(** Time for a worm's tail to pass a given point once the head has:
+    the worm's length in bytes over the link rate, minus the slack
+    absorbed by per-port buffering (never negative). *)

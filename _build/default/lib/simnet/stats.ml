@@ -1,0 +1,45 @@
+type t = {
+  mutable host_probes : int;
+  mutable host_hits : int;
+  mutable switch_probes : int;
+  mutable switch_hits : int;
+  mutable serial_time_ns : float;
+}
+
+let create () =
+  {
+    host_probes = 0;
+    host_hits = 0;
+    switch_probes = 0;
+    switch_hits = 0;
+    serial_time_ns = 0.0;
+  }
+
+let reset t =
+  t.host_probes <- 0;
+  t.host_hits <- 0;
+  t.switch_probes <- 0;
+  t.switch_hits <- 0;
+  t.serial_time_ns <- 0.0
+
+let copy t = { t with host_probes = t.host_probes }
+
+let total_probes t = t.host_probes + t.switch_probes
+let total_hits t = t.host_hits + t.switch_hits
+
+let ratio hits probes =
+  if probes = 0 then 0.0 else float_of_int hits /. float_of_int probes
+
+let host_hit_ratio t = ratio t.host_hits t.host_probes
+let switch_hit_ratio t = ratio t.switch_hits t.switch_probes
+
+let add_time t dt = t.serial_time_ns <- t.serial_time_ns +. dt
+
+let pp ppf t =
+  Format.fprintf ppf
+    "host %d/%d (%.0f%%), switch %d/%d (%.0f%%), %.1f ms serial"
+    t.host_hits t.host_probes
+    (100.0 *. host_hit_ratio t)
+    t.switch_hits t.switch_probes
+    (100.0 *. switch_hit_ratio t)
+    (t.serial_time_ns /. 1e6)

@@ -1,0 +1,32 @@
+(** Probe accounting for the Figure 6 / Figure 10 tables.
+
+    Message counts are algorithmic properties; the serialized simulated
+    time is the implementation property a sequential mapper would
+    observe (every probe is sent, then either answered or timed out,
+    before the next). Concurrent drivers (election, population study)
+    do their own wall-clock math from per-probe costs and leave
+    [serial_time_ns] untouched. *)
+
+type t = {
+  mutable host_probes : int;
+  mutable host_hits : int;
+  mutable switch_probes : int;
+  mutable switch_hits : int;
+  mutable serial_time_ns : float;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+
+val total_probes : t -> int
+val total_hits : t -> int
+
+val host_hit_ratio : t -> float
+(** Hits over probes, 0 when no probes were sent. *)
+
+val switch_hit_ratio : t -> float
+
+val add_time : t -> float -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+open San_topology
+
+type hop = { exit_end : Graph.wire_end; entry_end : Graph.wire_end }
+
+type outcome =
+  | Arrived of Graph.node
+  | Illegal_turn of int
+  | No_such_wire of int
+  | Hit_host_too_soon of int * Graph.node
+  | Stranded of Graph.node
+  | Unwired_source
+
+type trace = { hops : hop list; outcome : outcome }
+
+let eval g ~src ~turns =
+  if not (Graph.is_host g src) then invalid_arg "Worm.eval: source must be a host";
+  if not (Route.valid ~radix:(Graph.radix g) turns) then
+    invalid_arg "Worm.eval: turn outside the radix alphabet";
+  match Graph.neighbor g (src, 0) with
+  | None -> { hops = []; outcome = Unwired_source }
+  | Some first ->
+    let hops = ref [ { exit_end = (src, 0); entry_end = first } ] in
+    let finish outcome = { hops = List.rev !hops; outcome } in
+    let rec step pos idx remaining =
+      let node, in_port = pos in
+      match remaining with
+      | [] ->
+        if Graph.is_host g node then finish (Arrived node)
+        else finish (Stranded node)
+      | turn :: rest ->
+        if Graph.is_host g node then finish (Hit_host_too_soon (idx, node))
+        else
+          let out_port = in_port + turn in
+          if out_port < 0 || out_port >= Graph.radix g then
+            finish (Illegal_turn idx)
+          else (
+            match Graph.neighbor g (node, out_port) with
+            | None -> finish (No_such_wire idx)
+            | Some next ->
+              hops := { exit_end = (node, out_port); entry_end = next } :: !hops;
+              step next (idx + 1) rest)
+    in
+    step first 0 turns
+
+let path_nodes _g ~src trace =
+  src :: List.map (fun h -> fst h.entry_end) trace.hops
+
+let pp_outcome ppf = function
+  | Arrived n -> Format.fprintf ppf "arrived at node %d" n
+  | Illegal_turn i -> Format.fprintf ppf "illegal turn at index %d" i
+  | No_such_wire i -> Format.fprintf ppf "no such wire at index %d" i
+  | Hit_host_too_soon (i, n) ->
+    Format.fprintf ppf "hit host %d too soon (index %d)" n i
+  | Stranded n -> Format.fprintf ppf "stranded at switch %d" n
+  | Unwired_source -> Format.fprintf ppf "source host is not wired"

@@ -1,0 +1,38 @@
+(** Worm path evaluation: the §2.2 message-path semantics.
+
+    Given a source host and a turn string, computes the path the worm
+    head takes through the actual network and how the attempt ends.
+    Path legality is purely structural here; whether the worm survives
+    its own edge reuse is the {!Collision} module's concern. *)
+
+open San_topology
+
+type hop = {
+  exit_end : Graph.wire_end;  (** the (node, port) the head leaves through *)
+  entry_end : Graph.wire_end;  (** the (node, port) it arrives at *)
+}
+
+type outcome =
+  | Arrived of Graph.node
+      (** routing flits exhausted exactly as the head reached this host *)
+  | Illegal_turn of int
+      (** turn index whose sum left the port range (ILLEGAL TURN) *)
+  | No_such_wire of int  (** turn index selecting a vacant port *)
+  | Hit_host_too_soon of int * Graph.node
+      (** arrived at a host with turns left; the hardware discards it *)
+  | Stranded of Graph.node  (** flits exhausted at a switch *)
+  | Unwired_source  (** the source host has no cable at all *)
+
+type trace = { hops : hop list; outcome : outcome }
+(** [hops] lists every wire crossing the head performed, in order,
+    including crossings on a failed attempt up to the failure point. *)
+
+val eval : Graph.t -> src:Graph.node -> turns:Route.t -> trace
+(** Drive a worm with the given turn string out of host [src].
+    @raise Invalid_argument if [src] is not a host or a turn is outside
+    the radix alphabet. *)
+
+val path_nodes : Graph.t -> src:Graph.node -> trace -> Graph.node list
+(** The node sequence [h0; n1; ...] visited by the head. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

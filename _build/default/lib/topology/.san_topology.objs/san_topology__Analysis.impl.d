@@ -1,0 +1,1 @@
+lib/topology/analysis.ml: Array Graph Hashtbl List Option Queue

@@ -1,0 +1,1 @@
+lib/topology/core_set.ml: Analysis Array Flow Graph List Queue

@@ -1,0 +1,1 @@
+lib/topology/core_set.mli: Graph

@@ -1,0 +1,1 @@
+lib/topology/diff.ml: Array Format Graph Hashtbl List Option Printf Queue

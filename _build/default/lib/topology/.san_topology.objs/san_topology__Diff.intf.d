@@ -1,0 +1,1 @@
+lib/topology/diff.mli: Format Graph

@@ -1,0 +1,1 @@
+lib/topology/faults.ml: Array Graph List San_util

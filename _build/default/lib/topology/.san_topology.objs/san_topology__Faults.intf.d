@@ -1,0 +1,1 @@
+lib/topology/faults.mli: Graph San_util

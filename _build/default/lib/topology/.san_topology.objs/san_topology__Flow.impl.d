@@ -1,0 +1,1 @@
+lib/topology/flow.ml: Array

@@ -1,0 +1,1 @@
+lib/topology/generators.ml: Array Graph Hashtbl List Option Printf San_util

@@ -1,0 +1,1 @@
+lib/topology/generators.mli: Graph San_util

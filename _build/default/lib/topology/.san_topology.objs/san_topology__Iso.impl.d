@@ -1,0 +1,1 @@
+lib/topology/iso.ml: Array Graph Hashtbl List Printf Queue

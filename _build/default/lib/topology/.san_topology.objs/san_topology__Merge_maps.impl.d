@@ -1,0 +1,1 @@
+lib/topology/merge_maps.ml: Array Graph Hashtbl List Option Printf Queue

@@ -1,0 +1,1 @@
+lib/topology/merge_maps.mli: Graph

@@ -1,0 +1,1 @@
+lib/topology/serial.ml: Fun Graph List Option Printf Result San_util

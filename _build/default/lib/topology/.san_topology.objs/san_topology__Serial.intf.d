@@ -1,0 +1,1 @@
+lib/topology/serial.mli: Graph San_util

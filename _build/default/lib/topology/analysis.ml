@@ -1,0 +1,109 @@
+let bfs_distances g src =
+  let n = Graph.num_nodes g in
+  let dist = Array.make n max_int in
+  dist.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.take q in
+    let du = dist.(u) in
+    List.iter
+      (fun (_, (v, _)) ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- du + 1;
+          Queue.add v q
+        end)
+      (Graph.wired_ports g u)
+  done;
+  dist
+
+let distance g a b =
+  let d = (bfs_distances g a).(b) in
+  if d = max_int then None else Some d
+
+let eccentricity g n =
+  Array.fold_left
+    (fun acc d -> if d = max_int then acc else max acc d)
+    0 (bfs_distances g n)
+
+let diameter g =
+  Graph.fold_nodes g ~init:0 ~f:(fun acc n -> max acc (eccentricity g n))
+
+let components g =
+  let n = Graph.num_nodes g in
+  let seen = Array.make n false in
+  let comps = ref [] in
+  for start = 0 to n - 1 do
+    if not seen.(start) then begin
+      let dist = bfs_distances g start in
+      let comp = ref [] in
+      for v = n - 1 downto 0 do
+        if dist.(v) <> max_int && not seen.(v) then begin
+          seen.(v) <- true;
+          comp := v :: !comp
+        end
+      done;
+      comps := !comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let component_of g n =
+  let dist = bfs_distances g n in
+  let acc = ref [] in
+  for v = Array.length dist - 1 downto 0 do
+    if dist.(v) <> max_int then acc := v :: !acc
+  done;
+  !acc
+
+let is_connected g =
+  Graph.num_nodes g <= 1 || List.length (components g) = 1
+
+let farthest_switch_from_hosts g ~ignore =
+  let considered_hosts =
+    List.filter (fun h -> not (List.mem h ignore)) (Graph.hosts g)
+  in
+  match (Graph.switches g, considered_hosts) with
+  | [], _ | _, [] -> None
+  | sws, hs ->
+    (* Multi-source BFS from all considered hosts at once. *)
+    let n = Graph.num_nodes g in
+    let dist = Array.make n max_int in
+    let q = Queue.create () in
+    List.iter
+      (fun h ->
+        dist.(h) <- 0;
+        Queue.add h q)
+      hs;
+    while not (Queue.is_empty q) do
+      let u = Queue.take q in
+      List.iter
+        (fun (_, (v, _)) ->
+          if dist.(v) = max_int then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end)
+        (Graph.wired_ports g u)
+    done;
+    let best =
+      List.fold_left
+        (fun best s ->
+          if dist.(s) = max_int then best
+          else
+            match best with
+            | Some (_, d) when d >= dist.(s) -> best
+            | _ -> Some (s, dist.(s)))
+        None sws
+    in
+    Option.map fst best
+
+let hop_histogram g src =
+  let dist = bfs_distances g src in
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun d ->
+      if d <> max_int then
+        Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
+    dist;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
+  |> List.sort compare

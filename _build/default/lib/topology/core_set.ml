@@ -1,0 +1,157 @@
+type edge = Graph.wire_end * Graph.wire_end
+
+(* Adjacency with edge identities so parallel wires are distinguished:
+   for each node, [(edge_id, other_end_node)]. *)
+let edge_adjacency g =
+  let edges = Array.of_list (Graph.wires g) in
+  let n = Graph.num_nodes g in
+  let adj = Array.make n [] in
+  Array.iteri
+    (fun id (((a, _), (b, _)) : edge) ->
+      adj.(a) <- (id, b) :: adj.(a);
+      adj.(b) <- (id, a) :: adj.(b))
+    edges;
+  (edges, adj)
+
+(* Iterative Tarjan bridge finding on a multigraph: a tree edge (u,v)
+   is a bridge iff low(v) > disc(u); the edge used to enter a node is
+   skipped by id, so a parallel wire correctly acts as a back edge. *)
+let bridges g =
+  let edges, adj = edge_adjacency g in
+  let n = Graph.num_nodes g in
+  let disc = Array.make n (-1) in
+  let low = Array.make n max_int in
+  let timer = ref 0 in
+  let is_bridge = Array.make (Array.length edges) false in
+  for start = 0 to n - 1 do
+    if disc.(start) = -1 then begin
+      (* Each stack frame: (node, entering edge id, remaining adj). *)
+      let stack = ref [ (start, -1, ref adj.(start)) ] in
+      disc.(start) <- !timer;
+      low.(start) <- !timer;
+      incr timer;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (u, in_edge, rest) :: tail -> (
+          match !rest with
+          | [] ->
+            stack := tail;
+            (match tail with
+            | (p, _, _) :: _ ->
+              low.(p) <- min low.(p) low.(u);
+              if in_edge >= 0 && low.(u) > disc.(p) then
+                is_bridge.(in_edge) <- true
+            | [] -> ())
+          | (eid, v) :: more ->
+            rest := more;
+            if eid = in_edge then ()
+            else if disc.(v) >= 0 then low.(u) <- min low.(u) disc.(v)
+            else begin
+              disc.(v) <- !timer;
+              low.(v) <- !timer;
+              incr timer;
+              stack := (v, eid, ref adj.(v)) :: !stack
+            end)
+      done
+    end
+  done;
+  let acc = ref [] in
+  for id = Array.length edges - 1 downto 0 do
+    if is_bridge.(id) then acc := edges.(id) :: !acc
+  done;
+  !acc
+
+let switch_bridges g =
+  List.filter
+    (fun (((a, _), (b, _)) : edge) ->
+      Graph.kind g a = Graph.Switch && Graph.kind g b = Graph.Switch)
+    (bridges g)
+
+(* BFS avoiding one forbidden wire, identified by its two ends. *)
+let reachable_without g ~start ~forbidden:(((fa, fpa), (fb, fpb)) : edge) =
+  let n = Graph.num_nodes g in
+  let seen = Array.make n false in
+  seen.(start) <- true;
+  let q = Queue.create () in
+  Queue.add start q;
+  while not (Queue.is_empty q) do
+    let u = Queue.take q in
+    List.iter
+      (fun (p, (v, pv)) ->
+        let this_wire_forbidden =
+          ((u, p) = (fa, fpa) && (v, pv) = (fb, fpb))
+          || ((u, p) = (fb, fpb) && (v, pv) = (fa, fpa))
+        in
+        if (not this_wire_forbidden) && not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.add v q
+        end)
+      (Graph.wired_ports g u)
+  done;
+  seen
+
+let separated_set g =
+  let n = Graph.num_nodes g in
+  let in_f = Array.make n false in
+  let mark_side_if_hostless seen =
+    let hostless = ref true in
+    Array.iteri (fun v r -> if r && Graph.is_host g v then hostless := false) seen;
+    if !hostless then
+      Array.iteri (fun v r -> if r then in_f.(v) <- true) seen
+  in
+  List.iter
+    (fun ((((a, _), (b, _)) : edge) as e) ->
+      mark_side_if_hostless (reachable_without g ~start:a ~forbidden:e);
+      mark_side_if_hostless (reachable_without g ~start:b ~forbidden:e))
+    (switch_bridges g);
+  in_f
+
+let core_nodes g =
+  let in_f = separated_set g in
+  List.filter (fun v -> not in_f.(v)) (Graph.nodes g)
+
+let core_is_empty_f g = Array.for_all not (separated_set g)
+
+(* Flow network layout for Q(v):
+   nodes 0..n-1 mirror the graph; n = sink-for-root, n+1 = sink-for-any-
+   host, n+2 = supersink, n+3 = source. *)
+let q_of g ~root v =
+  if not (Graph.is_host g root) then
+    invalid_arg "Core_set.q_of: root must be a host";
+  let n = Graph.num_nodes g in
+  let t_root = n and t_any = n + 1 and sink = n + 2 and source = n + 3 in
+  let build ~force_root =
+    let f = Flow.create (n + 4) in
+    List.iter
+      (fun (((a, _), (b, _)) : edge) ->
+        Flow.add_arc f ~src:a ~dst:b ~cap:1 ~cost:1;
+        Flow.add_arc f ~src:b ~dst:a ~cap:1 ~cost:1)
+      (Graph.wires g);
+    if force_root then begin
+      Flow.add_arc f ~src:root ~dst:t_root ~cap:1 ~cost:0;
+      List.iter
+        (fun h -> Flow.add_arc f ~src:h ~dst:t_any ~cap:1 ~cost:0)
+        (Graph.hosts g);
+      Flow.add_arc f ~src:t_root ~dst:sink ~cap:1 ~cost:0;
+      Flow.add_arc f ~src:t_any ~dst:sink ~cap:1 ~cost:0
+    end
+    else
+      List.iter
+        (fun h -> Flow.add_arc f ~src:h ~dst:sink ~cap:1 ~cost:0)
+        (Graph.hosts g);
+    Flow.add_arc f ~src:source ~dst:v ~cap:2 ~cost:0;
+    f
+  in
+  match Flow.min_cost_flow (build ~force_root:true) ~source ~sink ~amount:2 with
+  | Some c -> Some c
+  | None ->
+    Flow.min_cost_flow (build ~force_root:false) ~source ~sink ~amount:2
+
+let q_bound g ~root =
+  let in_f = separated_set g in
+  Graph.fold_nodes g ~init:0 ~f:(fun acc v ->
+      if in_f.(v) then acc
+      else match q_of g ~root v with Some q -> max acc q | None -> acc)
+
+let search_depth g ~root = q_bound g ~root + Analysis.diameter g + 1

@@ -1,0 +1,47 @@
+(** Bridges, switch-bridges, the separated set [F], and the paper's
+    exploration-depth parameters.
+
+    Definitions follow §3.1.4 of the paper: a {e bridge} is an edge
+    whose removal disconnects the graph; a {e switch-bridge} is a
+    bridge with switches at both ends; [F] is the set of nodes
+    separated from every host by a switch-bridge (Lemma 1), and the
+    {e core} of the network is [N - F]. [Q(v)] is the length of the
+    shortest trail from the mapper host through [v] and on to any host
+    repeating no edge in either direction, and
+    [Q = max { Q(v) | v in N - F }]; the mapper explores to depth
+    [Q + D + 1] where [D] is the diameter. *)
+
+type edge = Graph.wire_end * Graph.wire_end
+
+val bridges : Graph.t -> edge list
+(** All bridge wires, in canonical end order. Parallel wires between
+    the same node pair are never bridges. *)
+
+val switch_bridges : Graph.t -> edge list
+(** Bridges with a switch at both ends. *)
+
+val separated_set : Graph.t -> bool array
+(** [separated_set g] marks the nodes of [F]: for every switch-bridge,
+    the side containing no host. *)
+
+val core_nodes : Graph.t -> Graph.node list
+(** Nodes of [N - F], sorted. *)
+
+val core_is_empty_f : Graph.t -> bool
+(** True when [F] is empty, the condition for the cut-through model's
+    exactness (Theorem 1, second sentence). *)
+
+val q_of : Graph.t -> root:Graph.node -> Graph.node -> int option
+(** [q_of g ~root v] is [Q(v)] computed as a 2-unit min-cost flow: one
+    unit from [v] to the mapper [root], one from [v] to any host, over
+    unit-capacity undirected wires. [None] when no such trail exists.
+    The paper's first-edge/last-edge coincidence anomaly is resolved by
+    falling back to two edge-disjoint trails to any hosts (the Lemma 1
+    flow), which can only overestimate the true [Q(v)] — a safe
+    direction for a search depth. *)
+
+val q_bound : Graph.t -> root:Graph.node -> int
+(** [Q] = max of [q_of] over the core. 0 for degenerate graphs. *)
+
+val search_depth : Graph.t -> root:Graph.node -> int
+(** The oracle exploration depth [Q + D + 1]. *)

@@ -1,0 +1,132 @@
+type change =
+  | Host_added of string
+  | Host_removed of string
+  | Switch_added of int
+  | Switch_removed of int
+  | Link_added of string * string
+  | Link_removed of string * string
+
+let pp_change ppf = function
+  | Host_added n -> Format.fprintf ppf "host %s appeared" n
+  | Host_removed n -> Format.fprintf ppf "host %s vanished" n
+  | Switch_added i -> Format.fprintf ppf "new switch (node %d)" i
+  | Switch_removed i -> Format.fprintf ppf "switch gone (was node %d)" i
+  | Link_added (a, b) -> Format.fprintf ppf "new link %s -- %s" a b
+  | Link_removed (a, b) -> Format.fprintf ppf "link lost %s -- %s" a b
+
+let describe g (n, p) =
+  if Graph.is_host g n then Graph.name g n
+  else
+    let nm = Graph.name g n in
+    Format.sprintf "%s:%d" (if nm = "" then Printf.sprintf "sw%d" n else nm) p
+
+(* Phase 1: align the two maps as far as the evidence agrees, exactly
+   like Iso/Merge_maps, but dropping (not failing on) contradictions. *)
+let correspond ~old_map ~new_map =
+  let n_old = Graph.num_nodes old_map in
+  let fwd : (int * int) option array = Array.make n_old None in
+  let bwd = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let bind o n shift =
+    match fwd.(o) with
+    | Some _ -> () (* keep the first, evidence-ordered, binding *)
+    | None ->
+      if not (Hashtbl.mem bwd n) then begin
+        fwd.(o) <- Some (n, shift);
+        Hashtbl.replace bwd n o;
+        Queue.add o queue
+      end
+  in
+  List.iter
+    (fun h ->
+      match Graph.host_by_name new_map (Graph.name old_map h) with
+      | Some h' -> bind h h' 0
+      | None -> ())
+    (Graph.hosts old_map);
+  while not (Queue.is_empty queue) do
+    let o = Queue.take queue in
+    let n, shift = Option.get fwd.(o) in
+    List.iter
+      (fun (p, (w_old, q_old)) ->
+        match
+          try Graph.neighbor new_map (n, p + shift)
+          with Invalid_argument _ -> None
+        with
+        | Some (w_new, q_new) ->
+          let kinds_agree =
+            match (Graph.kind old_map w_old, Graph.kind new_map w_new) with
+            | Graph.Host, Graph.Host ->
+              Graph.name old_map w_old = Graph.name new_map w_new
+            | Graph.Switch, Graph.Switch -> true
+            | _ -> false
+          in
+          if kinds_agree then bind w_old w_new (q_new - q_old)
+        | None -> ())
+      (Graph.wired_ports old_map o)
+  done;
+  (fwd, bwd)
+
+let diff ~old_map ~new_map =
+  let fwd, bwd = correspond ~old_map ~new_map in
+  let changes = ref [] in
+  let add c = changes := c :: !changes in
+  (* Hosts by name. *)
+  List.iter
+    (fun h ->
+      if Graph.host_by_name new_map (Graph.name old_map h) = None then
+        add (Host_removed (Graph.name old_map h)))
+    (Graph.hosts old_map);
+  List.iter
+    (fun h ->
+      if Graph.host_by_name old_map (Graph.name new_map h) = None then
+        add (Host_added (Graph.name new_map h)))
+    (Graph.hosts new_map);
+  (* Switches that never aligned. *)
+  List.iter
+    (fun s -> if fwd.(s) = None then add (Switch_removed s))
+    (Graph.switches old_map);
+  List.iter
+    (fun s -> if not (Hashtbl.mem bwd s) then add (Switch_added s))
+    (Graph.switches new_map);
+  (* Wires between matched nodes. *)
+  let matched_old o = fwd.(o) <> None in
+  let matched_new n = Hashtbl.mem bwd n in
+  List.iter
+    (fun (((a, pa), (b, pb)) as _w) ->
+      if matched_old a && matched_old b then begin
+        let a', sa = Option.get fwd.(a) in
+        let b', sb = Option.get fwd.(b) in
+        let still_there =
+          match
+            try Graph.neighbor new_map (a', pa + sa)
+            with Invalid_argument _ -> None
+          with
+          | Some (x, q) -> x = b' && q = pb + sb
+          | None -> false
+        in
+        if not still_there then
+          add (Link_removed (describe old_map (a, pa), describe old_map (b, pb)))
+      end)
+    (Graph.wires old_map);
+  List.iter
+    (fun ((a', pa'), (b', pb')) ->
+      if matched_new a' && matched_new b' then begin
+        let a = Hashtbl.find bwd a' and b = Hashtbl.find bwd b' in
+        let _, sa = Option.get fwd.(a) in
+        let _, sb = Option.get fwd.(b) in
+        let was_there =
+          match
+            try Graph.neighbor old_map (a, pa' - sa)
+            with Invalid_argument _ -> None
+          with
+          | Some (x, q) -> x = b && q = pb' - sb
+          | None -> false
+        in
+        if not was_there then
+          add
+            (Link_added (describe new_map (a', pa'), describe new_map (b', pb')))
+      end)
+    (Graph.wires new_map);
+  List.rev !changes
+
+let is_unchanged ~old_map ~new_map = diff ~old_map ~new_map = []

@@ -1,0 +1,44 @@
+let remove_random_links ~rng g ~count =
+  let g = Graph.copy g in
+  let switch_wires () =
+    List.filter
+      (fun ((a, _), (b, _)) -> not (Graph.is_host g a || Graph.is_host g b))
+      (Graph.wires g)
+  in
+  let removed = ref 0 in
+  let continue = ref true in
+  while !removed < count && !continue do
+    match switch_wires () with
+    | [] -> continue := false
+    | ws ->
+      let (e, _) = List.nth ws (San_util.Prng.int rng (List.length ws)) in
+      Graph.disconnect g e;
+      incr removed
+  done;
+  g
+
+let remove_link g e =
+  let g = Graph.copy g in
+  Graph.disconnect g e;
+  g
+
+let isolate_switch g sw =
+  let g = Graph.copy g in
+  List.iter (fun (p, _) -> Graph.disconnect g (sw, p)) (Graph.wired_ports g sw);
+  g
+
+let add_random_link ~rng g =
+  let candidates =
+    List.concat_map
+      (fun s -> List.map (fun p -> (s, p)) (Graph.free_ports g s))
+      (Graph.switches g)
+  in
+  match candidates with
+  | [] | [ _ ] -> None
+  | _ ->
+    let arr = Array.of_list candidates in
+    San_util.Prng.shuffle rng arr;
+    let a = arr.(0) and b = arr.(1) in
+    let g = Graph.copy g in
+    Graph.connect g a b;
+    Some g

@@ -1,0 +1,24 @@
+(** Fault injection on actual networks.
+
+    System area networks change over time — hosts, switches and links
+    are added and removed incrementally (the motivation of §1). These
+    helpers derive degraded or extended variants of a network for
+    dynamic-reconfiguration experiments and robustness tests. All
+    functions return a fresh copy; the input graph is untouched.
+
+    (Hosts that are attached but not running a mapper daemon are not a
+    wiring fault: model them with [San_simnet.Config.responding].) *)
+
+val remove_random_links : rng:San_util.Prng.t -> Graph.t -> count:int -> Graph.t
+(** Remove up to [count] switch-to-switch wires chosen uniformly at
+    random (host links are never cut so every host stays attached). *)
+
+val remove_link : Graph.t -> Graph.wire_end -> Graph.t
+(** Remove the wire plugged into the given end. *)
+
+val isolate_switch : Graph.t -> Graph.node -> Graph.t
+(** Unplug every wire of a switch, simulating its removal from the
+    fabric. The node remains but becomes unreachable. *)
+
+val add_random_link : rng:San_util.Prng.t -> Graph.t -> Graph.t option
+(** Add one wire between two random free switch ports, if possible. *)

@@ -1,0 +1,126 @@
+(* Arcs live in flat arrays; arc [i] and its reverse are the pair
+   [i lxor 1].  Capacities are restored from [orig_cap] at the start of
+   every query so a network can be queried repeatedly. *)
+
+type t = {
+  n : int;
+  head : int array; (* head.(v) = first arc index of v, or -1 *)
+  mutable nxt : int array;
+  mutable dst : int array;
+  mutable cap : int array;
+  mutable cost : int array;
+  mutable orig_cap : int array;
+  mutable m : int;
+}
+
+let create n =
+  {
+    n;
+    head = Array.make n (-1);
+    nxt = [||];
+    dst = [||];
+    cap = [||];
+    cost = [||];
+    orig_cap = [||];
+    m = 0;
+  }
+
+let grow t =
+  let old = Array.length t.dst in
+  if t.m + 2 > old then begin
+    let cap' = max 16 (2 * old) in
+    let extend a = Array.init cap' (fun i -> if i < old then a.(i) else 0) in
+    t.nxt <- extend t.nxt;
+    t.dst <- extend t.dst;
+    t.cap <- extend t.cap;
+    t.cost <- extend t.cost;
+    t.orig_cap <- extend t.orig_cap
+  end
+
+let push_arc t src dst cap cost =
+  grow t;
+  let i = t.m in
+  t.m <- i + 1;
+  t.nxt.(i) <- t.head.(src);
+  t.head.(src) <- i;
+  t.dst.(i) <- dst;
+  t.cap.(i) <- cap;
+  t.orig_cap.(i) <- cap;
+  t.cost.(i) <- cost
+
+let add_arc t ~src ~dst ~cap ~cost =
+  if cost < 0 then invalid_arg "Flow.add_arc: negative cost";
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Flow.add_arc: node out of range";
+  push_arc t src dst cap cost;
+  push_arc t dst src 0 (-cost)
+
+let reset t = Array.blit t.orig_cap 0 t.cap 0 t.m
+
+(* Bellman-Ford shortest path on residual arcs; returns (dist, prev_arc). *)
+let bellman_ford t source =
+  let dist = Array.make t.n max_int in
+  let prev = Array.make t.n (-1) in
+  dist.(source) <- 0;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for u = 0 to t.n - 1 do
+      if dist.(u) <> max_int then begin
+        let i = ref t.head.(u) in
+        while !i >= 0 do
+          let a = !i in
+          let v = t.dst.(a) in
+          if t.cap.(a) > 0 && dist.(u) + t.cost.(a) < dist.(v) then begin
+            dist.(v) <- dist.(u) + t.cost.(a);
+            prev.(v) <- a;
+            changed := true
+          end;
+          i := t.nxt.(a)
+        done
+      end
+    done
+  done;
+  (dist, prev)
+
+(* [arc_src] recovers an arc's source as the destination of its twin. *)
+let arc_src t a = t.dst.(a lxor 1)
+
+let run t ~source ~sink ~amount =
+  reset t;
+  let shipped = ref 0 in
+  let total_cost = ref 0 in
+  let continue = ref true in
+  while !continue && !shipped < amount do
+    let dist, prev = bellman_ford t source in
+    if dist.(sink) = max_int then continue := false
+    else begin
+      let rec bottleneck v acc =
+        if v = source then acc
+        else
+          let a = prev.(v) in
+          bottleneck (arc_src t a) (min acc t.cap.(a))
+      in
+      let push = min (amount - !shipped) (bottleneck sink max_int) in
+      let rec apply v =
+        if v <> source then begin
+          let a = prev.(v) in
+          t.cap.(a) <- t.cap.(a) - push;
+          t.cap.(a lxor 1) <- t.cap.(a lxor 1) + push;
+          apply (arc_src t a)
+        end
+      in
+      apply sink;
+      shipped := !shipped + push;
+      total_cost := !total_cost + (push * dist.(sink))
+    end
+  done;
+  (!shipped, !total_cost)
+
+let min_cost_flow t ~source ~sink ~amount =
+  let shipped, cost = run t ~source ~sink ~amount in
+  if shipped = amount then Some cost else None
+
+let max_flow_value t ~source ~sink =
+  let shipped, _ = run t ~source ~sink ~amount:max_int in
+  shipped

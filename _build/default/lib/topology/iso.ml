@@ -1,0 +1,105 @@
+type failure = string
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+exception Mismatch of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Mismatch s)) fmt
+
+let check ~map ~actual ?exclude () =
+  let excluded =
+    match exclude with
+    | Some a -> fun v -> a.(v)
+    | None -> fun _ -> false
+  in
+  let included_nodes =
+    List.filter (fun v -> not (excluded v)) (Graph.nodes actual)
+  in
+  let n_included = List.length included_nodes in
+  if Graph.num_nodes map <> n_included then
+    err "node count: map has %d, core has %d" (Graph.num_nodes map) n_included
+  else begin
+    (* match_of.(map node) = Some (actual node, shift); matched_back
+       records the inverse to enforce injectivity. *)
+    let match_of = Array.make (Graph.num_nodes map) None in
+    let matched_back = Hashtbl.create 64 in
+    let work = Queue.create () in
+    let bind v1 v2 shift =
+      if excluded v2 then
+        fail "map node %d corresponds to excluded actual node %d" v1 v2;
+      match match_of.(v1) with
+      | Some (v2', shift') ->
+        if v2' <> v2 || shift' <> shift then
+          fail "node %d matched inconsistently (%d shift %d vs %d shift %d)"
+            v1 v2' shift' v2 shift
+      | None ->
+        (match Hashtbl.find_opt matched_back v2 with
+        | Some v1' when v1' <> v1 ->
+          fail "actual node %d claimed by two map nodes (%d, %d)" v2 v1' v1
+        | _ -> ());
+        if Graph.kind map v1 <> Graph.kind actual v2 then
+          fail "kind mismatch between map %d and actual %d" v1 v2;
+        match_of.(v1) <- Some (v2, shift);
+        Hashtbl.replace matched_back v2 v1;
+        Queue.add v1 work
+    in
+    try
+      (* Anchor: hosts by name. *)
+      let map_hosts = Graph.hosts map in
+      List.iter
+        (fun h1 ->
+          match Graph.host_by_name actual (Graph.name map h1) with
+          | None -> fail "map host %s absent from actual" (Graph.name map h1)
+          | Some h2 -> bind h1 h2 0)
+        map_hosts;
+      List.iter
+        (fun h2 ->
+          if not (excluded h2) && Graph.host_by_name map (Graph.name actual h2) = None
+          then fail "actual host %s absent from map" (Graph.name actual h2))
+        (Graph.hosts actual);
+      (* Propagate across wires. *)
+      while not (Queue.is_empty work) do
+        let u1 = Queue.take work in
+        let u2, shift =
+          match match_of.(u1) with Some x -> x | None -> assert false
+        in
+        (* Every map wire must exist in actual at the shifted port. *)
+        List.iter
+          (fun (p1, (v1, q1)) ->
+            let p2 = p1 + shift in
+            match Graph.neighbor actual (u2, p2) with
+            | exception Invalid_argument _ ->
+              fail "map wire at (%d,%d): shifted port %d out of range on actual %d"
+                u1 p1 p2 u2
+            | None -> fail "map wire at (%d,%d) has no actual counterpart" u1 p1
+            | Some (v2, q2) -> bind v1 v2 (q2 - q1))
+          (Graph.wired_ports map u1);
+        (* Every actual wire (to an included peer) must exist in map. *)
+        List.iter
+          (fun (p2, (v2, _)) ->
+            if not (excluded v2) then begin
+              let p1 = p2 - shift in
+              let present =
+                try Graph.neighbor map (u1, p1) <> None
+                with Invalid_argument _ -> false
+              in
+              if not present then
+                fail "actual wire at (%d,%d) missing from map node %d" u2 p2 u1
+            end)
+          (Graph.wired_ports actual u2)
+      done;
+      (* Everything must have been reached. *)
+      Array.iteri
+        (fun v1 m -> if m = None then fail "map node %d never matched" v1)
+        match_of;
+      List.iter
+        (fun v2 ->
+          if not (Hashtbl.mem matched_back v2) then
+            fail "actual core node %d never matched" v2)
+        included_nodes;
+      Ok ()
+    with Mismatch m -> Error m
+  end
+
+let equal ~map ~actual ?exclude () =
+  match check ~map ~actual ?exclude () with Ok () -> true | Error _ -> false

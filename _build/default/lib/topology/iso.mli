@@ -1,0 +1,28 @@
+(** Port-respecting graph isomorphism between a produced map and the
+    actual network core.
+
+    The mapper can only know switch port numbers up to a constant
+    per-switch offset (Definition 1's indexing offset): source routing
+    needs turn {e differences} only, which are offset-invariant. Two
+    networks are therefore considered equal when there is a bijection
+    matching hosts by name and switches such that for some integer
+    shift per switch pair, every wire at port [p] on one side
+    corresponds to a wire at port [p + shift] on the other.
+
+    Because every host is uniquely named and attaches to exactly one
+    switch, the correspondence is rigid once anchored at the hosts, so
+    the check is a linear-time propagation rather than a search. *)
+
+type failure = string
+(** Human-readable explanation of the first mismatch found. *)
+
+val check :
+  map:Graph.t -> actual:Graph.t -> ?exclude:bool array -> unit -> (unit, failure) result
+(** [check ~map ~actual ~exclude ()] verifies that [map] is isomorphic
+    (in the above sense) to [actual] restricted to the nodes where
+    [exclude] is false. Wires from an included node to an excluded one
+    are ignored on the [actual] side. [exclude] defaults to nothing
+    excluded; pass [Core_set.separated_set actual] to compare against
+    the core [N - F]. *)
+
+val equal : map:Graph.t -> actual:Graph.t -> ?exclude:bool array -> unit -> bool

@@ -1,0 +1,27 @@
+(** Merging partial network maps into one globally consistent map.
+
+    §6 proposes parallel mapping — every host maps its local region —
+    and names the central question: how to merge such local views into
+    a stable, globally consistent one. Partial maps share no switch
+    identifiers (switches are anonymous) and each normalises switch
+    ports with its own unknown per-switch offset, but they do share
+    {e uniquely named hosts}. As with the replicate-merging proof, a
+    shared host pins its switch, and port-offset alignment then
+    propagates rigidly across shared wires: the same mechanism behind
+    {!Iso} — run as a construction instead of a check.
+
+    Maps to be merged must be mutually consistent views of one actual
+    network; contradictions (shifted frames that disagree, two cables
+    on one port, differently named hosts in one position) are reported
+    as errors rather than papered over. *)
+
+val union : Graph.t -> Graph.t -> (Graph.t, string) result
+(** [union a b] merges two partial maps anchored at their shared hosts.
+    Fails if they share no host (nothing pins the correspondence) or if
+    they contradict each other. Nodes of [b] with no connection to a
+    shared anchor are rejected as unanchorable. *)
+
+val union_all : Graph.t list -> (Graph.t, string) result
+(** Merge many partial maps, reordering so that each one joins only
+    once it shares an anchor with the accumulated map. Fails when some
+    maps can never be anchored. *)

@@ -1,0 +1,84 @@
+module J = San_util.Json
+
+let to_json g =
+  let nodes =
+    List.map
+      (fun n ->
+        let kind = if Graph.is_host g n then "host" else "switch" in
+        let base = [ ("id", J.int n); ("kind", J.Str kind) ] in
+        let name = Graph.name g n in
+        J.Obj (if name = "" then base else base @ [ ("name", J.Str name) ]))
+      (Graph.nodes g)
+  in
+  let wires =
+    List.map
+      (fun ((n1, p1), (n2, p2)) ->
+        J.Arr [ J.int n1; J.int p1; J.int n2; J.int p2 ])
+      (Graph.wires g)
+  in
+  J.Obj
+    [ ("radix", J.int (Graph.radix g)); ("nodes", J.Arr nodes);
+      ("wires", J.Arr wires) ]
+
+let of_json j =
+  let ( let* ) r f = Result.bind r f in
+  let req what = function Some v -> Ok v | None -> Error ("missing " ^ what) in
+  let* radix = req "radix" (Option.bind (J.member "radix" j) J.to_int) in
+  let* nodes = req "nodes" (Option.bind (J.member "nodes" j) J.to_arr) in
+  let* wires = req "wires" (Option.bind (J.member "wires" j) J.to_arr) in
+  let g = Graph.create ~radix () in
+  let* () =
+    List.fold_left
+      (fun acc (i, node) ->
+        let* () = acc in
+        let* id = req "node id" (Option.bind (J.member "id" node) J.to_int) in
+        let* kind = req "node kind" (Option.bind (J.member "kind" node) J.to_str) in
+        if id <> i then Error (Printf.sprintf "node %d out of order" id)
+        else
+          match kind with
+          | "host" ->
+            let* name =
+              req "host name" (Option.bind (J.member "name" node) J.to_str)
+            in
+            (try Ok (ignore (Graph.add_host g ~name))
+             with Invalid_argument m -> Error m)
+          | "switch" ->
+            let name =
+              Option.value ~default:""
+                (Option.bind (J.member "name" node) J.to_str)
+            in
+            Ok (ignore (Graph.add_switch g ~name ()))
+          | k -> Error ("unknown node kind " ^ k))
+      (Ok ())
+      (List.mapi (fun i n -> (i, n)) nodes)
+  in
+  let* () =
+    List.fold_left
+      (fun acc wire ->
+        let* () = acc in
+        match Option.map (List.filter_map J.to_int) (J.to_arr wire) with
+        | Some [ n1; p1; n2; p2 ] -> (
+          try Ok (Graph.connect g (n1, p1) (n2, p2))
+          with Invalid_argument m -> Error m)
+        | _ -> Error "malformed wire")
+      (Ok ()) wires
+  in
+  Ok g
+
+let save g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string (to_json g));
+      output_char oc '\n')
+
+let load path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m -> Error m
+  | text -> Result.bind (J.of_string text) of_json

@@ -1,0 +1,22 @@
+(** Persistence for maps (and anything else shaped like a network).
+
+    The deployed system keeps the previous epoch's map to diff against
+    and hands maps to tooling; this serializes the {!Graph}
+    representation to a stable JSON schema:
+
+    {v
+    { "radix": 8,
+      "nodes": [ {"id":0,"kind":"host","name":"C-h0"}, ... ],
+      "wires": [ [0,0, 5,3], ... ] }   // n1, p1, n2, p2
+    v}
+
+    Node ids are the dense graph ids; loading rebuilds them in order so
+    ids round-trip verbatim. *)
+
+val to_json : Graph.t -> San_util.Json.t
+val of_json : San_util.Json.t -> (Graph.t, string) result
+
+val save : Graph.t -> string -> unit
+(** Write pretty JSON to a file. *)
+
+val load : string -> (Graph.t, string) result

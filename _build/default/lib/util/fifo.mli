@@ -1,0 +1,17 @@
+(** First-in first-out queue used as the mapper's frontier.
+
+    A thin wrapper over [Queue] that adds the [next_element] interface
+    the paper's pseudo-code uses (pop returning [None] on empty) and a
+    length counter that is O(1). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val add : 'a t -> 'a -> unit
+val next_element : 'a t -> 'a option
+val peek : 'a t -> 'a option
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val to_list : 'a t -> 'a list

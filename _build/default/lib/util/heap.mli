@@ -1,0 +1,14 @@
+(** Binary min-heap keyed by float priorities with deterministic
+    tie-breaking (insertion order), the event queue of the
+    discrete-event wormhole simulator. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val add : 'a t -> priority:float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option
+(** Smallest priority; among equal priorities, earliest insertion. *)
+
+val peek : 'a t -> (float * 'a) option
+val size : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,33 @@
+(** A minimal self-contained JSON tree, emitter and parser.
+
+    The deployment persists maps and route tables between epochs and
+    exchanges them with tooling; this module keeps that dependency-free
+    (the sealed build has no JSON library). It supports exactly the
+    JSON subset the serializers emit: objects, arrays, strings with
+    escapes, integers/floats, booleans and null. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+(** Integral [Num]. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Render; [pretty] (default true) indents with two spaces. *)
+
+val of_string : string -> (t, string) result
+(** Parse; the error carries a character offset. *)
+
+(** {1 Accessors} — shallow helpers for deserializers *)
+
+val member : string -> t -> t option
+(** Object field lookup. *)
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_arr : t -> t list option

@@ -1,0 +1,20 @@
+(** Aligned plain-text tables for the benchmark harness.
+
+    Every reproduced paper table is printed through this module so that
+    [bench/main.exe] output lines up column-wise regardless of value
+    widths. *)
+
+type t
+
+val create : header:string list -> t
+(** Start a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; short rows are padded with empty cells. *)
+
+val render : t -> string
+(** Render with a header separator and two-space column gaps. *)
+
+val print : ?title:string -> t -> unit
+(** [print ~title t] writes the optional underlined title and the table
+    to stdout. *)

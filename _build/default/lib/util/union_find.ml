@@ -1,0 +1,42 @@
+type t = { mutable parent : int array; mutable size : int }
+
+let create n =
+  let n = max n 1 in
+  { parent = Array.init n (fun i -> i); size = n }
+
+let ensure t i =
+  if i >= Array.length t.parent then begin
+    let cap = max (i + 1) (2 * Array.length t.parent) in
+    let parent = Array.init cap (fun j -> j) in
+    Array.blit t.parent 0 parent 0 (Array.length t.parent);
+    t.parent <- parent
+  end;
+  if i >= t.size then t.size <- i + 1
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t keep absorb =
+  ensure t keep;
+  ensure t absorb;
+  let rk = find t keep and ra = find t absorb in
+  if rk <> ra then t.parent.(ra) <- rk
+
+let same t a b =
+  ensure t a;
+  ensure t b;
+  find t a = find t b
+
+let count_classes t =
+  let n = t.size in
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    if find t i = i then incr c
+  done;
+  !c

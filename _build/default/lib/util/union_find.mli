@@ -1,0 +1,27 @@
+(** Union-find over dense integer ids with deterministic union direction.
+
+    The mapper's merge step needs to control which representative
+    survives a union (the vertex whose port-index frame is kept), so
+    [union] always makes its first argument the representative rather
+    than using union-by-rank. Path compression keeps finds effectively
+    constant-time at the scales involved (hundreds of vertices). *)
+
+type t
+
+val create : int -> t
+(** [create n] builds a structure for elements [0 .. n-1], each its own
+    class. *)
+
+val ensure : t -> int -> unit
+(** [ensure t i] grows the structure so that element [i] exists. *)
+
+val find : t -> int -> int
+(** Representative of the class of [i]. *)
+
+val union : t -> int -> int -> unit
+(** [union t keep absorb] merges the two classes; the representative of
+    [keep]'s class becomes the representative of the merged class. *)
+
+val same : t -> int -> int -> bool
+val count_classes : t -> int
+(** Number of distinct classes among currently allocated elements. *)

@@ -1,0 +1,1 @@
+test/test_berkeley.ml: Alcotest Analysis Berkeley Collision Core_set Faults Generators Graph Iso List Model Network Option QCheck QCheck_alcotest San_mapper San_simnet San_topology San_util

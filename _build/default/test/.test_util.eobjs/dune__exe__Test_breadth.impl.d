@@ -1,0 +1,1 @@
+test/test_breadth.ml: Alcotest Analysis Core_set Gen Generators Graph Iso List Option QCheck QCheck_alcotest Result San_mapper San_myricom San_routing San_simnet San_topology San_util

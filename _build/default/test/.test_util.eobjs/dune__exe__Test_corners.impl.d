@@ -1,0 +1,1 @@
+test/test_corners.ml: Alcotest Array Core_set Diff Format Fun Generators Graph Iso List Option Printf Result San_mapper San_routing San_simnet San_topology San_util

@@ -1,0 +1,1 @@
+test/test_eventsim.ml: Alcotest Array Event_sim Generators Graph List Option Printf QCheck QCheck_alcotest San_routing San_simnet San_topology San_util

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest List Model Probe_order San_mapper San_topology

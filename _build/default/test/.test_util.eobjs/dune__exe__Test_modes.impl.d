@@ -1,0 +1,1 @@
+test/test_modes.ml: Alcotest Election Election_sim Generators Graph Iso List Option Population Printf QCheck QCheck_alcotest Result San_mapper San_simnet San_topology San_util

@@ -1,0 +1,1 @@
+test/test_myricom.ml: Alcotest Core_set Generators Graph Iso Myricom Option QCheck QCheck_alcotest San_mapper San_myricom San_simnet San_topology San_util

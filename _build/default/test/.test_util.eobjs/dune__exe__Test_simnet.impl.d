@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Array Collision Gen Generators Graph List Network Option Params QCheck QCheck_alcotest Route San_simnet San_topology San_util Stats Worm

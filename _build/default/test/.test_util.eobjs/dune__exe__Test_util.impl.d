@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fifo Fun Json List Option Prng San_util String Summary Tablefmt Union_find

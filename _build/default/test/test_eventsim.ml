@@ -1,0 +1,281 @@
+open San_topology
+open San_simnet
+
+(* ---------- the event heap ---------- *)
+
+let test_heap_order () =
+  let h = San_util.Heap.create () in
+  List.iter (fun (p, v) -> San_util.Heap.add h ~priority:p v)
+    [ (3.0, "c"); (1.0, "a"); (2.0, "b"); (1.0, "a2") ];
+  Alcotest.(check int) "size" 4 (San_util.Heap.size h);
+  let pops = List.init 4 (fun _ -> snd (Option.get (San_util.Heap.pop h))) in
+  Alcotest.(check (list string)) "priority then insertion order"
+    [ "a"; "a2"; "b"; "c" ] pops;
+  Alcotest.(check bool) "drained" true (San_util.Heap.is_empty h)
+
+let test_heap_random_against_sort () =
+  let rng = San_util.Prng.create 12 in
+  let h = San_util.Heap.create () in
+  let items = List.init 500 (fun i -> (San_util.Prng.float rng 100.0, i)) in
+  List.iter (fun (p, v) -> San_util.Heap.add h ~priority:p v) items;
+  let rec drain acc =
+    match San_util.Heap.pop h with
+    | None -> List.rev acc
+    | Some (p, _) -> drain (p :: acc)
+  in
+  let popped = drain [] in
+  Alcotest.(check (list (float 0.0))) "sorted ascending"
+    (List.sort compare (List.map fst items))
+    popped
+
+(* ---------- worm delivery ---------- *)
+
+(* h0 - s0 - s1 - h1, a two-switch line. *)
+let line () =
+  let g = Graph.create () in
+  let s0 = Graph.add_switch g () in
+  let s1 = Graph.add_switch g () in
+  let h0 = Graph.add_host g ~name:"h0" in
+  let h1 = Graph.add_host g ~name:"h1" in
+  Graph.connect g (h0, 0) (s0, 0);
+  Graph.connect g (s0, 1) (s1, 0);
+  Graph.connect g (s1, 1) (h1, 0);
+  (g, h0, h1)
+
+let test_single_delivery_timing () =
+  let g, h0, h1 = line () in
+  let sim = Event_sim.create g in
+  let w = Event_sim.inject sim ~at_ns:100.0 ~src:h0 ~turns:[ 1; 1 ] () in
+  Event_sim.run sim;
+  match Event_sim.outcome sim w with
+  | Event_sim.Delivered { dst; latency_ns; _ } ->
+    Alcotest.(check int) "destination" h1 dst;
+    (* Head: 3 channels acquired at +0, +550, +1100; delivery completes
+       at 1100 + 550 + transmission (18 bytes at 0.16 B/ns = 112.5). *)
+    Alcotest.(check (float 1.0)) "latency" 1762.5 latency_ns
+  | _ -> Alcotest.fail "not delivered"
+
+let test_bad_route_dies () =
+  let g, h0, _ = line () in
+  let sim = Event_sim.create g in
+  let w = Event_sim.inject sim ~at_ns:0.0 ~src:h0 ~turns:[ 5 ] () in
+  Event_sim.run sim;
+  match Event_sim.outcome sim w with
+  | Event_sim.Dropped { reason = Event_sim.Bad_route _; _ } -> ()
+  | _ -> Alcotest.fail "should die structurally"
+
+let test_fifo_contention () =
+  (* Two hosts race for the same channel; FIFO order by arrival. *)
+  let g = Graph.create () in
+  let s0 = Graph.add_switch g () in
+  let s1 = Graph.add_switch g () in
+  Graph.connect g (s0, 3) (s1, 0);
+  let ha = Graph.add_host g ~name:"a" in
+  let hb = Graph.add_host g ~name:"b" in
+  let hc = Graph.add_host g ~name:"c" in
+  Graph.connect g (ha, 0) (s0, 0);
+  Graph.connect g (hb, 0) (s0, 1);
+  Graph.connect g (hc, 0) (s1, 1);
+  let sim = Event_sim.create g in
+  (* Big payloads so the second must wait for the first's tail. *)
+  let w1 = Event_sim.inject sim ~at_ns:0.0 ~src:ha ~turns:[ 3; 1 ] ~payload_bytes:1000 () in
+  let w2 = Event_sim.inject sim ~at_ns:10.0 ~src:hb ~turns:[ 2; 1 ] ~payload_bytes:1000 () in
+  Event_sim.run sim;
+  match (Event_sim.outcome sim w1, Event_sim.outcome sim w2) with
+  | ( Event_sim.Delivered { dst = dst1; at_ns = at1; latency_ns = l1 },
+      Event_sim.Delivered { dst = dst2; at_ns = at2; latency_ns = l2 } ) ->
+    Alcotest.(check bool) "both arrive at c" true (dst1 = hc && dst2 = hc);
+    Alcotest.(check bool) "first in, first out" true (at1 < at2);
+    Alcotest.(check bool) "second was delayed by contention" true
+      (l2 > l1 +. 1000.0)
+  | _ -> Alcotest.fail "both should deliver"
+
+let ring_with_hosts () =
+  let g = Graph.create () in
+  let sw = Array.init 4 (fun i -> Graph.add_switch g ~name:(Printf.sprintf "s%d" i) ()) in
+  for i = 0 to 3 do
+    Graph.connect g (sw.(i), 0) (sw.((i + 1) mod 4), 1)
+  done;
+  let hosts =
+    Array.init 4 (fun i ->
+        let h = Graph.add_host g ~name:(Printf.sprintf "h%d" i) in
+        Graph.connect g (h, 0) (sw.(i), 2);
+        h)
+  in
+  (g, hosts)
+
+let cyclic_turns = [ -2; -1; 1 ]
+(* from any host: two hops clockwise, then into the local host *)
+
+let test_deadlock_forward_reset () =
+  let g, hosts = ring_with_hosts () in
+  let sim = Event_sim.create g in
+  Array.iter
+    (fun h ->
+      ignore
+        (Event_sim.inject sim ~at_ns:0.0 ~src:h ~turns:cyclic_turns
+           ~payload_bytes:100_000 ()))
+    hosts;
+  Event_sim.run sim;
+  let st = Event_sim.stats sim in
+  Alcotest.(check int) "all four deadlocked" 4 st.Event_sim.dropped_reset;
+  Alcotest.(check int) "none delivered" 0 st.Event_sim.delivered;
+  (* Broken at the 55 ms ROM timer, like real hardware. *)
+  Alcotest.(check bool) "reset at the ROM timeout" true
+    (st.Event_sim.finished_at_ns >= 55.0e6 && st.Event_sim.finished_at_ns < 56.5e6)
+
+let test_short_worms_absorbed () =
+  (* The same cyclic routes with probe-sized worms: per-port buffering
+     absorbs them; no deadlock (the paper's cut-through remark). *)
+  let g, hosts = ring_with_hosts () in
+  let sim = Event_sim.create g in
+  Array.iter
+    (fun h ->
+      ignore
+        (Event_sim.inject sim ~at_ns:0.0 ~src:h ~turns:cyclic_turns
+           ~payload_bytes:16 ()))
+    hosts;
+  Event_sim.run sim;
+  let st = Event_sim.stats sim in
+  Alcotest.(check int) "all delivered" 4 st.Event_sim.delivered;
+  Alcotest.(check int) "no resets" 0 st.Event_sim.dropped_reset
+
+let test_updown_storm_deadlock_free () =
+  (* §5.5 physically: every pair's route injected simultaneously with
+     application-sized worms on the C subcluster — compliant routes
+     never deadlock. *)
+  let g, _ = Generators.now_c () in
+  let table = San_routing.Routes.compute g in
+  let sim = Event_sim.create g in
+  List.iter
+    (fun (src, _, turns) ->
+      ignore (Event_sim.inject sim ~at_ns:0.0 ~src ~turns ~payload_bytes:4096 ()))
+    (San_routing.Routes.all table);
+  Event_sim.run sim;
+  let st = Event_sim.stats sim in
+  Alcotest.(check int) "all 1260 delivered" 1260 st.Event_sim.delivered;
+  Alcotest.(check int) "zero forward resets" 0 st.Event_sim.dropped_reset;
+  Alcotest.(check int) "zero structural failures" 0 st.Event_sim.dropped_bad_route
+
+let test_cdg_prediction_matches_simulation () =
+  (* The dependency-graph checker and the physical simulation agree:
+     the cyclic route set is flagged AND deadlocks; the table route set
+     passes AND delivers. *)
+  let g, hosts = ring_with_hosts () in
+  let routes = Array.to_list (Array.map (fun h -> (h, cyclic_turns)) hosts) in
+  (match San_routing.Deadlock.check_acyclic g routes with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "checker must flag the cycle");
+  let table = San_routing.Routes.compute g in
+  match San_routing.Deadlock.check_routes table with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "checker flagged compliant routes: %s" e
+
+let test_horizon_stops () =
+  let g, h0, _ = line () in
+  let sim = Event_sim.create g in
+  let w = Event_sim.inject sim ~at_ns:1000.0 ~src:h0 ~turns:[ 1; 1 ] () in
+  Event_sim.run ~until_ns:500.0 sim;
+  Alcotest.(check bool) "still pending at horizon" true
+    (Event_sim.outcome sim w = Event_sim.Pending);
+  Event_sim.run sim;
+  Alcotest.(check bool) "delivered after resume" true
+    (match Event_sim.outcome sim w with
+    | Event_sim.Delivered _ -> true
+    | _ -> false)
+
+let test_latency_grows_under_load () =
+  (* Poisson-ish background load on C: loaded latencies dominate the
+     unloaded ones. *)
+  let g, _ = Generators.now_c () in
+  let table = San_routing.Routes.compute g in
+  let routes = Array.of_list (San_routing.Routes.all table) in
+  let run_with_load n_background =
+    let sim = Event_sim.create g in
+    let rng = San_util.Prng.create 5 in
+    for _ = 1 to n_background do
+      let src, _, turns = routes.(San_util.Prng.int rng (Array.length routes)) in
+      ignore
+        (Event_sim.inject sim ~at_ns:(San_util.Prng.float rng 50_000.0) ~src
+           ~turns ~payload_bytes:8192 ())
+    done;
+    let src, _, turns = routes.(0) in
+    let w = Event_sim.inject sim ~at_ns:25_000.0 ~src ~turns ~payload_bytes:8192 () in
+    Event_sim.run sim;
+    match Event_sim.outcome sim w with
+    | Event_sim.Delivered { latency_ns; _ } -> latency_ns
+    | _ -> Alcotest.fail "probe worm lost"
+  in
+  let quiet = run_with_load 0 in
+  let busy = run_with_load 400 in
+  Alcotest.(check bool)
+    (Printf.sprintf "load raises latency (%.0f -> %.0f)" quiet busy)
+    true (busy > quiet)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+(* Conservation: every injected worm ends in exactly one terminal
+   state; nothing is lost or double-counted, whatever the routes. *)
+let conservation_prop =
+  QCheck.Test.make ~name:"every worm reaches one terminal state" ~count:40
+    QCheck.(triple small_int (int_range 2 7) (int_range 1 30))
+    (fun (seed, switches, nworms) ->
+      let rng = San_util.Prng.create ((seed * 11) + switches) in
+      let g =
+        Generators.random_connected ~rng ~switches ~hosts:3 ~extra_links:2 ()
+      in
+      let hosts = Array.of_list (Graph.hosts g) in
+      let sim = Event_sim.create g in
+      let ids =
+        List.init nworms (fun _ ->
+            let src = hosts.(San_util.Prng.int rng (Array.length hosts)) in
+            let len = 1 + San_util.Prng.int rng 6 in
+            let turns =
+              List.init len (fun _ ->
+                  let t = San_util.Prng.int_in rng (-7) 7 in
+                  if t = 0 then 1 else t)
+            in
+            let payload = 16 + San_util.Prng.int rng 20_000 in
+            Event_sim.inject sim
+              ~at_ns:(San_util.Prng.float rng 10_000.0)
+              ~src ~turns ~payload_bytes:payload ())
+      in
+      Event_sim.run sim;
+      let st = Event_sim.stats sim in
+      st.Event_sim.injected = nworms
+      && st.Event_sim.in_flight = 0
+      && st.Event_sim.delivered + st.Event_sim.dropped_bad_route
+         + st.Event_sim.dropped_reset
+         = nworms
+      && List.for_all
+           (fun w -> Event_sim.outcome sim w <> Event_sim.Pending)
+           ids)
+
+let () =
+  Alcotest.run "san_simnet.event_sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "order" `Quick test_heap_order;
+          Alcotest.test_case "random vs sort" `Quick test_heap_random_against_sort;
+        ] );
+      ( "worms",
+        [
+          Alcotest.test_case "delivery timing" `Quick test_single_delivery_timing;
+          Alcotest.test_case "bad route" `Quick test_bad_route_dies;
+          Alcotest.test_case "fifo contention" `Quick test_fifo_contention;
+          Alcotest.test_case "horizon" `Quick test_horizon_stops;
+        ] );
+      ( "deadlock",
+        [
+          Alcotest.test_case "cycle forward-reset" `Quick test_deadlock_forward_reset;
+          Alcotest.test_case "short worms absorbed" `Quick test_short_worms_absorbed;
+          Alcotest.test_case "updown storm survives" `Slow
+            test_updown_storm_deadlock_free;
+          Alcotest.test_case "checker agrees with physics" `Quick
+            test_cdg_prediction_matches_simulation;
+        ] );
+      ( "load",
+        [ Alcotest.test_case "latency under load" `Slow test_latency_grows_under_load ] );
+      ("properties", [ qcheck conservation_prop ]);
+    ]

@@ -1,0 +1,512 @@
+open San_topology
+open San_mapper
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+(* ---------- the §3.1 simplified labelling oracle ---------- *)
+
+let labels_map g mapper_name depth =
+  let mapper = Option.get (Graph.host_by_name g mapper_name) in
+  let net = San_simnet.Network.create g in
+  Labels.run ~depth net ~mapper
+
+let test_labels_star () =
+  let g = Generators.star ~leaves:3 () in
+  let r = labels_map g "h0" Berkeley.Oracle in
+  (match r.Labels.map with
+  | Ok m ->
+    Alcotest.(check bool) "quotient isomorphic to actual" true
+      (Iso.equal ~map:m ~actual:g ())
+  | Error e -> Alcotest.failf "labels failed: %s" e);
+  Alcotest.(check bool) "tree at least as big as quotient" true
+    (r.Labels.tree_vertices >= r.Labels.labels)
+
+let test_labels_prunes_f () =
+  let g = Generators.pendant_branch () in
+  let r = labels_map g "h0" Berkeley.Oracle in
+  match r.Labels.map with
+  | Ok m ->
+    Alcotest.(check int) "tail pruned from quotient" 2 (Graph.num_switches m);
+    Alcotest.(check bool) "isomorphic to core" true
+      (Iso.equal ~map:m ~actual:g ~exclude:(Core_set.separated_set g) ())
+  | Error e -> Alcotest.failf "labels failed: %s" e
+
+(* The §3.3 claim, executably: the production algorithm computes the
+   same map as the simplified one. *)
+let labels_agree_prop =
+  QCheck.Test.make ~name:"simplified == production on random nets" ~count:20
+    QCheck.(pair small_int (int_range 2 4))
+    (fun (seed, switches) ->
+      let rng = San_util.Prng.create ((seed * 7) + switches) in
+      let g =
+        Generators.random_connected ~rng ~switches ~hosts:3 ~extra_links:1 ()
+      in
+      (* Cap the oracle's exponential tree with a fixed budget both
+         algorithms share. *)
+      let root = Option.get (Graph.host_by_name g "h0") in
+      let depth = Berkeley.Fixed (min 8 (Core_set.search_depth g ~root)) in
+      let rl = labels_map g "h0" depth in
+      let mapper = Option.get (Graph.host_by_name g "h0") in
+      let net = San_simnet.Network.create g in
+      let rb = Berkeley.run ~depth net ~mapper in
+      match (rl.Labels.map, rb.Berkeley.map) with
+      | Ok a, Ok b -> Iso.equal ~map:a ~actual:b ()
+      | Error _, Error _ -> true
+      | _ -> false)
+
+(* ---------- map merging ---------- *)
+
+let test_union_identical () =
+  let g, _ = Generators.now_c () in
+  match Merge_maps.union g g with
+  | Ok u ->
+    Alcotest.(check bool) "self-union isomorphic" true (Iso.equal ~map:u ~actual:g ())
+  | Error e -> Alcotest.failf "self-union failed: %s" e
+
+let split_star () =
+  (* A hub with two leaf switches, each with hosts; two partial views
+     that share only the hub-side structure through host h0. *)
+  let g = Generators.star ~leaves:3 () in
+  (* view A: everything within 3 hops of h0; view B: within 3 of h1 *)
+  g
+
+let test_union_overlapping_views () =
+  let g = split_star () in
+  let mk_view center_name =
+    let mapper = Option.get (Graph.host_by_name g center_name) in
+    let net = San_simnet.Network.create g in
+    let r = Berkeley.run ~depth:(Berkeley.Fixed 4) net ~mapper in
+    Result.get_ok r.Berkeley.map
+  in
+  let va = mk_view "h0" and vb = mk_view "h1" in
+  match Merge_maps.union va vb with
+  | Ok u ->
+    Alcotest.(check bool) "union covers the star" true
+      (Graph.num_hosts u = 3 && Graph.num_switches u = 4)
+  | Error e -> Alcotest.failf "union failed: %s" e
+
+let test_union_no_anchor () =
+  let g1 = Graph.create () in
+  let s1 = Graph.add_switch g1 () in
+  let h1 = Graph.add_host g1 ~name:"only-in-a" in
+  Graph.connect g1 (h1, 0) (s1, 0);
+  let g2 = Graph.create () in
+  let s2 = Graph.add_switch g2 () in
+  let h2 = Graph.add_host g2 ~name:"only-in-b" in
+  Graph.connect g2 (h2, 0) (s2, 0);
+  match Merge_maps.union g1 g2 with
+  | Error e ->
+    Alcotest.(check string) "anchor error" "maps share no host anchor" e
+  | Ok _ -> Alcotest.fail "anchorless union must fail"
+
+let test_union_conflict_detected () =
+  (* Two "views" that disagree: in A, host x and host y share a switch;
+     in B they sit on two different switches joined by a wire. *)
+  let a = Graph.create () in
+  let s = Graph.add_switch a () in
+  let x = Graph.add_host a ~name:"x" in
+  let y = Graph.add_host a ~name:"y" in
+  Graph.connect a (x, 0) (s, 0);
+  Graph.connect a (y, 0) (s, 1);
+  let b = Graph.create () in
+  let s1 = Graph.add_switch b () in
+  let s2 = Graph.add_switch b () in
+  let x' = Graph.add_host b ~name:"x" in
+  let y' = Graph.add_host b ~name:"y" in
+  Graph.connect b (x', 0) (s1, 0);
+  Graph.connect b (y', 0) (s2, 0);
+  Graph.connect b (s1, 1) (s2, 1);
+  (* In A, x's switch has y at port 1; in B, x's switch has a switch
+     at port 1.  The union must not silently accept both. *)
+  match Merge_maps.union a b with
+  | Error _ -> ()
+  | Ok u ->
+    (* If it merged, the map must at least not duplicate hosts. *)
+    Alcotest.(check bool) "no silent corruption" true (Graph.num_hosts u = 2)
+
+let test_union_port_shift_tolerance () =
+  (* The same two-switch network normalised with different port
+     offsets must merge cleanly. *)
+  let build shift =
+    let g = Graph.create () in
+    let s0 = Graph.add_switch g () in
+    let s1 = Graph.add_switch g () in
+    let h0 = Graph.add_host g ~name:"h0" in
+    let h1 = Graph.add_host g ~name:"h1" in
+    Graph.connect g (h0, 0) (s0, 0 + shift);
+    Graph.connect g (h1, 0) (s1, 2 + shift);
+    Graph.connect g (s0, 1 + shift) (s1, 3 + shift);
+    g
+  in
+  match Merge_maps.union (build 0) (build 4) with
+  | Ok u ->
+    Alcotest.(check int) "still two switches" 2 (Graph.num_switches u);
+    Alcotest.(check int) "still three wires" 3 (Graph.num_wires u)
+  | Error e -> Alcotest.failf "shifted union failed: %s" e
+
+let test_union_all_ordering () =
+  (* Three views in an order where the middle one shares no anchor
+     with the first until the third is merged. *)
+  let mk hosts_wires =
+    let g = Graph.create () in
+    let sw = Hashtbl.create 4 in
+    List.iter
+      (fun (hname, swname, port) ->
+        let s =
+          match Hashtbl.find_opt sw swname with
+          | Some s -> s
+          | None ->
+            let s = Graph.add_switch g ~name:swname () in
+            Hashtbl.replace sw swname s;
+            s
+        in
+        let h = Graph.add_host g ~name:hname in
+        Graph.connect g (h, 0) (s, port))
+      hosts_wires;
+    (g, sw)
+  in
+  let a, _ = mk [ ("h1", "s", 0); ("h2", "s", 1) ] in
+  let b, _ = mk [ ("h5", "t", 0); ("h6", "t", 1) ] in
+  (* c shares h2 with a and h5 with b and sees the s-t wire. *)
+  let c, csw = mk [ ("h2", "s", 1); ("h5", "t", 0) ] in
+  Graph.connect c (Hashtbl.find csw "s", 5) (Hashtbl.find csw "t", 5);
+  match Merge_maps.union_all [ a; b; c ] with
+  | Ok u ->
+    Alcotest.(check int) "four hosts" 4 (Graph.num_hosts u)
+  | Error e -> Alcotest.failf "union_all failed: %s" e
+
+(* ---------- parallel mapping ---------- *)
+
+let test_parallel_now () =
+  let g, _ = Generators.now_cab () in
+  let mappers = Parallel.spread_mappers g ~count:4 in
+  Alcotest.(check int) "four mappers placed" 4 (List.length mappers);
+  let r = Parallel.run ~local_depth:6 ~trust_radius:5 ~mappers g in
+  (match r.Parallel.map with
+  | Ok m ->
+    Alcotest.(check bool) "global map isomorphic" true (Iso.equal ~map:m ~actual:g ())
+  | Error e -> Alcotest.failf "merge failed: %s" e);
+  Alcotest.(check bool) "wall below sum" true (r.Parallel.wall_ns < r.Parallel.sum_ns);
+  Alcotest.(check int) "no local failures" 0 r.Parallel.failed_locals
+
+let test_parallel_beats_solo_wall_clock () =
+  let g, _ = Generators.now_cab () in
+  let solo =
+    let net = San_simnet.Network.create g in
+    Berkeley.run net ~mapper:(Option.get (Graph.host_by_name g "C-util"))
+  in
+  let r =
+    Parallel.run ~local_depth:6 ~trust_radius:5
+      ~mappers:(Parallel.spread_mappers g ~count:9)
+      g
+  in
+  Alcotest.(check bool) "parallel wall < solo" true
+    (r.Parallel.wall_ns < solo.Berkeley.elapsed_ns)
+
+let test_parallel_rejects_bad_mappers () =
+  let g, _ = Generators.now_c () in
+  Alcotest.(check bool) "empty mapper list rejected" true
+    (try
+       ignore (Parallel.run ~mappers:[] g);
+       false
+     with Invalid_argument _ -> true);
+  let sw = List.hd (Graph.switches g) in
+  Alcotest.(check bool) "switch mapper rejected" true
+    (try
+       ignore (Parallel.run ~mappers:[ sw ] g);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- randomized mapping ---------- *)
+
+let test_randomized_correct () =
+  let g, _ = Generators.now_c () in
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  let net = San_simnet.Network.create g in
+  let r = Randomized.run ~rng:(San_util.Prng.create 4) net ~mapper in
+  match r.Randomized.map with
+  | Ok m ->
+    Alcotest.(check bool) "isomorphic" true (Iso.equal ~map:m ~actual:g ());
+    Alcotest.(check int) "coupon probes accounted" 150 r.Randomized.coupon_probes
+  | Error e -> Alcotest.failf "randomized failed: %s" e
+
+let randomized_correct_prop =
+  QCheck.Test.make ~name:"randomized maps random nets" ~count:15
+    QCheck.(pair small_int (int_range 3 7))
+    (fun (seed, switches) ->
+      let rng = San_util.Prng.create ((seed * 3) + switches) in
+      let g =
+        Generators.random_connected ~rng ~switches ~hosts:4 ~extra_links:2 ()
+      in
+      let mapper = Option.get (Graph.host_by_name g "h0") in
+      let net = San_simnet.Network.create g in
+      let r =
+        Randomized.run ~samples:60 ~rng:(San_util.Prng.create seed) net ~mapper
+      in
+      match r.Randomized.map with
+      | Ok m ->
+        Iso.equal ~map:m ~actual:g ~exclude:(Core_set.separated_set g) ()
+      | Error _ -> false)
+
+(* ---------- walk probe (the §6 firmware tweak) ---------- *)
+
+let test_walk_probe_reads_early_hit () =
+  let g = Generators.star ~leaves:2 () in
+  let h0 = Option.get (Graph.host_by_name g "h0") in
+  let net = San_simnet.Network.create g in
+  (* A long walk that hits h1 with turns to spare: h0 -> leaf0 (entry
+     1, hub at port 0: turn -1) -> hub (entry 0; leaf1 at port 1:
+     turn +1) -> leaf1 (entry 0; h1 at port 1: turn +1) -> h1, with
+     extra turns appended. *)
+  match San_simnet.Network.walk_probe net ~src:h0 ~turns:[ -1; 1; 1; 5; 5 ] with
+  | Some (name, consumed), _ ->
+    Alcotest.(check string) "read by h1" "h1" name;
+    Alcotest.(check int) "three turns consumed" 3 consumed
+  | None, _ -> Alcotest.fail "walk probe should be read by the early host"
+
+let test_walk_probe_silent_host () =
+  let g = Generators.star ~leaves:2 () in
+  let h0 = Option.get (Graph.host_by_name g "h0") in
+  let h1 = Option.get (Graph.host_by_name g "h1") in
+  let net = San_simnet.Network.create ~responding:(fun h -> h <> h1) g in
+  match San_simnet.Network.walk_probe net ~src:h0 ~turns:[ -1; 1; 1; 5 ] with
+  | None, _ -> ()
+  | Some _, _ -> Alcotest.fail "silent host must not read the worm"
+
+(* ---------- cross traffic ---------- *)
+
+let test_traffic_lossless_at_zero () =
+  let g, _ = Generators.now_c () in
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  let clean = San_simnet.Network.create g in
+  let r0 = Berkeley.run clean ~mapper in
+  let lossy = San_simnet.Network.create ~traffic:(0.0, San_util.Prng.create 1) g in
+  let r1 = Berkeley.run lossy ~mapper in
+  Alcotest.(check int) "identical probe counts at zero loss"
+    (Berkeley.total_probes r0) (Berkeley.total_probes r1)
+
+let test_retries_restore_map_under_loss () =
+  let g, _ = Generators.now_c () in
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  let run retries =
+    let net =
+      San_simnet.Network.create ~traffic:(0.02, San_util.Prng.create 3) g
+    in
+    let policy = { Berkeley.faithful with retries } in
+    (Berkeley.run ~policy net ~mapper).Berkeley.map
+  in
+  (match run 0 with
+  | Ok m ->
+    Alcotest.(check bool) "lossy map degraded without retries" false
+      (Iso.equal ~map:m ~actual:g ())
+  | Error _ -> ());
+  match run 2 with
+  | Ok m ->
+    Alcotest.(check bool) "two retries restore the map" true
+      (Iso.equal ~map:m ~actual:g ())
+  | Error e -> Alcotest.failf "retry run failed: %s" e
+
+let test_traffic_degrades_gracefully () =
+  let g, _ = Generators.now_c () in
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  let lossy =
+    San_simnet.Network.create ~traffic:(0.10, San_util.Prng.create 1) g
+  in
+  let r = Berkeley.run lossy ~mapper in
+  (* Heavy loss: mapping still terminates and exports something. *)
+  match r.Berkeley.map with
+  | Ok m -> Alcotest.(check bool) "some map" true (Graph.num_nodes m >= 1)
+  | Error _ -> () (* unresolved replicates acceptable under heavy loss *)
+
+(* appended: on-line mapping over the event simulator *)
+let test_online_quiescent_matches_cut_through () =
+  let g, _ = Generators.now_c () in
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  let online =
+    Online.run ~traffic_per_ms:0.0 ~rng:(San_util.Prng.create 1) g ~mapper
+  in
+  let analytic =
+    let net =
+      San_simnet.Network.create ~model:San_simnet.Collision.Cut_through g
+    in
+    Berkeley.run net ~mapper
+  in
+  (* The event-driven simulator independently reproduces the analytic
+     cut-through response function: same probe count, same map. *)
+  Alcotest.(check int) "probe counts agree"
+    (Berkeley.total_probes analytic) online.Online.probes;
+  match (online.Online.map, analytic.Berkeley.map) with
+  | Ok a, Ok b ->
+    Alcotest.(check bool) "maps agree" true (Iso.equal ~map:a ~actual:b ())
+  | _ -> Alcotest.fail "both should export"
+
+let test_online_under_traffic_still_correct () =
+  let g, _ = Generators.now_c () in
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  let r =
+    Online.run ~traffic_per_ms:20.0 ~rng:(San_util.Prng.create 2) g ~mapper
+  in
+  Alcotest.(check bool) "background flowed" true (r.Online.background_injected > 100);
+  match r.Online.map with
+  | Ok m ->
+    Alcotest.(check bool) "still isomorphic under load" true
+      (Iso.equal ~map:m ~actual:g ())
+  | Error e -> Alcotest.failf "map failed: %s" e
+
+(* ---------- self-identifying switches (§6 what-if) ---------- *)
+
+let test_selfid_correct_and_cheaper () =
+  let g, _ = Generators.now_cab () in
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  let r = Selfid.run g ~mapper in
+  (match r.Selfid.map with
+  | Ok m ->
+    Alcotest.(check bool) "isomorphic (full N: nothing is pruned)" true
+      (Iso.equal ~map:m ~actual:g ());
+    (* With identities, ports are absolute: the map should align with
+       zero shift everywhere — checked implicitly by Iso. *)
+    Alcotest.(check int) "one exploration per switch" 40 r.Selfid.explorations
+  | Error e -> Alcotest.failf "selfid failed: %s" e);
+  let net = San_simnet.Network.create g in
+  let rb = Berkeley.run net ~mapper in
+  Alcotest.(check bool) "way fewer probes than Berkeley" true
+    (r.Selfid.probes * 3 < Berkeley.total_probes rb)
+
+let selfid_prop =
+  QCheck.Test.make ~name:"selfid maps random nets" ~count:25
+    QCheck.(pair small_int (int_range 2 8))
+    (fun (seed, switches) ->
+      let rng = San_util.Prng.create ((seed * 23) + switches) in
+      let g =
+        Generators.random_connected ~rng ~switches ~hosts:3 ~extra_links:2 ()
+      in
+      let mapper = Option.get (Graph.host_by_name g "h0") in
+      let r = Selfid.run g ~mapper in
+      match r.Selfid.map with
+      | Ok m -> Iso.equal ~map:m ~actual:g ()
+      | Error _ -> false)
+
+(* ---------- incremental remapping ---------- *)
+
+let test_incremental_unchanged () =
+  let g, _ = Generators.now_cab () in
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  let net = San_simnet.Network.create g in
+  let full = Berkeley.run net ~mapper in
+  let map0 = Result.get_ok full.Berkeley.map in
+  let net1 = San_simnet.Network.create g in
+  let r = Incremental.run net1 ~mapper ~previous:map0 in
+  Alcotest.(check bool) "verdict unchanged" true (r.Incremental.verdict = Incremental.Unchanged);
+  Alcotest.(check bool) "far fewer probes than a remap" true
+    (r.Incremental.verify_probes * 5 < Berkeley.total_probes full);
+  Alcotest.(check bool) "far faster than a remap" true
+    (r.Incremental.total_elapsed_ns *. 5.0 < full.Berkeley.elapsed_ns);
+  Alcotest.(check bool) "returns the same map" true
+    (match r.Incremental.map with Ok m -> m == map0 | Error _ -> false)
+
+let test_incremental_detects_and_recovers () =
+  let g, _ = Generators.now_cab () in
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  let net = San_simnet.Network.create g in
+  let map0 = Result.get_ok (Berkeley.run net ~mapper).Berkeley.map in
+  let rng = San_util.Prng.create 77 in
+  let g1 = Faults.remove_random_links ~rng g ~count:2 in
+  let net1 = San_simnet.Network.create g1 in
+  let r = Incremental.run net1 ~mapper ~previous:map0 in
+  (match r.Incremental.verdict with
+  | Incremental.Changed n -> Alcotest.(check bool) "discrepancies seen" true (n > 0)
+  | Incremental.Unchanged -> Alcotest.fail "change missed");
+  match r.Incremental.map with
+  | Ok m ->
+    Alcotest.(check bool) "recovered map isomorphic to new reality" true
+      (Iso.equal ~map:m ~actual:g1 ~exclude:(Core_set.separated_set g1) ())
+  | Error e -> Alcotest.failf "recovery failed: %s" e
+
+let test_incremental_detects_silent_host () =
+  let g, _ = Generators.now_c () in
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  let net = San_simnet.Network.create g in
+  let map0 = Result.get_ok (Berkeley.run net ~mapper).Berkeley.map in
+  let silent = Option.get (Graph.host_by_name g "C-h9") in
+  let net1 = San_simnet.Network.create ~responding:(fun h -> h <> silent) g in
+  let r = Incremental.run net1 ~mapper ~previous:map0 in
+  match r.Incremental.verdict with
+  | Incremental.Changed _ -> ()
+  | Incremental.Unchanged -> Alcotest.fail "dead daemon missed"
+
+let test_incremental_detects_new_link () =
+  let g, _ = Generators.now_c () in
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  let net = San_simnet.Network.create g in
+  let map0 = Result.get_ok (Berkeley.run net ~mapper).Berkeley.map in
+  let rng = San_util.Prng.create 3 in
+  match Faults.add_random_link ~rng g with
+  | None -> Alcotest.fail "expected a free port"
+  | Some g1 -> (
+    let net1 = San_simnet.Network.create g1 in
+    let r = Incremental.run net1 ~mapper ~previous:map0 in
+    match r.Incremental.verdict with
+    | Incremental.Changed _ -> ()
+    | Incremental.Unchanged -> Alcotest.fail "new cable missed")
+
+let () =
+  Alcotest.run "san_mapper.extensions"
+    [
+      ( "labels oracle",
+        [
+          Alcotest.test_case "star" `Quick test_labels_star;
+          Alcotest.test_case "prunes F" `Quick test_labels_prunes_f;
+          qcheck labels_agree_prop;
+        ] );
+      ( "map merging",
+        [
+          Alcotest.test_case "self union" `Quick test_union_identical;
+          Alcotest.test_case "overlapping views" `Quick test_union_overlapping_views;
+          Alcotest.test_case "no anchor" `Quick test_union_no_anchor;
+          Alcotest.test_case "conflict" `Quick test_union_conflict_detected;
+          Alcotest.test_case "port shifts" `Quick test_union_port_shift_tolerance;
+          Alcotest.test_case "union_all ordering" `Quick test_union_all_ordering;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "NOW" `Slow test_parallel_now;
+          Alcotest.test_case "beats solo wall" `Slow test_parallel_beats_solo_wall_clock;
+          Alcotest.test_case "bad mappers" `Quick test_parallel_rejects_bad_mappers;
+        ] );
+      ( "randomized",
+        [
+          Alcotest.test_case "C" `Quick test_randomized_correct;
+          qcheck randomized_correct_prop;
+        ] );
+      ( "walk probe",
+        [
+          Alcotest.test_case "early hit read" `Quick test_walk_probe_reads_early_hit;
+          Alcotest.test_case "silent host" `Quick test_walk_probe_silent_host;
+        ] );
+      ( "cross traffic",
+        [
+          Alcotest.test_case "zero loss" `Quick test_traffic_lossless_at_zero;
+          Alcotest.test_case "heavy loss" `Quick test_traffic_degrades_gracefully;
+          Alcotest.test_case "retries restore" `Quick test_retries_restore_map_under_loss;
+        ] );
+      ( "online",
+        [
+          Alcotest.test_case "quiescent = cut-through" `Slow
+            test_online_quiescent_matches_cut_through;
+          Alcotest.test_case "correct under load" `Slow
+            test_online_under_traffic_still_correct;
+        ] );
+      ( "selfid",
+        [
+          Alcotest.test_case "correct and cheaper" `Quick test_selfid_correct_and_cheaper;
+          qcheck selfid_prop;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "unchanged epoch" `Slow test_incremental_unchanged;
+          Alcotest.test_case "detects and recovers" `Slow
+            test_incremental_detects_and_recovers;
+          Alcotest.test_case "dead daemon" `Quick test_incremental_detects_silent_host;
+          Alcotest.test_case "new cable" `Quick test_incremental_detects_new_link;
+        ] );
+    ]

@@ -1,0 +1,212 @@
+open San_topology
+open San_mapper
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+(* ---------- election (figure 7) ---------- *)
+
+let test_election_winner_and_base () =
+  let g, _ = Generators.now_c () in
+  let net = San_simnet.Network.create g in
+  let rng = San_util.Prng.create 1 in
+  let o = Election.run ~rng net in
+  Alcotest.(check bool) "winner is a host" true (Graph.is_host g o.Election.winner);
+  (* Highest interface address wins. *)
+  let max_host = List.fold_left max 0 (Graph.hosts g) in
+  Alcotest.(check int) "winner has max address" max_host o.Election.winner;
+  Alcotest.(check int) "all hosts contend" 36 o.Election.contenders;
+  Alcotest.(check bool) "election at least as slow as solo" true
+    (o.Election.total_ns >= o.Election.base_ns);
+  Alcotest.(check bool) "map produced" true (Result.is_ok o.Election.map)
+
+let test_election_total_decomposes () =
+  let g, _ = Generators.now_c () in
+  let net = San_simnet.Network.create g in
+  let rng = San_util.Prng.create 2 in
+  let o = Election.run ~rng net in
+  Alcotest.(check (float 1.0)) "total = base + extras"
+    (o.Election.base_ns +. o.Election.collision_extra_ns
+   +. o.Election.restart_extra_ns)
+    o.Election.total_ns
+
+let test_election_deterministic_per_seed () =
+  let g, _ = Generators.now_c () in
+  let run seed =
+    let net = San_simnet.Network.create g in
+    (Election.run ~rng:(San_util.Prng.create seed) net).Election.total_ns
+  in
+  Alcotest.(check (float 0.0)) "same seed same outcome" (run 5) (run 5)
+
+let test_election_overhead_grows_with_contenders () =
+  (* Average election overhead (relative to base) grows with system
+     size: C vs C+A+B over several seeds. *)
+  let avg_rel g =
+    let samples =
+      List.init 12 (fun i ->
+          let net = San_simnet.Network.create g in
+          let o = Election.run ~rng:(San_util.Prng.create (100 + i)) net in
+          (o.Election.total_ns -. o.Election.base_ns) /. o.Election.base_ns)
+    in
+    (San_util.Summary.of_list samples).San_util.Summary.avg
+  in
+  let small = avg_rel (fst (Generators.now_c ())) in
+  let large = avg_rel (fst (Generators.now_cab ())) in
+  Alcotest.(check bool)
+    (Printf.sprintf "overhead grows (%.3f < %.3f)" small large)
+    true (small < large)
+
+(* ---------- emergent election (effects co-simulation) ---------- *)
+
+let test_emergent_election_c () =
+  let g, _ = Generators.now_c () in
+  let r = Election_sim.run ~rng:(San_util.Prng.create 5) g in
+  Alcotest.(check string) "highest address wins" "C-util"
+    (Graph.name g r.Election_sim.winner);
+  Alcotest.(check int) "every loser silenced" 35
+    (List.length r.Election_sim.defers);
+  (match r.Election_sim.map with
+  | Ok m ->
+    Alcotest.(check bool) "winner's map isomorphic" true
+      (Iso.equal ~map:m ~actual:g ())
+  | Error e -> Alcotest.failf "winner map failed: %s" e);
+  Alcotest.(check bool) "losers cost extra messages" true
+    (r.Election_sim.total_probes > r.Election_sim.winner_probes);
+  (* Silencing only flows from higher addresses. *)
+  List.iter
+    (fun (d : Election_sim.defer) ->
+      Alcotest.(check bool) "silenced by a higher address" true
+        (d.Election_sim.silenced_by > d.Election_sim.loser))
+    r.Election_sim.defers
+
+let test_emergent_vs_solo_master () =
+  (* The network-side election overhead is tiny: winner's finish time
+     within a few percent of a lone master on the same fabric. *)
+  let g, _ = Generators.now_c () in
+  let r = Election_sim.run ~rng:(San_util.Prng.create 5) g in
+  let solo =
+    Election_sim.run
+      ~rng:(San_util.Prng.create 5)
+      ~mappers:[ r.Election_sim.winner ] ~max_skew_ns:0.0 g
+  in
+  Alcotest.(check bool) "overhead below 10%" true
+    (r.Election_sim.finished_at_ns
+    < 1.1 *. solo.Election_sim.finished_at_ns)
+
+let test_emergent_subset_mappers () =
+  let g, _ = Generators.now_c () in
+  let m1 = Option.get (Graph.host_by_name g "C-h1") in
+  let m2 = Option.get (Graph.host_by_name g "C-h30") in
+  let r =
+    Election_sim.run ~rng:(San_util.Prng.create 9) ~mappers:[ m1; m2 ] g
+  in
+  Alcotest.(check int) "two contenders" 2 r.Election_sim.contenders;
+  Alcotest.(check int) "winner is the higher id" (max m1 m2)
+    r.Election_sim.winner
+
+(* ---------- population (figure 9) ---------- *)
+
+let test_population_extremes () =
+  let g, _ = Generators.now_cab () in
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  let pts =
+    Population.sweep ~order:Population.Sequential ~counts:[ 1; 100 ] g ~mapper
+  in
+  match pts with
+  | [ starved; full ] ->
+    Alcotest.(check int) "count clamped" 1 starved.Population.responders;
+    Alcotest.(check bool) "starved much slower" true
+      (starved.Population.map_time_ns > 4.0 *. full.Population.map_time_ns);
+    Alcotest.(check bool) "starved sends more probes" true
+      (starved.Population.probes > 4 * full.Population.probes)
+  | _ -> Alcotest.fail "two points expected"
+
+let test_population_monotone_trend () =
+  let g, _ = Generators.now_cab () in
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  let counts = [ 1; 37; 71; 100 ] in
+  let pts = Population.sweep ~order:Population.Sequential ~counts g ~mapper in
+  let times = List.map (fun p -> p.Population.map_time_ns) pts in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a >= b && decreasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "subcluster steps decrease time" true (decreasing times)
+
+let test_population_random_beats_sequential_midway () =
+  let g, _ = Generators.now_cab () in
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  let seq =
+    Population.sweep ~order:Population.Sequential ~counts:[ 15 ] g ~mapper
+  in
+  let rnd =
+    Population.sweep
+      ~order:(Population.Random (San_util.Prng.create 3))
+      ~counts:[ 15 ] g ~mapper
+  in
+  match (seq, rnd) with
+  | [ s ], [ r ] ->
+    (* The paper: 15 randomly-placed mappers already within 2x of the
+       minimum, while 15 sequential ones are still starved. *)
+    Alcotest.(check bool) "random placement far better" true
+      (r.Population.map_time_ns *. 2.0 < s.Population.map_time_ns)
+  | _ -> Alcotest.fail "single points expected"
+
+let test_population_mapper_always_counted () =
+  let g, _ = Generators.now_c () in
+  let mapper = Option.get (Graph.host_by_name g "C-h10") in
+  let pts =
+    Population.sweep ~order:Population.Sequential ~counts:[ 1 ] g ~mapper
+  in
+  match pts with
+  | [ p ] ->
+    Alcotest.(check int) "single responder is the mapper" 1 p.Population.responders;
+    Alcotest.(check bool) "run completed" true (p.Population.map_time_ns > 0.0)
+  | _ -> Alcotest.fail "one point expected"
+
+let population_speedup_prop =
+  QCheck.Test.make ~name:"more responders never much slower" ~count:10
+    (QCheck.int_range 1 1000)
+    (fun seed ->
+      let rng = San_util.Prng.create seed in
+      let g =
+        Generators.random_connected ~rng ~switches:6 ~hosts:6 ~extra_links:3 ()
+      in
+      let mapper = Option.get (Graph.host_by_name g "h0") in
+      match
+        Population.sweep ~order:Population.Sequential ~counts:[ 2; 6 ] g ~mapper
+      with
+      | [ few; all_resp ] ->
+        (* Allow 10% slack: more responders can only add cheap hits. *)
+        all_resp.Population.map_time_ns
+        <= 1.1 *. few.Population.map_time_ns
+      | _ -> false)
+
+let () =
+  Alcotest.run "san_mapper.modes"
+    [
+      ( "election",
+        [
+          Alcotest.test_case "winner and base" `Quick test_election_winner_and_base;
+          Alcotest.test_case "total decomposition" `Quick
+            test_election_total_decomposes;
+          Alcotest.test_case "seed determinism" `Quick
+            test_election_deterministic_per_seed;
+          Alcotest.test_case "overhead grows" `Slow
+            test_election_overhead_grows_with_contenders;
+        ] );
+      ( "emergent election",
+        [
+          Alcotest.test_case "C" `Slow test_emergent_election_c;
+          Alcotest.test_case "vs solo master" `Slow test_emergent_vs_solo_master;
+          Alcotest.test_case "subset" `Quick test_emergent_subset_mappers;
+        ] );
+      ( "population",
+        [
+          Alcotest.test_case "extremes" `Slow test_population_extremes;
+          Alcotest.test_case "monotone trend" `Slow test_population_monotone_trend;
+          Alcotest.test_case "random beats sequential" `Slow
+            test_population_random_beats_sequential_midway;
+          Alcotest.test_case "mapper counted" `Quick test_population_mapper_always_counted;
+          qcheck population_speedup_prop;
+        ] );
+    ]

@@ -1,0 +1,119 @@
+open San_topology
+open San_myricom
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let run g mapper_name =
+  let mapper = Option.get (Graph.host_by_name g mapper_name) in
+  Myricom.run g ~mapper
+
+let assert_iso name g mapper_name =
+  let r = run g mapper_name in
+  match r.Myricom.map with
+  | Error e -> Alcotest.failf "%s: export failed: %s" name e
+  | Ok m -> (
+    match Iso.check ~map:m ~actual:g () with
+    | Ok () -> r
+    | Error e -> Alcotest.failf "%s: not isomorphic: %s" name e)
+
+let test_maps_subcluster_c () =
+  let g, _ = Generators.now_c () in
+  let r = assert_iso "C" g "C-util" in
+  Alcotest.(check int) "13 switches identified" 13 r.Myricom.switches_found;
+  Alcotest.(check int) "no false comparison matches" 0 r.Myricom.false_matches
+
+let test_maps_now () =
+  let g, _ = Generators.now_cab () in
+  let r = assert_iso "NOW" g "C-util" in
+  Alcotest.(check int) "40 switches" 40 r.Myricom.switches_found
+
+let test_maps_classics () =
+  ignore (assert_iso "star" (Generators.star ~leaves:4 ()) "h0");
+  ignore (assert_iso "mesh" (Generators.mesh ~rows:3 ~cols:3 ()) "h0-0");
+  ignore (assert_iso "hypercube" (Generators.hypercube ~dim:3 ()) "h0");
+  ignore (assert_iso "ring" (Generators.ring ~switches:6 ~hosts_per_switch:1 ()) "h0-0")
+
+let test_detects_same_switch_cable () =
+  let g = Graph.create () in
+  let s = Graph.add_switch g () in
+  let h0 = Graph.add_host g ~name:"h0" in
+  let h1 = Graph.add_host g ~name:"h1" in
+  Graph.connect g (h0, 0) (s, 0);
+  Graph.connect g (h1, 0) (s, 1);
+  Graph.connect g (s, 4) (s, 6);
+  let r = run g "h0" in
+  Alcotest.(check bool) "loop probes hit" true (r.Myricom.counts.loop_probes > 0);
+  match r.Myricom.map with
+  | Ok m ->
+    Alcotest.(check int) "cable in map" 3 (Graph.num_wires m);
+    Alcotest.(check bool) "map isomorphic" true (Iso.equal ~map:m ~actual:g ())
+  | Error e -> Alcotest.failf "export failed: %s" e
+
+let test_message_count_dominated_by_comparisons () =
+  let g, _ = Generators.now_c () in
+  let r = run g "C-util" in
+  let c = r.Myricom.counts in
+  Alcotest.(check bool) "comparisons dominate" true
+    (c.compare_probes > c.loop_probes
+    && c.compare_probes > c.host_probes
+    && c.compare_probes > c.switch_probes)
+
+let test_costs_more_than_berkeley () =
+  let g, _ = Generators.now_c () in
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  let r_my = Myricom.run g ~mapper in
+  let net = San_simnet.Network.create g in
+  let r_bk = San_mapper.Berkeley.run net ~mapper in
+  let ratio =
+    float_of_int (Myricom.total r_my.Myricom.counts)
+    /. float_of_int (San_mapper.Berkeley.total_probes r_bk)
+  in
+  (* The paper reports 3.2x for C; any healthy reproduction lands
+     clearly above 2x. *)
+  Alcotest.(check bool) "message ratio above 2" true (ratio > 2.0);
+  Alcotest.(check bool) "slower in time too" true
+    (r_my.Myricom.elapsed_ns > r_bk.San_mapper.Berkeley.elapsed_ns)
+
+let test_includes_f_unlike_berkeley () =
+  (* Myricom never prunes: switches behind a switch-bridge stay in its
+     map, while the Berkeley map drops them (Theorem 1 maps N - F). *)
+  let g = Generators.pendant_branch () in
+  let r = run g "h0" in
+  Alcotest.(check int) "all 4 switches found" 4 r.Myricom.switches_found
+
+let myricom_correct_prop =
+  QCheck.Test.make ~name:"myricom maps random nets with empty F" ~count:30
+    QCheck.(triple small_int (int_range 2 7) (int_range 2 4))
+    (fun (seed, switches, hosts) ->
+      let rng = San_util.Prng.create ((seed * 17) + switches) in
+      let g =
+        Generators.random_connected ~rng ~switches ~hosts
+          ~extra_links:(seed mod 3) ()
+      in
+      QCheck.assume (Core_set.core_is_empty_f g);
+      let mapper = Option.get (Graph.host_by_name g "h0") in
+      let r = Myricom.run g ~mapper in
+      match r.Myricom.map with
+      | Error _ -> false
+      | Ok m -> Iso.equal ~map:m ~actual:g ())
+
+let () =
+  Alcotest.run "san_myricom"
+    [
+      ( "correctness",
+        [
+          Alcotest.test_case "subcluster C" `Quick test_maps_subcluster_c;
+          Alcotest.test_case "full NOW" `Quick test_maps_now;
+          Alcotest.test_case "classic interconnects" `Quick test_maps_classics;
+          Alcotest.test_case "same-switch cable" `Quick test_detects_same_switch_cable;
+          Alcotest.test_case "keeps F" `Quick test_includes_f_unlike_berkeley;
+        ] );
+      ( "comparison",
+        [
+          Alcotest.test_case "comparisons dominate" `Quick
+            test_message_count_dominated_by_comparisons;
+          Alcotest.test_case "costlier than Berkeley" `Quick
+            test_costs_more_than_berkeley;
+        ] );
+      ("properties", [ qcheck myricom_correct_prop ]);
+    ]

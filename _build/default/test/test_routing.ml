@@ -1,0 +1,328 @@
+open San_topology
+open San_routing
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+(* ---------- orientation ---------- *)
+
+let test_updown_root_selection () =
+  let g, _ = Generators.now_c () in
+  let util = Option.get (Graph.host_by_name g "C-util") in
+  let ud = Updown.build ~ignore_hosts:[ util ] g in
+  let name = Graph.name g (Updown.root ud) in
+  Alcotest.(check bool) ("root is a C root, got " ^ name) true
+    (String.length name >= 6 && String.sub name 0 6 = "C-root");
+  Alcotest.(check int) "root label 0" 0 (Updown.label ud (Updown.root ud))
+
+let test_updown_direction () =
+  let g = Generators.star ~leaves:2 () in
+  let hub = List.hd (Graph.switches g) in
+  let ud = Updown.build ~root:hub g in
+  let leaf = List.nth (Graph.switches g) 1 in
+  Alcotest.(check bool) "towards root is up" true (Updown.is_up ud leaf hub);
+  Alcotest.(check bool) "away from root is down" false (Updown.is_up ud hub leaf)
+
+let test_legal_turns () =
+  let g = Generators.star ~leaves:3 () in
+  let hub = List.hd (Graph.switches g) in
+  let ud = Updown.build ~root:hub g in
+  let l0 = List.nth (Graph.switches g) 1 in
+  let l1 = List.nth (Graph.switches g) 2 in
+  Alcotest.(check bool) "up then down legal" true (Updown.legal_turn ud l0 hub l1);
+  let h0 = Option.get (Graph.host_by_name g "h0") in
+  let h1 = Option.get (Graph.host_by_name g "h1") in
+  (* h0 - l0 - hub - l1 - h1 is up, up, down, down. *)
+  Alcotest.(check bool) "full path valid" true
+    (Updown.valid_path ud [ h0; l0; hub; l1; h1 ]);
+  (* A down-then-up zigzag is rejected. *)
+  Alcotest.(check bool) "down-up rejected" false
+    (Updown.valid_path ud [ hub; l0; hub ])
+
+let test_dominant_relabelling () =
+  (* A 4-cycle of switches; only a hostless switch can be locally
+     dominant (an attached host is always below its switch). Rooting
+     at s0 makes the hostless antipode s2 a local maximum. *)
+  let g = Graph.create () in
+  let s = Array.init 4 (fun i -> Graph.add_switch g ~name:(Printf.sprintf "s%d" i) ()) in
+  for i = 0 to 3 do
+    Graph.connect g (s.(i), 0) (s.((i + 1) mod 4), 1)
+  done;
+  let h0 = Graph.add_host g ~name:"h0" in
+  let h1 = Graph.add_host g ~name:"h1" in
+  Graph.connect g (h0, 0) (s.(0), 2);
+  Graph.connect g (h1, 0) (s.(1), 2);
+  let ud = Updown.build ~root:s.(0) g in
+  Alcotest.(check (list int)) "the hostless antipode relabelled" [ s.(2) ]
+    (Updown.relabeled ud);
+  Alcotest.(check bool) "relabelled below neighbours" true
+    (Updown.label ud s.(2) < Updown.label ud s.(1));
+  (* After relabelling it is transitable: all host pairs route. *)
+  let table = Routes.compute ~root:s.(0) g in
+  Alcotest.(check int) "no unreachable pairs" 0
+    (List.length (Routes.unreachable_pairs table));
+  Alcotest.(check bool) "still deadlock-free" true
+    (Result.is_ok (Deadlock.check_routes table))
+
+(* ---------- paths ---------- *)
+
+let test_paths_distances () =
+  let g = Generators.star ~leaves:2 () in
+  let hub = List.hd (Graph.switches g) in
+  let ud = Updown.build ~root:hub g in
+  let pt = Paths.compute ud in
+  let h0 = Option.get (Graph.host_by_name g "h0") in
+  let h1 = Option.get (Graph.host_by_name g "h1") in
+  Alcotest.(check (option int)) "h0 -> h1 distance" (Some 4)
+    (Paths.distance pt ~src:h0 ~dst:h1);
+  match Paths.node_path pt ~src:h0 ~dst:h1 with
+  | Some path ->
+    Alcotest.(check int) "path nodes" 5 (List.length path);
+    Alcotest.(check bool) "compliant" true (Updown.valid_path ud path)
+  | None -> Alcotest.fail "no path"
+
+(* ---------- route tables ---------- *)
+
+let full_check ?rng name g =
+  let table = Routes.compute ?rng g in
+  (match Routes.verify_delivery table with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s delivery: %s" name e);
+  (match Routes.verify_updown table with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s compliance: %s" name e);
+  (match Deadlock.check_routes table with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s deadlock: %s" name e);
+  let hosts = Graph.num_hosts g in
+  let st = Routes.length_stats table in
+  Alcotest.(check int) (name ^ " all pairs routed") (hosts * (hosts - 1))
+    st.Routes.pairs;
+  table
+
+let test_routes_now () = ignore (full_check "NOW" (fst (Generators.now_cab ())))
+
+let test_routes_classics () =
+  ignore (full_check "hypercube" (Generators.hypercube ~dim:4 ()));
+  ignore (full_check "torus" (Generators.torus ~rows:3 ~cols:3 ()));
+  ignore (full_check "mesh" (Generators.mesh ~rows:4 ~cols:2 ()));
+  ignore (full_check "chain" (Generators.chain ~switches:3 ()))
+
+let test_routes_deterministic_without_rng () =
+  let g, _ = Generators.now_c () in
+  let t1 = Routes.compute g and t2 = Routes.compute g in
+  Alcotest.(check bool) "same tables" true (Routes.all t1 = Routes.all t2)
+
+let test_load_balance_spreads () =
+  (* Parallel wires between two switches: with rng, both should carry
+     routes. *)
+  let g = Graph.create () in
+  let s0 = Graph.add_switch g () in
+  let s1 = Graph.add_switch g () in
+  Graph.connect g (s0, 0) (s1, 0);
+  Graph.connect g (s0, 1) (s1, 1);
+  for i = 0 to 2 do
+    let h = Graph.add_host g ~name:(Printf.sprintf "a%d" i) in
+    Graph.connect g (h, 0) (s0, 2 + i)
+  done;
+  for i = 0 to 2 do
+    let h = Graph.add_host g ~name:(Printf.sprintf "b%d" i) in
+    Graph.connect g (h, 0) (s1, 2 + i)
+  done;
+  let rng = San_util.Prng.create 8 in
+  let table = Routes.compute ~rng g in
+  let loads = Routes.channel_loads table in
+  let used_parallel =
+    List.filter (fun ((n, p), _) -> n = s0 && (p = 0 || p = 1)) loads
+  in
+  Alcotest.(check int) "both parallel channels used" 2
+    (List.length used_parallel);
+  ignore (full_check ~rng "parallel" g)
+
+let test_channel_loads_congestion () =
+  (* UP*/DOWN* concentrates traffic near the root (the paper's noted
+     effect): the hottest channel must touch a root-side switch. *)
+  let g, _ = Generators.now_c () in
+  let table = Routes.compute g in
+  match Routes.channel_loads table with
+  | ((n, _), load) :: _ ->
+    Alcotest.(check bool) "hot channel is switch-side" true (not (Graph.is_host g n));
+    Alcotest.(check bool) "meaningful load" true (load > 10)
+  | [] -> Alcotest.fail "no loads"
+
+let test_route_lengths_bounded () =
+  let g, _ = Generators.now_cab () in
+  let table = Routes.compute g in
+  let st = Routes.length_stats table in
+  Alcotest.(check bool) "max within diameter+2" true
+    (st.Routes.max_len <= Analysis.diameter g + 2);
+  Alcotest.(check bool) "min is 1" true (st.Routes.min_len >= 1)
+
+let test_map_routes_drive_actual () =
+  (* The port-offset invariance end to end: map with the Berkeley
+     algorithm, compute routes on the map, deliver on the actual. *)
+  let g, _ = Generators.now_c () in
+  let net = San_simnet.Network.create g in
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  let r = San_mapper.Berkeley.run net ~mapper in
+  match r.San_mapper.Berkeley.map with
+  | Error e -> Alcotest.failf "map failed: %s" e
+  | Ok m -> (
+    let table = Routes.compute m in
+    match Routes.verify_delivery ~against:g table with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "actual delivery: %s" e)
+
+(* ---------- dependency cycles ---------- *)
+
+let test_deadlock_detects_cycle () =
+  (* Hand-build routes that chase each other around a ring — the
+     classic deadlocked configuration UP*/DOWN* exists to prevent. *)
+  let g = Generators.ring ~switches:4 ~hosts_per_switch:1 () in
+  let host i = Option.get (Graph.host_by_name g (Printf.sprintf "h%d-0" i)) in
+  (* The checker must accept a compliant table... *)
+  let table = Routes.compute g in
+  (match Deadlock.check_routes table with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "compliant table flagged: %s" e);
+  (* ... and flag a synthetic cyclic set: four "routes", each crossing
+     two consecutive ring edges clockwise, chasing one another — the
+     classic deadlocked configuration UP*/DOWN* exists to prevent. *)
+  let sw = Array.of_list (Graph.switches g) in
+  let cyclic =
+    List.init 4 (fun i ->
+        let h = host i in
+        (* host -> its switch -> next switch -> next-next switch *)
+        let enter = Option.get (Graph.neighbor g (h, 0)) in
+        let _, entry = enter in
+        let next j = sw.((i + j) mod 4) in
+        let exit_port cur target =
+          fst
+            (List.find (fun (_, (n, _)) -> n = target) (Graph.wired_ports g cur))
+        in
+        let p1 = exit_port sw.(i) (next 1) in
+        let via = Option.get (Graph.neighbor g (sw.(i), p1)) in
+        let p2 = exit_port (next 1) (next 2) in
+        let t1 = p1 - entry in
+        let t2 = p2 - snd via in
+        (h, [ t1; t2 ]))
+
+  in
+  match Deadlock.check_acyclic g cyclic with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "cyclic dependency set not detected"
+
+let test_dfs_labeling_sound () =
+  let g, _ = Generators.now_cab () in
+  let table = Routes.compute ~labeling:Updown.Dfs g in
+  Alcotest.(check bool) "dfs routes deliver" true
+    (Result.is_ok (Routes.verify_delivery table));
+  Alcotest.(check bool) "dfs routes compliant" true
+    (Result.is_ok (Routes.verify_updown table));
+  Alcotest.(check bool) "dfs routes deadlock-free" true
+    (Result.is_ok (Deadlock.check_routes table));
+  Alcotest.(check int) "dfs routes all pairs" (100 * 99)
+    (Routes.length_stats table).Routes.pairs
+
+let dfs_sound_prop =
+  QCheck.Test.make ~name:"dfs labelling sound on random nets" ~count:20
+    QCheck.(pair small_int (int_range 2 7))
+    (fun (seed, switches) ->
+      let rng = San_util.Prng.create ((seed * 5) + switches) in
+      let g =
+        Generators.random_connected ~rng ~switches ~hosts:3
+          ~extra_links:(seed mod 3) ()
+      in
+      let table = Routes.compute ~labeling:Updown.Dfs g in
+      Result.is_ok (Routes.verify_delivery table)
+      && Result.is_ok (Deadlock.check_routes table)
+      && Routes.unreachable_pairs table = [])
+
+(* ---------- in-band route distribution (§5.5) ---------- *)
+
+let test_distribution_plan () =
+  let g, _ = Generators.now_c () in
+  let table = Routes.compute g in
+  let p = Distribute.plan table in
+  Alcotest.(check int) "one slice per host" 36
+    (List.length p.Distribute.slices);
+  List.iter
+    (fun (s : Distribute.slice) ->
+      Alcotest.(check int) "routes to all other hosts" 35 s.Distribute.entries;
+      Alcotest.(check bool) "bytes positive and SRAM-scale" true
+        (s.Distribute.bytes > 0 && s.Distribute.bytes < 4096))
+    p.Distribute.slices
+
+let test_distribution_delivers () =
+  let g, _ = Generators.now_c () in
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  (* Distribute the map-derived table over the actual network. *)
+  let net = San_simnet.Network.create g in
+  let r = San_mapper.Berkeley.run net ~mapper in
+  let table = Routes.compute (Result.get_ok r.San_mapper.Berkeley.map) in
+  match Distribute.simulate table ~actual:g ~leader:mapper with
+  | Ok rep ->
+    Alcotest.(check int) "all other hosts updated" 35 rep.Distribute.hosts_updated;
+    Alcotest.(check int) "none missed" 0 rep.Distribute.hosts_missed;
+    Alcotest.(check bool) "finishes quickly" true (rep.Distribute.duration_ns < 1e8)
+  | Error e -> Alcotest.failf "distribution failed: %s" e
+
+let test_distribution_needs_leader () =
+  let g, _ = Generators.now_c () in
+  let other = Graph.create () in
+  let s = Graph.add_switch other () in
+  let stranger = Graph.add_host other ~name:"stranger" in
+  Graph.connect other (stranger, 0) (s, 0);
+  let table = Routes.compute g in
+  match Distribute.simulate table ~actual:other ~leader:stranger with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown leader must be rejected"
+
+let routes_sound_prop =
+  QCheck.Test.make ~name:"routes on random nets: deliver, comply, acyclic"
+    ~count:30
+    QCheck.(triple small_int (int_range 2 8) (int_range 2 5))
+    (fun (seed, switches, hosts) ->
+      let rng = San_util.Prng.create ((seed * 13) + switches) in
+      let g =
+        Generators.random_connected ~rng ~switches ~hosts
+          ~extra_links:(seed mod 4) ()
+      in
+      let table = Routes.compute ~rng g in
+      Result.is_ok (Routes.verify_delivery table)
+      && Result.is_ok (Routes.verify_updown table)
+      && Result.is_ok (Deadlock.check_routes table)
+      && Routes.unreachable_pairs table = [])
+
+let () =
+  Alcotest.run "san_routing"
+    [
+      ( "updown",
+        [
+          Alcotest.test_case "root selection" `Quick test_updown_root_selection;
+          Alcotest.test_case "direction" `Quick test_updown_direction;
+          Alcotest.test_case "legal turns" `Quick test_legal_turns;
+          Alcotest.test_case "dominant relabelling" `Quick test_dominant_relabelling;
+        ] );
+      ("paths", [ Alcotest.test_case "distances" `Quick test_paths_distances ]);
+      ( "routes",
+        [
+          Alcotest.test_case "NOW" `Quick test_routes_now;
+          Alcotest.test_case "classics" `Quick test_routes_classics;
+          Alcotest.test_case "deterministic" `Quick test_routes_deterministic_without_rng;
+          Alcotest.test_case "load balance" `Quick test_load_balance_spreads;
+          Alcotest.test_case "root congestion" `Quick test_channel_loads_congestion;
+          Alcotest.test_case "length bounds" `Quick test_route_lengths_bounded;
+          Alcotest.test_case "map drives actual" `Quick test_map_routes_drive_actual;
+          Alcotest.test_case "dfs labelling" `Quick test_dfs_labeling_sound;
+          qcheck dfs_sound_prop;
+        ] );
+      ( "deadlock",
+        [ Alcotest.test_case "cycle detection" `Quick test_deadlock_detects_cycle ] );
+      ( "distribution",
+        [
+          Alcotest.test_case "plan" `Quick test_distribution_plan;
+          Alcotest.test_case "delivers" `Quick test_distribution_delivers;
+          Alcotest.test_case "leader check" `Quick test_distribution_needs_leader;
+        ] );
+      ("properties", [ qcheck routes_sound_prop ]);
+    ]
