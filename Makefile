@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-fast artifacts examples clean
+.PHONY: all build test check bench bench-fast artifacts examples clean
 
 all: build
 
@@ -10,9 +10,15 @@ build:
 test:
 	dune runtest
 
+# What CI runs: a full build plus the test suites.
+check:
+	dune build @all
+	dune runtest
+
 bench:
 	dune exec bench/main.exe
 
+# Also writes BENCH_obs.json: per-scenario wall time + metrics registry.
 bench-fast:
 	dune exec bench/main.exe -- --fast
 

@@ -37,6 +37,37 @@ let write_csv name header rows =
 let wants section =
   match !only with [] -> true | l -> List.mem section l
 
+(* Per-section metrics snapshots (the global registry is reset around
+   each section), exported as BENCH_obs.json so the perf trajectory is
+   machine-readable alongside the printed tables. *)
+let obs_sections : (string * San_util.Json.t) list ref = ref []
+
+let section name ~when_ f =
+  if when_ then begin
+    San_obs.Obs.reset ();
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let j =
+      match
+        San_obs.Metrics.to_json
+          (San_obs.Metrics.snapshot San_obs.Obs.registry)
+      with
+      | San_util.Json.Obj fields ->
+        San_util.Json.Obj (("wall_s", San_util.Json.Num wall_s) :: fields)
+      | j -> j
+    in
+    obs_sections := (name, j) :: !obs_sections
+  end
+
+let write_obs () =
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc
+    (San_util.Json.to_string (San_util.Json.Obj (List.rev !obs_sections)));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "(wrote BENCH_obs.json)\n"
+
 let fmt_ms ns = Printf.sprintf "%.0f" (ns /. 1e6)
 let fmt_pct x = Printf.sprintf "%.0f%%" (100.0 *. x)
 
@@ -1238,31 +1269,37 @@ let () =
   print_endline "System Area Network Mapping (SPAA'97) — reproduction harness";
   print_endline "paper values printed alongside; absolute times come from the";
   print_endline "calibrated simulation, shapes are the reproduction target.";
-  if wants "fig3" then fig3 ();
-  if wants "fig45" then fig45 ();
-  if wants "fig6" then fig6 ();
-  if wants "fig7" then fig7 ();
-  if wants "fig8" then fig8 ();
-  if wants "fig9" then fig9 ();
-  if wants "fig10" then fig10 ();
-  if wants "routes" then routes_section ();
-  if wants "ablation" || !only = [] then begin
-    ablation_policy ();
-    ablation_model ();
-    ablation_depth ();
-    ablation_myricom_window ();
-    ablation_updown_root ()
-  end;
-  if wants "eventsim" || !only = [] then eventsim_section ();
-  if wants "extensions" || !only = [] then begin
-    ext_simplified ();
-    ext_randomized ();
-    ext_parallel ();
-    ext_incremental ();
-    ext_online ();
-    ext_cross_traffic ();
-    ext_selfid ();
-    ext_emergent_election ()
-  end;
-  if wants "sensitivity" || !only = [] then sensitivity ();
-  if !with_bechamel && (wants "bechamel" || !only = []) then bechamel_section ()
+  San_obs.Obs.set_enabled true;
+  section "fig3" ~when_:(wants "fig3") fig3;
+  section "fig45" ~when_:(wants "fig45") fig45;
+  section "fig6" ~when_:(wants "fig6") fig6;
+  section "fig7" ~when_:(wants "fig7") fig7;
+  section "fig8" ~when_:(wants "fig8") fig8;
+  section "fig9" ~when_:(wants "fig9") fig9;
+  section "fig10" ~when_:(wants "fig10") fig10;
+  section "routes" ~when_:(wants "routes") routes_section;
+  section "ablation"
+    ~when_:(wants "ablation" || !only = [])
+    (fun () ->
+      ablation_policy ();
+      ablation_model ();
+      ablation_depth ();
+      ablation_myricom_window ();
+      ablation_updown_root ());
+  section "eventsim" ~when_:(wants "eventsim" || !only = []) eventsim_section;
+  section "extensions"
+    ~when_:(wants "extensions" || !only = [])
+    (fun () ->
+      ext_simplified ();
+      ext_randomized ();
+      ext_parallel ();
+      ext_incremental ();
+      ext_online ();
+      ext_cross_traffic ();
+      ext_selfid ();
+      ext_emergent_election ());
+  section "sensitivity" ~when_:(wants "sensitivity" || !only = []) sensitivity;
+  section "bechamel"
+    ~when_:(!with_bechamel && (wants "bechamel" || !only = []))
+    bechamel_section;
+  write_obs ()

@@ -66,6 +66,60 @@ let mapper_arg =
   let doc = "Host that runs the mapper (default: first host)." in
   Arg.(value & opt (some string) None & info [ "mapper" ] ~docv:"HOST" ~doc)
 
+(* ------------------------------------------------------------------ *)
+(* Observability: --trace / --metrics                                  *)
+
+let trace_arg =
+  let doc =
+    "Write a JSON-lines trace (probe, worm, merge and span events) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write a metrics snapshot (counters, gauges, histogram quantiles) as JSON \
+     to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Run [f] under the observability subsystem when either output was
+   requested; otherwise leave it disabled (zero-cost instrumentation). *)
+let with_obs ~trace ~metrics f =
+  if trace = None && metrics = None then f ()
+  else
+    match
+      San_obs.Obs.set_enabled true;
+      San_obs.Obs.reset ();
+      let trace_oc = Option.map open_out trace in
+      Option.iter
+        (fun oc ->
+          San_obs.Trace.add_sink San_obs.Obs.tracer
+            (San_obs.Trace.jsonl_sink oc))
+        trace_oc;
+      let finish () =
+        San_obs.Trace.clear_sinks San_obs.Obs.tracer;
+        Option.iter close_out trace_oc;
+        Option.iter (fun f -> Format.printf "wrote trace %s@." f) trace;
+        Option.iter
+          (fun file ->
+            let snap = San_obs.Metrics.snapshot San_obs.Obs.registry in
+            let oc = open_out file in
+            output_string oc
+              (San_util.Json.to_string (San_obs.Metrics.to_json snap));
+            output_char oc '\n';
+            close_out oc;
+            Format.printf "wrote metrics %s@." file)
+          metrics;
+        San_obs.Obs.set_enabled false
+      in
+      Fun.protect ~finally:finish f
+    with
+    | status -> status
+    | exception Fun.Finally_raised (Sys_error e) | (exception Sys_error e) ->
+      San_obs.Obs.set_enabled false;
+      Format.eprintf "cannot write observability output: %s@." e;
+      1
+
 let pick_mapper g = function
   | Some name -> (
     match Graph.host_by_name g name with
@@ -138,7 +192,9 @@ let json_arg =
   let doc = "Save the resulting map as JSON (loadable by `diff' and `verify')." in
   Cmdliner.Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
-let run_map spec seed mapper_name algo model depth policy dot json =
+let run_map spec seed mapper_name algo model depth policy dot json trace
+    metrics =
+  with_obs ~trace ~metrics @@ fun () ->
   let g = build_topology spec seed in
   let mapper = pick_mapper g mapper_name in
   let verify map =
@@ -200,7 +256,8 @@ let loads_arg =
   let doc = "Print the N hottest channels." in
   Arg.(value & opt int 0 & info [ "loads" ] ~docv:"N" ~doc)
 
-let run_routes spec seed mapper_name loads =
+let run_routes spec seed mapper_name loads trace metrics =
+  with_obs ~trace ~metrics @@ fun () ->
   let g = build_topology spec seed in
   let mapper = pick_mapper g mapper_name in
   let net = San_simnet.Network.create g in
@@ -258,7 +315,8 @@ let prev_arg =
   let doc = "Previously saved map (JSON) to verify against the live fabric." in
   Arg.(required & opt (some string) None & info [ "previous" ] ~docv:"FILE" ~doc)
 
-let run_verify spec seed mapper_name prev_file json =
+let run_verify spec seed mapper_name prev_file json trace metrics =
+  with_obs ~trace ~metrics @@ fun () ->
   let g = build_topology spec seed in
   let mapper = pick_mapper g mapper_name in
   match Serial.load prev_file with
@@ -295,12 +353,14 @@ let map_cmd =
     (Cmd.info "map" ~doc:"Discover a topology with in-band probes")
     Term.(
       const run_map $ topo_arg $ seed_arg $ mapper_arg $ algo_arg $ model_arg
-      $ depth_arg $ policy_arg $ dot_arg $ json_arg)
+      $ depth_arg $ policy_arg $ dot_arg $ json_arg $ trace_arg $ metrics_arg)
 
 let routes_cmd =
   Cmd.v
     (Cmd.info "routes" ~doc:"Map, then compute and verify UP*/DOWN* routes")
-    Term.(const run_routes $ topo_arg $ seed_arg $ mapper_arg $ loads_arg)
+    Term.(
+      const run_routes $ topo_arg $ seed_arg $ mapper_arg $ loads_arg
+      $ trace_arg $ metrics_arg)
 
 let diff_cmd =
   Cmd.v
@@ -311,7 +371,9 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Incrementally verify a saved map against the live fabric")
-    Term.(const run_verify $ topo_arg $ seed_arg $ mapper_arg $ prev_arg $ json_arg)
+    Term.(
+      const run_verify $ topo_arg $ seed_arg $ mapper_arg $ prev_arg $ json_arg
+      $ trace_arg $ metrics_arg)
 
 let () =
   let info =

@@ -117,6 +117,11 @@ let explore_service ~policy ~depth_used ~record_trace sv model seeds =
     else if not (try_switch ()) then ignore (try_host ())
   in
   let explore v =
+    if San_obs.Obs.on () then begin
+      San_obs.Obs.count "mapper.explorations";
+      San_obs.Obs.observe "mapper.frontier"
+        (float_of_int (San_util.Fifo.length frontier))
+    end;
     Model.set_explored model v;
     List.iter
       (fun turn ->
@@ -195,12 +200,13 @@ let run ?(policy = faithful) ?(depth = Oracle) ?(record_trace = false) net
   if not (Graph.is_host g mapper) then
     invalid_arg "Berkeley.run: mapper must be a host";
   Network.reset_stats net;
-  let depth_used = resolve_depth net ~mapper depth in
-  let model =
-    Model.create ~mapper_name:(Graph.name g mapper) ~radix:(Graph.radix g)
-  in
-  let explorations, elapsed, trace =
-    explore_from ~policy ~depth_used ~record_trace net ~mapper model
-      [ Model.root_switch model ]
-  in
-  finish ~model ~explorations ~elapsed ~depth_used ~trace net
+  San_obs.Obs.with_span "berkeley.run" (fun () ->
+      let depth_used = resolve_depth net ~mapper depth in
+      let model =
+        Model.create ~mapper_name:(Graph.name g mapper) ~radix:(Graph.radix g)
+      in
+      let explorations, elapsed, trace =
+        explore_from ~policy ~depth_used ~record_trace net ~mapper model
+          [ Model.root_switch model ]
+      in
+      finish ~model ~explorations ~elapsed ~depth_used ~trace net)

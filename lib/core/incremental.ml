@@ -112,6 +112,13 @@ let run ?policy ?depth net ~mapper ~previous =
     (* Switches unreachable in the map would already make it suspect. *)
     if Hashtbl.length routes <> Graph.num_switches previous then
       incr discrepancies;
+    San_obs.Obs.emit
+      (San_obs.Trace.Epoch_started
+         {
+           name = (if !discrepancies = 0 then "verified" else "remap");
+           discrepancies = !discrepancies;
+         });
+    San_obs.Obs.count "epoch.verifications";
     if !discrepancies = 0 then
       {
         verdict = Unchanged;

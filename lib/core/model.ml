@@ -186,6 +186,11 @@ let do_merge t ~keep ~absorb ~shift =
     xa.parent <- keep;
     xa.pshift <- shift;
     t.n_verts_live <- t.n_verts_live - 1;
+    if San_obs.Obs.on () then begin
+      San_obs.Obs.count "mapper.merges";
+      San_obs.Obs.emit
+        (San_obs.Trace.Replicate_merged { kept = keep; absorbed = absorb })
+    end;
     Queue.add keep t.mergelist
   end
 

@@ -8,6 +8,7 @@ type result = {
   wall_ns : float;
   sum_ns : float;
   total_probes : int;
+  stats : San_simnet.Stats.t;
   failed_locals : int;
 }
 
@@ -66,9 +67,17 @@ let run ?(policy = Berkeley.faithful) ?(local_depth = 5) ?trust_radius ?model
         let r =
           Berkeley.run ~policy ~depth:(Berkeley.Fixed local_depth) net ~mapper:m
         in
-        (m, r))
+        (m, r, San_simnet.Stats.copy (San_simnet.Network.stats net)))
       mappers
   in
+  (* Aggregate the per-worker accounting into one cluster-wide view. *)
+  let stats =
+    List.fold_left
+      (fun acc (_, _, st) -> San_simnet.Stats.merge acc st)
+      (San_simnet.Stats.create ())
+      locals
+  in
+  let locals = List.map (fun (m, r, _) -> (m, r)) locals in
   let wall =
     List.fold_left
       (fun acc (_, r) -> Float.max acc r.Berkeley.elapsed_ns)
@@ -77,9 +86,7 @@ let run ?(policy = Berkeley.faithful) ?(local_depth = 5) ?trust_radius ?model
   let sum =
     List.fold_left (fun acc (_, r) -> acc +. r.Berkeley.elapsed_ns) 0.0 locals
   in
-  let total_probes =
-    List.fold_left (fun acc (_, r) -> acc + Berkeley.total_probes r) 0 locals
-  in
+  let total_probes = San_simnet.Stats.total_probes stats in
   let trimmed, failed =
     List.fold_left
       (fun (ok, failed) (m, r) ->
@@ -104,5 +111,6 @@ let run ?(policy = Berkeley.faithful) ?(local_depth = 5) ?trust_radius ?model
     wall_ns = wall;
     sum_ns = sum;
     total_probes;
+    stats;
     failed_locals = failed;
   }

@@ -20,6 +20,8 @@ type result = {
   wall_ns : float;  (** slowest local mapper *)
   sum_ns : float;  (** total work across mappers *)
   total_probes : int;
+  stats : San_simnet.Stats.t;
+      (** per-worker stats merged with {!San_simnet.Stats.merge} *)
   failed_locals : int;  (** local maps dropped (export failure) *)
 }
 

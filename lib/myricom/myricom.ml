@@ -35,6 +35,7 @@ let run ?(params = Params.default) ?(model = Collision.Circuit) ?max_depth
     ?(compare_depth_window = 3) g ~mapper =
   if not (Graph.is_host g mapper) then
     invalid_arg "Myricom.run: mapper must be a host";
+  San_obs.Obs.with_span "myricom.run" @@ fun () ->
   let radix = Graph.radix g in
   let net =
     Network.create ~model ~params ~software_slowdown:params.Params.embedded_slowdown
@@ -121,6 +122,7 @@ let run ?(params = Params.default) ?(model = Collision.Circuit) ?max_depth
           else begin
             let probe = s.k_route @ [ x; y ] @ return_route b in
             incr compp;
+            San_obs.Obs.count "myricom.compare_probes";
             let resp, cost = Network.host_probe net ~src:mapper ~turns:probe in
             elapsed := !elapsed +. cost;
             match resp with
@@ -143,6 +145,7 @@ let run ?(params = Params.default) ?(model = Collision.Circuit) ?max_depth
         if slot_feasible s x && not (Hashtbl.mem s.k_slots x) then begin
           (* 1. loopback-cable test *)
           incr loops;
+          San_obs.Obs.count "myricom.loop_probes";
           let d, cost = Network.loop_probe net ~src:mapper ~turns:s.k_route ~turn:x in
           elapsed := !elapsed +. cost;
           match d with
@@ -152,6 +155,7 @@ let run ?(params = Params.default) ?(model = Collision.Circuit) ?max_depth
           | None -> (
             (* 2. host test *)
             incr hostp;
+            San_obs.Obs.count "myricom.host_probes";
             let resp, cost =
               Network.host_probe net ~src:mapper ~turns:(s.k_route @ [ x ])
             in
@@ -169,6 +173,7 @@ let run ?(params = Params.default) ?(model = Collision.Circuit) ?max_depth
             | Network.Switch | Network.Nothing -> (
               (* 3. switch test *)
               incr swp;
+              San_obs.Obs.count "myricom.switch_probes";
               let resp, cost =
                 Network.switch_probe net ~src:mapper ~turns:(s.k_route @ [ x ])
               in

@@ -1,0 +1,260 @@
+(* A registry of named counters, gauges and log-scale histograms.
+
+   Instruments are created on first use and zeroed in place by [reset],
+   so handles cached by instrumented modules stay valid across the
+   per-run resets the CLI and bench harness perform. *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+(* Log-scale histogram: observations are binned at geometric bucket
+   boundaries gamma^i with gamma = 2^(1/8) (~9% relative resolution),
+   the scheme DDSketch/HDR use. Non-positive observations land in a
+   dedicated zero bucket. *)
+let gamma = Float.pow 2.0 0.125
+let log_gamma = Float.log gamma
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  mutable h_zero : int;
+  h_buckets : (int, int) Hashtbl.t;
+}
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let find_or tbl name make =
+  match Hashtbl.find_opt tbl name with
+  | Some x -> x
+  | None ->
+    let x = make () in
+    Hashtbl.replace tbl name x;
+    x
+
+let counter t name =
+  find_or t.counters name (fun () -> { c_name = name; c_value = 0 })
+
+let gauge t name =
+  find_or t.gauges name (fun () -> { g_name = name; g_value = 0.0 })
+
+let histogram t name =
+  find_or t.histograms name (fun () ->
+      {
+        h_name = name;
+        h_count = 0;
+        h_sum = 0.0;
+        h_min = infinity;
+        h_max = neg_infinity;
+        h_zero = 0;
+        h_buckets = Hashtbl.create 64;
+      })
+
+let incr ?(by = 1) c = c.c_value <- c.c_value + by
+let counter_value c = c.c_value
+let counter_name c = c.c_name
+
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+let gauge_name g = g.g_name
+
+let bucket_of v = int_of_float (Float.floor (Float.log v /. log_gamma))
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  if v <= 0.0 then h.h_zero <- h.h_zero + 1
+  else
+    let b = bucket_of v in
+    Hashtbl.replace h.h_buckets b
+      (1 + Option.value ~default:0 (Hashtbl.find_opt h.h_buckets b))
+
+let histogram_count h = h.h_count
+let histogram_name h = h.h_name
+
+let reset t =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) t.counters;
+  Hashtbl.iter (fun _ g -> g.g_value <- 0.0) t.gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      h.h_count <- 0;
+      h.h_sum <- 0.0;
+      h.h_min <- infinity;
+      h.h_max <- neg_infinity;
+      h.h_zero <- 0;
+      Hashtbl.reset h.h_buckets)
+    t.histograms
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+
+type hist_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+  hs_zero : int;
+  hs_buckets : (int * int) list; (* sorted by bucket index *)
+}
+
+type snapshot = {
+  s_counters : (string * int) list;
+  s_gauges : (string * float) list;
+  s_histograms : (string * hist_snapshot) list;
+}
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot t =
+  {
+    s_counters = sorted_bindings t.counters (fun c -> c.c_value);
+    s_gauges = sorted_bindings t.gauges (fun g -> g.g_value);
+    s_histograms =
+      sorted_bindings t.histograms (fun h ->
+          {
+            hs_count = h.h_count;
+            hs_sum = h.h_sum;
+            hs_min = h.h_min;
+            hs_max = h.h_max;
+            hs_zero = h.h_zero;
+            hs_buckets =
+              Hashtbl.fold (fun b n acc -> (b, n) :: acc) h.h_buckets []
+              |> List.sort compare;
+          });
+  }
+
+(* [diff ~before ~after]: activity between two snapshots of the same
+   registry. Counters and histogram populations subtract; gauges keep
+   the later value; a histogram's min/max are taken from [after] (the
+   window extremes are not recoverable from summaries). *)
+let diff ~before ~after =
+  let base assoc name = Option.value ~default:0 (List.assoc_opt name assoc) in
+  let sub_buckets older newer =
+    List.filter_map
+      (fun (b, n) ->
+        let d = n - Option.value ~default:0 (List.assoc_opt b older) in
+        if d > 0 then Some (b, d) else None)
+      newer
+  in
+  {
+    s_counters =
+      List.map
+        (fun (name, v) -> (name, v - base before.s_counters name))
+        after.s_counters;
+    s_gauges = after.s_gauges;
+    s_histograms =
+      List.map
+        (fun (name, h) ->
+          match List.assoc_opt name before.s_histograms with
+          | None -> (name, h)
+          | Some h0 ->
+            ( name,
+              {
+                hs_count = h.hs_count - h0.hs_count;
+                hs_sum = h.hs_sum -. h0.hs_sum;
+                hs_min = h.hs_min;
+                hs_max = h.hs_max;
+                hs_zero = h.hs_zero - h0.hs_zero;
+                hs_buckets = sub_buckets h0.hs_buckets h.hs_buckets;
+              } ))
+        after.s_histograms;
+  }
+
+(* Quantile by cumulative walk over the zero bucket then the sorted
+   log buckets; a bucket answers with its geometric midpoint, clamped
+   to the observed extremes. *)
+let quantile_of hs q =
+  if hs.hs_count = 0 then 0.0
+  else begin
+    let rank =
+      max 1 (int_of_float (Float.ceil (q *. float_of_int hs.hs_count)))
+    in
+    if rank <= hs.hs_zero then 0.0
+    else begin
+      let rec walk seen = function
+        | [] -> hs.hs_max
+        | (b, n) :: rest ->
+          let seen = seen + n in
+          if seen >= rank then
+            Float.pow gamma (float_of_int b +. 0.5)
+          else walk seen rest
+      in
+      let v = walk hs.hs_zero hs.hs_buckets in
+      Float.min hs.hs_max (Float.max hs.hs_min v)
+    end
+  end
+
+let quantile h q =
+  quantile_of
+    {
+      hs_count = h.h_count;
+      hs_sum = h.h_sum;
+      hs_min = h.h_min;
+      hs_max = h.h_max;
+      hs_zero = h.h_zero;
+      hs_buckets =
+        Hashtbl.fold (fun b n acc -> (b, n) :: acc) h.h_buckets []
+        |> List.sort compare;
+    }
+    q
+
+let counter_in snap name = List.assoc_opt name snap.s_counters
+let gauge_in snap name = List.assoc_opt name snap.s_gauges
+let histogram_in snap name = List.assoc_opt name snap.s_histograms
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+
+let to_json snap =
+  let module J = San_util.Json in
+  let hist_json (name, hs) =
+    ( name,
+      J.Obj
+        [
+          ("count", J.int hs.hs_count);
+          ("sum", J.Num hs.hs_sum);
+          ("min", J.Num (if hs.hs_count = 0 then 0.0 else hs.hs_min));
+          ("max", J.Num (if hs.hs_count = 0 then 0.0 else hs.hs_max));
+          ("p50", J.Num (quantile_of hs 0.50));
+          ("p90", J.Num (quantile_of hs 0.90));
+          ("p99", J.Num (quantile_of hs 0.99));
+        ] )
+  in
+  J.Obj
+    [
+      ( "counters",
+        J.Obj (List.map (fun (n, v) -> (n, J.int v)) snap.s_counters) );
+      ("gauges", J.Obj (List.map (fun (n, v) -> (n, J.Num v)) snap.s_gauges));
+      ("histograms", J.Obj (List.map hist_json snap.s_histograms));
+    ]
+
+let pp ppf snap =
+  List.iter
+    (fun (n, v) -> Format.fprintf ppf "%s = %d@." n v)
+    snap.s_counters;
+  List.iter
+    (fun (n, v) -> Format.fprintf ppf "%s = %g@." n v)
+    snap.s_gauges;
+  List.iter
+    (fun (n, hs) ->
+      Format.fprintf ppf "%s: n=%d sum=%g p50=%g p90=%g p99=%g@." n hs.hs_count
+        hs.hs_sum (quantile_of hs 0.50) (quantile_of hs 0.90)
+        (quantile_of hs 0.99))
+    snap.s_histograms

@@ -1,0 +1,36 @@
+(** Process-wide observability switchboard.
+
+    Mapper, simulator and routing code report into the global
+    {!registry} and {!tracer} through the helpers below. All of them
+    are no-ops until {!set_enabled}[ true] — one boolean test on the
+    hot path when observability is off — so instrumentation can stay
+    in place permanently. Front ends ([san_map --trace/--metrics], the
+    bench harness, tests) enable the switch, attach sinks and export
+    snapshots. *)
+
+val set_enabled : bool -> unit
+
+val on : unit -> bool
+(** Whether observability is currently enabled. *)
+
+val registry : Metrics.t
+(** The global metrics registry. *)
+
+val tracer : Trace.t
+(** The global tracer (64k-record ring). *)
+
+val reset : unit -> unit
+(** Zero the registry and empty the tracer ring. *)
+
+val emit : Trace.event -> unit
+
+val count : ?by:int -> string -> unit
+(** Bump a counter in the global registry. *)
+
+val set_gauge : string -> float -> unit
+val observe : string -> float -> unit
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f], emitting [Span_begin]/[Span_end]
+    trace events and recording the elapsed wall time into histogram
+    ["span." ^ name]. When disabled it is exactly [f ()]. *)

@@ -1,0 +1,65 @@
+(** Typed, timestamped trace events.
+
+    A tracer keeps the most recent [capacity] records in a ring buffer
+    (oldest records are overwritten, never the newest) and feeds every
+    record to its sinks as it is emitted: the in-memory ring serves
+    tests and post-mortems, a JSON-lines sink serves tooling, the
+    console sink serves interactive debugging. *)
+
+type probe_kind = Host | Switch | Walk | Loop
+
+type event =
+  | Probe_sent of { kind : probe_kind; hit : bool; cost_ns : float }
+  | Worm_injected of { wid : int; at_ns : float; hops : int }
+  | Worm_delivered of { wid : int; at_ns : float; latency_ns : float }
+  | Worm_dropped of { wid : int; at_ns : float; reason : string }
+  | Replicate_merged of { kept : int; absorbed : int }
+  | Route_computed of { pairs : int; unreachable : int }
+  | Routes_distributed of { slices : int; bytes : int }
+  | Epoch_started of { name : string; discrepancies : int }
+  | Span_begin of { name : string }
+  | Span_end of { name : string; elapsed_ns : float }
+  | Mark of { name : string; note : string }
+
+type record = { seq : int; wall_ns : float; event : event }
+(** [seq] counts from 0 since the last [clear]; [wall_ns] is wall-clock
+    time (nanoseconds since the epoch). *)
+
+type sink = record -> unit
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring capacity defaults to 4096 records. *)
+
+val emit : t -> event -> unit
+
+val records : t -> record list
+(** Surviving records, oldest first. *)
+
+val events : t -> event list
+
+val capacity : t -> int
+val length : t -> int
+
+val dropped : t -> int
+(** Records overwritten by ring wrap-around since the last [clear]. *)
+
+val clear : t -> unit
+(** Empty the ring and restart [seq] at 0. Sinks are kept. *)
+
+val add_sink : t -> sink -> unit
+val clear_sinks : t -> unit
+
+val jsonl_sink : out_channel -> sink
+(** One compact JSON object per line, [record_to_json] encoding. *)
+
+val console_sink : Format.formatter -> sink
+
+val record_to_json : record -> San_util.Json.t
+val record_of_json : San_util.Json.t -> record option
+val event_to_json : event -> San_util.Json.t
+val event_of_json : San_util.Json.t -> event option
+
+val probe_kind_to_string : probe_kind -> string
+val pp_event : Format.formatter -> event -> unit

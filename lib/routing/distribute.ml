@@ -35,7 +35,7 @@ type report = {
   total_messages : int;
 }
 
-let simulate ?(params = San_simnet.Params.default) table ~actual ~leader =
+let simulate_inner ~params table ~actual ~leader =
   let map = Routes.graph table in
   let leader_in_map =
     Graph.host_by_name map (Graph.name actual leader)
@@ -85,3 +85,19 @@ let simulate ?(params = San_simnet.Params.default) table ~actual ~leader =
         duration_ns = last;
         total_messages = List.length !sent;
       }
+
+let simulate ?(params = San_simnet.Params.default) table ~actual ~leader =
+  San_obs.Obs.with_span "routes.distribute" (fun () ->
+      let r = simulate_inner ~params table ~actual ~leader in
+      (if San_obs.Obs.on () then
+         match r with
+         | Ok rep ->
+           let p = plan table in
+           San_obs.Obs.count ~by:(List.length p.slices) "routes.slices";
+           San_obs.Obs.count ~by:rep.hosts_updated "routes.hosts_updated";
+           San_obs.Obs.count ~by:rep.hosts_missed "routes.hosts_missed";
+           San_obs.Obs.emit
+             (San_obs.Trace.Routes_distributed
+                { slices = List.length p.slices; bytes = p.total_bytes })
+         | Error _ -> San_obs.Obs.count "routes.distribute_failures");
+      r)

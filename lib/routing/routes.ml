@@ -41,25 +41,40 @@ let turns_of_path ?rng g = function
     go src 0 [] rest
 
 let compute ?rng ?root ?ignore_hosts ?labeling g =
-  let ud = Updown.build ?root ?ignore_hosts ?labeling g in
-  let pt = Paths.compute ud in
-  let table = Hashtbl.create 256 in
-  let missing = ref [] in
-  let hosts = Graph.hosts g in
-  List.iter
-    (fun src ->
+  San_obs.Obs.with_span "routes.compute" (fun () ->
+      let ud = Updown.build ?root ?ignore_hosts ?labeling g in
+      let pt = Paths.compute ud in
+      let table = Hashtbl.create 256 in
+      let missing = ref [] in
+      let hosts = Graph.hosts g in
       List.iter
-        (fun dst ->
-          if src <> dst then
-            match Paths.node_path ?rng pt ~src ~dst with
-            | None -> missing := (src, dst) :: !missing
-            | Some path -> (
-              match turns_of_path ?rng g path with
-              | None -> missing := (src, dst) :: !missing
-              | Some turns -> Hashtbl.replace table (src, dst) turns))
-        hosts)
-    hosts;
-  { rt_graph = g; rt_ud = ud; table; missing = !missing }
+        (fun src ->
+          List.iter
+            (fun dst ->
+              if src <> dst then
+                match Paths.node_path ?rng pt ~src ~dst with
+                | None -> missing := (src, dst) :: !missing
+                | Some path -> (
+                  match turns_of_path ?rng g path with
+                  | None -> missing := (src, dst) :: !missing
+                  | Some turns -> Hashtbl.replace table (src, dst) turns))
+            hosts)
+        hosts;
+      if San_obs.Obs.on () then begin
+        San_obs.Obs.count ~by:(Hashtbl.length table) "routes.pairs";
+        San_obs.Obs.count ~by:(List.length !missing) "routes.unreachable";
+        Hashtbl.iter
+          (fun _ turns ->
+            San_obs.Obs.observe "routes.turns" (float_of_int (List.length turns)))
+          table;
+        San_obs.Obs.emit
+          (San_obs.Trace.Route_computed
+             {
+               pairs = Hashtbl.length table;
+               unreachable = List.length !missing;
+             })
+      end;
+      { rt_graph = g; rt_ud = ud; table; missing = !missing })
 
 let route t ~src ~dst = Hashtbl.find_opt t.table (src, dst)
 

@@ -132,6 +132,12 @@ let inject t ~at_ns ~src ~turns ?payload_bytes () =
   t.worms.(t.nworms) <- w;
   t.nworms <- t.nworms + 1;
   schedule t ~at:at_ns (Start w.wid);
+  if San_obs.Obs.on () then begin
+    San_obs.Obs.count "sim.injected";
+    San_obs.Obs.emit
+      (San_obs.Trace.Worm_injected
+         { wid = w.wid; at_ns; hops = Array.length path })
+  end;
   w.wid
 
 let release_held t w ~upto ~at =
@@ -148,6 +154,16 @@ let finish_drop t w reason ~at =
   (match reason with
   | Bad_route _ -> t.n_bad_route <- t.n_bad_route + 1
   | Forward_reset -> t.n_reset <- t.n_reset + 1);
+  if San_obs.Obs.on () then begin
+    let tag =
+      match reason with
+      | Bad_route _ -> "bad_route"
+      | Forward_reset -> "forward_reset"
+    in
+    San_obs.Obs.count ("sim.dropped_" ^ tag);
+    San_obs.Obs.emit
+      (San_obs.Trace.Worm_dropped { wid = w.wid; at_ns = at; reason = tag })
+  end;
   release_held t w ~upto:w.head ~at
 
 let rec try_acquire t w i ~at =
@@ -181,6 +197,7 @@ let rec try_acquire t w i ~at =
           ~at:(at +. Params.hop_latency_ns t.params)
           (Advance (w.wid, i + 1))
       | Some _ ->
+        San_obs.Obs.count "sim.channel_waits";
         Queue.add (w.wid, i) c.waiters;
         w.waiting_on <- i;
         w.waiting_since <- at;
@@ -239,6 +256,13 @@ let handle t ev ~at =
       t.lat_sum <- t.lat_sum +. latency;
       t.lat_max <- Float.max t.lat_max latency;
       t.lats <- latency :: t.lats;
+      if San_obs.Obs.on () then begin
+        San_obs.Obs.count "sim.delivered";
+        San_obs.Obs.observe "sim.latency_ns" latency;
+        San_obs.Obs.emit
+          (San_obs.Trace.Worm_delivered
+             { wid = w.wid; at_ns = at; latency_ns = latency })
+      end;
       release_held t w ~upto:(Array.length w.path) ~at
     end
 

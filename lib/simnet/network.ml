@@ -75,6 +75,33 @@ let probe_cost_miss t =
   let p = t.net_params in
   (t.slowdown *. p.send_overhead_ns) +. p.probe_timeout_ns
 
+(* Single accounting point for every probe the fabric serves: the
+   per-network [Stats] record stays the per-run compatibility view
+   (walk and loop probes count in the host and switch columns they
+   occupy on the wire), while the global registry and tracer see the
+   finer-grained kind. *)
+let account t ~(kind : San_obs.Trace.probe_kind) ~hit ~cost =
+  let st = t.net_stats in
+  (match kind with
+  | San_obs.Trace.Host | San_obs.Trace.Walk ->
+    st.Stats.host_probes <- st.Stats.host_probes + 1;
+    if hit then st.Stats.host_hits <- st.Stats.host_hits + 1
+  | San_obs.Trace.Switch | San_obs.Trace.Loop ->
+    st.Stats.switch_probes <- st.Stats.switch_probes + 1;
+    if hit then st.Stats.switch_hits <- st.Stats.switch_hits + 1);
+  Stats.add_time st cost;
+  if San_obs.Obs.on () then begin
+    let stem =
+      match kind with
+      | San_obs.Trace.Host | San_obs.Trace.Walk -> "net.host"
+      | San_obs.Trace.Switch | San_obs.Trace.Loop -> "net.switch"
+    in
+    San_obs.Obs.count (stem ^ "_probes");
+    if hit then San_obs.Obs.count (stem ^ "_hits");
+    San_obs.Obs.observe "net.probe_cost_ns" cost;
+    San_obs.Obs.emit (San_obs.Trace.Probe_sent { kind; hit; cost_ns = cost })
+  end
+
 let host_probe t ~src ~turns =
   let trace = Worm.eval t.net_graph ~src ~turns:(Route.host_probe turns) in
   let success =
@@ -94,20 +121,17 @@ let host_probe t ~src ~turns =
       Some name
     | Some _ | None -> None
   in
-  let st = t.net_stats in
-  st.Stats.host_probes <- st.Stats.host_probes + 1;
   match success with
   | Some name ->
-    st.Stats.host_hits <- st.Stats.host_hits + 1;
     (* Round trip: the reply retraces the same number of wire
        crossings in the opposite direction. *)
     let hops = 2 * List.length trace.hops in
     let cost = jittered t (probe_cost_hit t ~hops) in
-    Stats.add_time st cost;
+    account t ~kind:San_obs.Trace.Host ~hit:true ~cost;
     (Host name, cost)
   | None ->
     let cost = jittered t (probe_cost_miss t) in
-    Stats.add_time st cost;
+    account t ~kind:San_obs.Trace.Host ~hit:false ~cost;
     (Nothing, cost)
 
 let walk_probe t ~src ~turns =
@@ -137,17 +161,14 @@ let walk_probe t ~src ~turns =
       Some (name, consumed)
     | Some _ | None -> None
   in
-  let st = t.net_stats in
-  st.Stats.host_probes <- st.Stats.host_probes + 1;
   match answer with
   | Some (name, consumed) ->
-    st.Stats.host_hits <- st.Stats.host_hits + 1;
     let cost = jittered t (probe_cost_hit t ~hops:(2 * List.length trace.hops)) in
-    Stats.add_time st cost;
+    account t ~kind:San_obs.Trace.Walk ~hit:true ~cost;
     (Some (name, consumed), cost)
   | None ->
     let cost = jittered t (probe_cost_miss t) in
-    Stats.add_time st cost;
+    account t ~kind:San_obs.Trace.Walk ~hit:false ~cost;
     (None, cost)
 
 let loop_probe t ~src ~turns ~turn =
@@ -178,17 +199,14 @@ let loop_probe t ~src ~turns ~turn =
       Some d
     | Some _ | None -> None
   in
-  let st = t.net_stats in
-  st.Stats.switch_probes <- st.Stats.switch_probes + 1;
   match answer with
   | Some d ->
-    st.Stats.switch_hits <- st.Stats.switch_hits + 1;
     let cost = jittered t (probe_cost_hit t ~hops:(2 * (List.length trace.hops + 1))) in
-    Stats.add_time st cost;
+    account t ~kind:San_obs.Trace.Loop ~hit:true ~cost;
     (Some d, cost)
   | None ->
     let cost = jittered t (probe_cost_miss t) in
-    Stats.add_time st cost;
+    account t ~kind:San_obs.Trace.Loop ~hit:false ~cost;
     (None, cost)
 
 let switch_probe t ~src ~turns =
@@ -209,16 +227,13 @@ let switch_probe t ~src ~turns =
   let success =
     success && survives_traffic t ~crossings:(List.length trace.hops)
   in
-  let st = t.net_stats in
-  st.Stats.switch_probes <- st.Stats.switch_probes + 1;
   if success then begin
-    st.Stats.switch_hits <- st.Stats.switch_hits + 1;
     let cost = jittered t (probe_cost_hit t ~hops:(List.length trace.hops)) in
-    Stats.add_time st cost;
+    account t ~kind:San_obs.Trace.Switch ~hit:true ~cost;
     (Switch, cost)
   end
   else begin
     let cost = jittered t (probe_cost_miss t) in
-    Stats.add_time st cost;
+    account t ~kind:San_obs.Trace.Switch ~hit:false ~cost;
     (Nothing, cost)
   end

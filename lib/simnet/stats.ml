@@ -22,7 +22,25 @@ let reset t =
   t.switch_hits <- 0;
   t.serial_time_ns <- 0.0
 
-let copy t = { t with host_probes = t.host_probes }
+(* A fresh record with the same values; the fields are mutable, so a
+   plain binding would alias. *)
+let copy t =
+  {
+    host_probes = t.host_probes;
+    host_hits = t.host_hits;
+    switch_probes = t.switch_probes;
+    switch_hits = t.switch_hits;
+    serial_time_ns = t.serial_time_ns;
+  }
+
+let merge a b =
+  {
+    host_probes = a.host_probes + b.host_probes;
+    host_hits = a.host_hits + b.host_hits;
+    switch_probes = a.switch_probes + b.switch_probes;
+    switch_hits = a.switch_hits + b.switch_hits;
+    serial_time_ns = a.serial_time_ns +. b.serial_time_ns;
+  }
 
 let total_probes t = t.host_probes + t.switch_probes
 let total_hits t = t.host_hits + t.switch_hits

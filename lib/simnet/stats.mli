@@ -17,7 +17,13 @@ type t = {
 
 val create : unit -> t
 val reset : t -> unit
+
 val copy : t -> t
+(** A fresh record with the same values (the fields are mutable). *)
+
+val merge : t -> t -> t
+(** Element-wise sum, for aggregating per-worker accounting — the
+    parallel mapper sums its local mappers' stats into one view. *)
 
 val total_probes : t -> int
 val total_hits : t -> int

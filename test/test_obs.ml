@@ -1,0 +1,318 @@
+(* The observability subsystem: histogram quantiles, ring-buffer
+   overflow, JSON-lines round-trips, and agreement between trace
+   events, the metrics registry and the Stats compatibility view. *)
+
+open San_obs
+open San_topology
+open San_simnet
+
+let close ?(rel = 0.10) msg expected got =
+  (* Log-scale buckets answer within gamma = 2^(1/8) relative error;
+     allow a little slack on top. *)
+  let ok = Float.abs (got -. expected) <= rel *. Float.abs expected in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected ~%g, got %g" msg expected got)
+    true ok
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_hist_quantiles_uniform () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "u" in
+  for i = 1 to 1000 do
+    Metrics.observe h (float_of_int i)
+  done;
+  close "p50 of 1..1000" 500.0 (Metrics.quantile h 0.50);
+  close "p90 of 1..1000" 900.0 (Metrics.quantile h 0.90);
+  close "p99 of 1..1000" 990.0 (Metrics.quantile h 0.99);
+  Alcotest.(check int) "count" 1000 (Metrics.histogram_count h)
+
+let test_hist_quantiles_exponential () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "e" in
+  (* A heavily skewed distribution: 990 small values, 10 huge ones. *)
+  for _ = 1 to 990 do
+    Metrics.observe h 10.0
+  done;
+  for _ = 1 to 10 do
+    Metrics.observe h 1.0e6
+  done;
+  close "p50 skewed" 10.0 (Metrics.quantile h 0.50);
+  close "p90 skewed" 10.0 (Metrics.quantile h 0.90);
+  close "p99.5 skewed" 1.0e6 (Metrics.quantile h 0.995)
+
+let test_hist_zero_and_clamp () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "z" in
+  List.iter (Metrics.observe h) [ 0.0; 0.0; 0.0; 42.0; 43.0 ];
+  Alcotest.(check (float 1e-9)) "p50 lands in the zero bucket" 0.0
+    (Metrics.quantile h 0.50);
+  (* The top quantile must clamp to the observed max, not a bucket
+     boundary above it. *)
+  Alcotest.(check bool) "p99 clamped to max" true
+    (Metrics.quantile h 0.99 <= 43.0);
+  Alcotest.(check (float 1e-9)) "empty histogram quantile" 0.0
+    (Metrics.quantile (Metrics.histogram r "empty") 0.5)
+
+let test_registry_snapshot_diff () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "c" in
+  let g = Metrics.gauge r "g" in
+  let h = Metrics.histogram r "h" in
+  Metrics.incr ~by:5 c;
+  Metrics.set g 1.5;
+  Metrics.observe h 100.0;
+  let before = Metrics.snapshot r in
+  Metrics.incr ~by:7 c;
+  Metrics.set g 9.0;
+  Metrics.observe h 200.0;
+  Metrics.observe h 300.0;
+  let after = Metrics.snapshot r in
+  let d = Metrics.diff ~before ~after in
+  Alcotest.(check (option int)) "counter delta" (Some 7)
+    (Metrics.counter_in d "c");
+  Alcotest.(check (option (float 1e-9))) "gauge keeps later value" (Some 9.0)
+    (Metrics.gauge_in d "g");
+  (match Metrics.histogram_in d "h" with
+  | None -> Alcotest.fail "histogram missing from diff"
+  | Some hs ->
+    Alcotest.(check int) "histogram delta count" 2 hs.Metrics.hs_count;
+    Alcotest.(check (float 1e-6)) "histogram delta sum" 500.0 hs.Metrics.hs_sum);
+  (* reset zeroes in place: the old handle keeps working. *)
+  Metrics.reset r;
+  Alcotest.(check int) "reset zeroes counters" 0 (Metrics.counter_value c);
+  Metrics.incr c;
+  Alcotest.(check (option int)) "handle survives reset" (Some 1)
+    (Metrics.counter_in (Metrics.snapshot r) "c")
+
+let test_metrics_to_json () =
+  let r = Metrics.create () in
+  Metrics.incr ~by:3 (Metrics.counter r "probes");
+  Metrics.observe (Metrics.histogram r "lat") 50.0;
+  let s = San_util.Json.to_string (Metrics.to_json (Metrics.snapshot r)) in
+  match San_util.Json.of_string s with
+  | Error e -> Alcotest.fail ("metrics JSON does not parse: " ^ e)
+  | Ok j ->
+    let counters = Option.get (San_util.Json.member "counters" j) in
+    Alcotest.(check (option int)) "counter round-trips" (Some 3)
+      (Option.bind (San_util.Json.member "probes" counters) San_util.Json.to_int)
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring buffer                                                   *)
+
+let mark i = Trace.Mark { name = "m"; note = string_of_int i }
+
+let test_ring_overflow () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Trace.emit t (mark i)
+  done;
+  Alcotest.(check int) "length capped at capacity" 4 (Trace.length t);
+  Alcotest.(check int) "dropped counts overwrites" 6 (Trace.dropped t);
+  let seqs = List.map (fun (r : Trace.record) -> r.Trace.seq) (Trace.records t) in
+  Alcotest.(check (list int)) "newest survive, oldest first" [ 6; 7; 8; 9 ] seqs;
+  Trace.clear t;
+  Alcotest.(check int) "clear empties" 0 (Trace.length t);
+  Alcotest.(check int) "clear resets dropped" 0 (Trace.dropped t);
+  Trace.emit t (mark 0);
+  Alcotest.(check int) "seq restarts at 0" 0
+    (List.hd (Trace.records t)).Trace.seq
+
+let test_ring_under_capacity () =
+  let t = Trace.create ~capacity:8 () in
+  for i = 0 to 2 do
+    Trace.emit t (mark i)
+  done;
+  Alcotest.(check int) "length" 3 (Trace.length t);
+  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped t);
+  Alcotest.(check int) "all events kept" 3 (List.length (Trace.events t))
+
+(* ------------------------------------------------------------------ *)
+(* JSON-lines round-trip                                               *)
+
+let sample_events =
+  [
+    Trace.Probe_sent { kind = Trace.Host; hit = true; cost_ns = 202200.0 };
+    Trace.Probe_sent { kind = Trace.Loop; hit = false; cost_ns = 520000.0 };
+    Trace.Worm_injected { wid = 3; at_ns = 100.0; hops = 7 };
+    Trace.Worm_delivered { wid = 3; at_ns = 900.5; latency_ns = 800.5 };
+    Trace.Worm_dropped { wid = 4; at_ns = 1.0e6; reason = "forward_reset" };
+    Trace.Replicate_merged { kept = 12; absorbed = 99 };
+    Trace.Route_computed { pairs = 9900; unreachable = 0 };
+    Trace.Routes_distributed { slices = 99; bytes = 123456 };
+    Trace.Epoch_started { name = "verified"; discrepancies = 0 };
+    Trace.Span_begin { name = "berkeley.run" };
+    Trace.Span_end { name = "berkeley.run"; elapsed_ns = 1234.5 };
+    Trace.Mark { name = "note"; note = "with \"quotes\" and \n newline" };
+  ]
+
+let test_jsonl_roundtrip () =
+  let file = Filename.temp_file "san_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let t = Trace.create () in
+      let oc = open_out file in
+      Trace.add_sink t (Trace.jsonl_sink oc);
+      List.iter (Trace.emit t) sample_events;
+      close_out oc;
+      let originals = Trace.records t in
+      let ic = open_in file in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check int) "one line per event" (List.length sample_events)
+        (List.length lines);
+      List.iter2
+        (fun line (orig : Trace.record) ->
+          match San_util.Json.of_string line with
+          | Error e -> Alcotest.fail ("line does not parse: " ^ e)
+          | Ok j -> (
+            match Trace.record_of_json j with
+            | None -> Alcotest.fail ("line does not decode: " ^ line)
+            | Some r ->
+              Alcotest.(check bool)
+                ("record round-trips: " ^ line)
+                true (r = orig)))
+        lines originals)
+
+(* ------------------------------------------------------------------ *)
+(* End to end: a mapper run's trace agrees with its Stats view         *)
+
+let with_enabled f =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) f
+
+let test_mapper_trace_matches_stats () =
+  with_enabled @@ fun () ->
+  let g, _ = Generators.now_c () in
+  let net = Network.create g in
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  let r = San_mapper.Berkeley.run net ~mapper in
+  let st = Network.stats net in
+  let count pred = List.length (List.filter pred (Trace.events Obs.tracer)) in
+  let is_probe kinds hit' = function
+    | Trace.Probe_sent { kind; hit; _ } -> List.mem kind kinds && hit = hit'
+    | _ -> false
+  in
+  let host = [ Trace.Host; Trace.Walk ] and sw = [ Trace.Switch; Trace.Loop ] in
+  Alcotest.(check int) "host probe events" st.Stats.host_probes
+    (count (is_probe host true) + count (is_probe host false));
+  Alcotest.(check int) "host hit events" st.Stats.host_hits
+    (count (is_probe host true));
+  Alcotest.(check int) "switch probe events" st.Stats.switch_probes
+    (count (is_probe sw true) + count (is_probe sw false));
+  Alcotest.(check int) "switch hit events" st.Stats.switch_hits
+    (count (is_probe sw true));
+  (* The registry agrees with both. *)
+  let snap = Metrics.snapshot Obs.registry in
+  Alcotest.(check (option int)) "registry host probes"
+    (Some st.Stats.host_probes)
+    (Metrics.counter_in snap "net.host_probes");
+  Alcotest.(check (option int)) "registry switch probes"
+    (Some st.Stats.switch_probes)
+    (Metrics.counter_in snap "net.switch_probes");
+  (* Total probe cost observed = serialized time accumulated. *)
+  (match Metrics.histogram_in snap "net.probe_cost_ns" with
+  | None -> Alcotest.fail "probe cost histogram missing"
+  | Some hs ->
+    Alcotest.(check int) "every probe cost observed"
+      (Stats.total_probes st) hs.Metrics.hs_count;
+    close ~rel:1e-9 "cost sum is the serialized time" st.Stats.serial_time_ns
+      hs.Metrics.hs_sum);
+  (* Replicate merges were traced: created - live = merged away. *)
+  let merges =
+    count (function Trace.Replicate_merged _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "merges accounted"
+    (r.San_mapper.Berkeley.created_vertices
+   - r.San_mapper.Berkeley.live_vertices)
+    merges;
+  (* And the span closed. *)
+  Alcotest.(check bool) "berkeley.run span ended" true
+    (List.exists
+       (function
+         | Trace.Span_end { name = "berkeley.run"; _ } -> true | _ -> false)
+       (Trace.events Obs.tracer))
+
+let test_disabled_is_silent () =
+  Obs.set_enabled false;
+  Obs.reset ();
+  let g, _ = Generators.now_c () in
+  let net = Network.create g in
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  ignore (San_mapper.Berkeley.run net ~mapper);
+  Alcotest.(check int) "no trace when disabled" 0 (Trace.length Obs.tracer);
+  Alcotest.(check (option int)) "no counters when disabled" (Some 0)
+    (Metrics.counter_in (Metrics.snapshot Obs.registry) "net.host_probes")
+
+(* ------------------------------------------------------------------ *)
+(* Stats compatibility view: copy and merge                            *)
+
+let test_stats_copy_merge () =
+  let a = Stats.create () in
+  a.Stats.host_probes <- 10;
+  a.Stats.host_hits <- 4;
+  a.Stats.switch_probes <- 20;
+  a.Stats.switch_hits <- 9;
+  Stats.add_time a 5.0;
+  let b = Stats.copy a in
+  b.Stats.host_probes <- 100;
+  Alcotest.(check int) "copy does not alias" 10 a.Stats.host_probes;
+  let m = Stats.merge a b in
+  Alcotest.(check int) "merge sums host probes" 110 m.Stats.host_probes;
+  Alcotest.(check int) "merge sums hits" 8 m.Stats.host_hits;
+  Alcotest.(check int) "merge sums switch probes" 40 m.Stats.switch_probes;
+  Alcotest.(check (float 1e-9)) "merge sums time" 10.0 m.Stats.serial_time_ns;
+  Alcotest.(check int) "merge leaves inputs alone" 10 a.Stats.host_probes
+
+let test_parallel_merged_stats () =
+  let g, _ = Generators.now_c () in
+  let mappers = San_mapper.Parallel.spread_mappers g ~count:4 in
+  let r = San_mapper.Parallel.run ~mappers g in
+  Alcotest.(check int) "total probes comes from merged stats"
+    r.San_mapper.Parallel.total_probes
+    (Stats.total_probes r.San_mapper.Parallel.stats);
+  Alcotest.(check bool) "merged stats saw work" true
+    (Stats.total_probes r.San_mapper.Parallel.stats > 0)
+
+let () =
+  Alcotest.run "san_obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "uniform quantiles" `Quick
+            test_hist_quantiles_uniform;
+          Alcotest.test_case "skewed quantiles" `Quick
+            test_hist_quantiles_exponential;
+          Alcotest.test_case "zero bucket and clamping" `Quick
+            test_hist_zero_and_clamp;
+          Alcotest.test_case "snapshot and diff" `Quick
+            test_registry_snapshot_diff;
+          Alcotest.test_case "to_json parses back" `Quick test_metrics_to_json;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
+          Alcotest.test_case "ring under capacity" `Quick
+            test_ring_under_capacity;
+          Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "mapper trace matches stats" `Quick
+            test_mapper_trace_matches_stats;
+          Alcotest.test_case "disabled is silent" `Quick
+            test_disabled_is_silent;
+          Alcotest.test_case "stats copy and merge" `Quick
+            test_stats_copy_merge;
+          Alcotest.test_case "parallel merged stats" `Quick
+            test_parallel_merged_stats;
+        ] );
+    ]
