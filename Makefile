@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-fast artifacts examples clean
+.PHONY: all build test check bench bench-fast bench-smoke artifacts examples clean
 
 all: build
 
@@ -21,6 +21,12 @@ bench:
 # Also writes BENCH_obs.json: per-scenario wall time + metrics registry.
 bench-fast:
 	dune exec bench/main.exe -- --fast
+
+# CI-sized: the control-plane daemon on a tiny topology for 2 epochs,
+# plus the seeded daemon bench section in fast mode.
+bench-smoke:
+	dune exec bin/san_map.exe -- daemon -t star:3 --epochs 2 --schedule 1:cut
+	dune exec bench/main.exe -- --only daemon --fast --no-bechamel
 
 # The reproduction record: full test log and full harness output.
 artifacts:

@@ -1150,6 +1150,68 @@ let ext_cross_traffic () =
     t
 
 (* ------------------------------------------------------------------ *)
+(* Control-plane daemon: convergence after scripted faults              *)
+
+let daemon_section () =
+  let open San_service in
+  let n = if !fast then 3 else 8 in
+  let schedule =
+    Result.get_ok (Schedule.parse "2:cut,4:flap=2,6:kill-leader,8:cut")
+  in
+  let converges = ref [] in
+  let t =
+    T.create
+      ~header:
+        [ "seed"; "remaps"; "elections"; "incidents"; "delta B"; "full B";
+          "saved"; "final" ]
+  in
+  for seed = 1 to n do
+    let g, _ = Generators.now_cab () in
+    let config = { Daemon.default_config with Daemon.seed } in
+    match Daemon.run ~config ~schedule ~epochs:12 g with
+    | Error e -> T.add_row t [ string_of_int seed; "failed: " ^ e ]
+    | Ok o ->
+      List.iter
+        (fun (i : Daemon.incident) ->
+          converges := i.Daemon.converge_ns :: !converges)
+        o.Daemon.incidents;
+      T.add_row t
+        [
+          string_of_int seed;
+          string_of_int o.Daemon.remaps;
+          string_of_int o.Daemon.elections;
+          string_of_int (List.length o.Daemon.incidents);
+          string_of_int o.Daemon.delta_bytes;
+          string_of_int o.Daemon.full_bytes;
+          fmt_pct
+            (if o.Daemon.full_bytes = 0 then 0.0
+             else
+               1.0
+               -. float_of_int o.Daemon.delta_bytes
+                  /. float_of_int o.Daemon.full_bytes);
+          Daemon.phase_to_string o.Daemon.final_phase;
+        ]
+  done;
+  T.print
+    ~title:
+      (Printf.sprintf
+         "Control-plane daemon — 12 epochs on the NOW under cut / flap / \
+          leader-kill (%d seeded runs); delta distribution vs full \
+          redistribution"
+         n)
+    t;
+  (match !converges with
+  | [] -> ()
+  | l ->
+    Printf.printf
+      "detect-to-routes-installed convergence over %d incidents: p50 %.0f \
+       ms, p90 %.0f ms, max %.0f ms simulated\n"
+      (List.length l)
+      (San_util.Summary.percentile l 0.5 /. 1e6)
+      (San_util.Summary.percentile l 0.9 /. 1e6)
+      (San_util.Summary.percentile l 1.0 /. 1e6))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment              *)
 
 let bechamel_section () =
@@ -1299,6 +1361,7 @@ let () =
       ext_selfid ();
       ext_emergent_election ());
   section "sensitivity" ~when_:(wants "sensitivity" || !only = []) sensitivity;
+  section "daemon" ~when_:(wants "daemon") daemon_section;
   section "bechamel"
     ~when_:(!with_bechamel && (wants "bechamel" || !only = []))
     bechamel_section;

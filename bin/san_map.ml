@@ -342,6 +342,88 @@ let run_verify spec seed mapper_name prev_file json trace metrics =
     0
 
 (* ------------------------------------------------------------------ *)
+(* daemon: the epoch-driven control-plane loop                         *)
+
+let epochs_arg =
+  let doc = "Number of control-plane epochs to run." in
+  Arg.(value & opt int 10 & info [ "epochs" ] ~docv:"N" ~doc)
+
+let schedule_arg =
+  let doc =
+    "Scripted faults, comma-separated EPOCH:ACTION entries. Actions: cut | \
+     cut=N | flap | flap=DOWN_EPOCHS | isolate | add | kill=HOST | \
+     kill-leader | revive=HOST. Example: 2:cut,5:flap=2,8:kill-leader."
+  in
+  Arg.(value & opt string "" & info [ "schedule" ] ~docv:"SCRIPT" ~doc)
+
+let retries_arg =
+  let doc = "Distribution re-send passes for missed route slices." in
+  Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+
+let quiet_arg =
+  let doc = "Print only the final summary, not per-epoch reports." in
+  Arg.(value & flag & info [ "quiet" ] ~doc)
+
+let pp_epoch_report (r : San_service.Daemon.epoch_report) =
+  let open San_service in
+  Format.printf "epoch %3d  %-8s %-13s [%s]  probes %5d  coverage %d/%d%s@."
+    r.Daemon.epoch r.Daemon.leader
+    (match r.Daemon.verdict with
+    | Daemon.Cold_start -> "cold-start"
+    | Daemon.Verified -> "verified"
+    | Daemon.Changed d -> Printf.sprintf "changed(%d)" d
+    | Daemon.Backing_off -> "backing-off"
+    | Daemon.Halted -> "halted")
+    (String.concat ">" (List.map Daemon.phase_to_string r.Daemon.phases))
+    r.Daemon.probes r.Daemon.hosts_covered r.Daemon.hosts_total
+    (match r.Daemon.dist with
+    | None -> ""
+    | Some d ->
+      Printf.sprintf "  shipped %dB (full %dB, %d unchanged, %d missed)"
+        d.Delta.sent_bytes d.Delta.full_sent_bytes
+        d.Delta.plan.Delta.unchanged_hosts
+        d.Delta.dist.San_routing.Distribute.hosts_missed);
+  List.iter (fun ev -> Format.printf "           * %s@." ev) r.Daemon.events
+
+let run_daemon spec seed epochs schedule retries quiet trace metrics =
+  with_obs ~trace ~metrics @@ fun () ->
+  let open San_service in
+  let g = build_topology spec seed in
+  match Schedule.parse schedule with
+  | Error e -> Format.printf "bad schedule: %s@." e; 1
+  | Ok schedule -> (
+    let config =
+      { Daemon.default_config with Daemon.dist_retries = retries; seed }
+    in
+    let on_epoch = if quiet then fun _ -> () else pp_epoch_report in
+    match Daemon.run ~config ~schedule ~on_epoch ~epochs g with
+    | Error e -> Format.printf "daemon: %s@." e; 1
+    | Ok o ->
+      Format.printf
+        "daemon: %d epochs, final %s; %d remaps, %d elections, %d probes@."
+        (List.length o.Daemon.reports)
+        (Daemon.phase_to_string o.Daemon.final_phase)
+        o.Daemon.remaps o.Daemon.elections o.Daemon.total_probes;
+      Format.printf
+        "distribution: %d B shipped as deltas vs %d B full (%.1f%% saved)@."
+        o.Daemon.delta_bytes o.Daemon.full_bytes
+        (if o.Daemon.full_bytes = 0 then 0.0
+         else
+           100.0
+           *. (1.0
+              -. float_of_int o.Daemon.delta_bytes
+                 /. float_of_int o.Daemon.full_bytes));
+      List.iter
+        (fun (i : Daemon.incident) ->
+          Format.printf
+            "incident: detected epoch %d, resolved epoch %d, converged in \
+             %.2f ms simulated@."
+            i.Daemon.detected_epoch i.Daemon.resolved_epoch
+            (i.Daemon.converge_ns /. 1e6))
+        o.Daemon.incidents;
+      0)
+
+(* ------------------------------------------------------------------ *)
 
 let topo_cmd =
   Cmd.v
@@ -375,6 +457,16 @@ let verify_cmd =
       const run_verify $ topo_arg $ seed_arg $ mapper_arg $ prev_arg $ json_arg
       $ trace_arg $ metrics_arg)
 
+let daemon_cmd =
+  Cmd.v
+    (Cmd.info "daemon"
+       ~doc:
+         "Run the epoch-driven control-plane daemon over a scripted \
+          fault/repair schedule")
+    Term.(
+      const run_daemon $ topo_arg $ seed_arg $ epochs_arg $ schedule_arg
+      $ retries_arg $ quiet_arg $ trace_arg $ metrics_arg)
+
 let () =
   let info =
     Cmd.info "san_map" ~version:"1.0.0"
@@ -382,4 +474,5 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ topo_cmd; map_cmd; routes_cmd; diff_cmd; verify_cmd ]))
+       (Cmd.group info
+          [ topo_cmd; map_cmd; routes_cmd; diff_cmd; verify_cmd; daemon_cmd ]))

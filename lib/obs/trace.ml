@@ -12,6 +12,7 @@ type event =
   | Route_computed of { pairs : int; unreachable : int }
   | Routes_distributed of { slices : int; bytes : int }
   | Epoch_started of { name : string; discrepancies : int }
+  | Daemon_transition of { epoch : int; from_ : string; to_ : string }
   | Span_begin of { name : string }
   | Span_end of { name : string; elapsed_ns : float }
   | Mark of { name : string; note : string }
@@ -128,6 +129,13 @@ let event_to_json event =
         ("name", J.Str name);
         ("discrepancies", J.int discrepancies);
       ]
+    | Daemon_transition { epoch; from_; to_ } ->
+      [
+        ("ev", J.Str "daemon_transition");
+        ("epoch", J.int epoch);
+        ("from", J.Str from_);
+        ("to", J.Str to_);
+      ]
     | Span_begin { name } -> [ ("ev", J.Str "span_begin"); ("name", J.Str name) ]
     | Span_end { name; elapsed_ns } ->
       [
@@ -193,6 +201,11 @@ let event_of_json j =
     | Some name, Some discrepancies ->
       Some (Epoch_started { name; discrepancies })
     | _ -> None)
+  | Some "daemon_transition" -> (
+    match (int "epoch", str "from", str "to") with
+    | Some epoch, Some from_, Some to_ ->
+      Some (Daemon_transition { epoch; from_; to_ })
+    | _ -> None)
   | Some "span_begin" ->
     Option.map (fun name -> Span_begin { name }) (str "name")
   | Some "span_end" -> (
@@ -240,6 +253,8 @@ let pp_event ppf = function
     Format.fprintf ppf "routes distributed: %d slices, %d bytes" slices bytes
   | Epoch_started { name; discrepancies } ->
     Format.fprintf ppf "epoch %s started (%d discrepancies)" name discrepancies
+  | Daemon_transition { epoch; from_; to_ } ->
+    Format.fprintf ppf "epoch %d: daemon %s -> %s" epoch from_ to_
   | Span_begin { name } -> Format.fprintf ppf "span %s begin" name
   | Span_end { name; elapsed_ns } ->
     Format.fprintf ppf "span %s end (%.0f ns)" name elapsed_ns

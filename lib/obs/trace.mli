@@ -17,6 +17,8 @@ type event =
   | Route_computed of { pairs : int; unreachable : int }
   | Routes_distributed of { slices : int; bytes : int }
   | Epoch_started of { name : string; discrepancies : int }
+  | Daemon_transition of { epoch : int; from_ : string; to_ : string }
+      (** control-plane daemon state-machine step *)
   | Span_begin of { name : string }
   | Span_end of { name : string; elapsed_ns : float }
   | Mark of { name : string; note : string }

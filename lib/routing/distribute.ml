@@ -33,71 +33,107 @@ type report = {
   hosts_missed : int;
   duration_ns : float;
   total_messages : int;
+  attempts : int;
+  missed : Graph.node list;
 }
 
-let simulate_inner ~params table ~actual ~leader =
+let simulate_slices_inner ~params ~retries table ~actual ~leader ~slices =
   let map = Routes.graph table in
-  let leader_in_map =
-    Graph.host_by_name map (Graph.name actual leader)
-  in
-  match leader_in_map with
+  match Graph.host_by_name map (Graph.name actual leader) with
   | None -> Error "leader is not in the route table's graph"
   | Some leader_m ->
-    let p = plan table in
-    let sim = San_simnet.Event_sim.create ~params actual in
-    let t = ref 0.0 in
-    let sent = ref [] in
-    let skipped = ref 0 in
-    List.iter
-      (fun s ->
-        if s.owner <> leader_m then begin
+    let src =
+      Option.get (Graph.host_by_name actual (Graph.name map leader_m))
+    in
+    (* Resolve each slice to a worm once: a slice without a compliant
+       route from the leader, or whose owner has left the actual
+       network, is structurally undeliverable and never retried. The
+       leader's own slice is installed locally and needs no worm. *)
+    let deliverable, skipped =
+      List.partition_map
+        (fun (owner, bytes) ->
           match
-            ( Routes.route table ~src:leader_m ~dst:s.owner,
-              Graph.host_by_name actual (Graph.name map s.owner) )
+            ( Routes.route table ~src:leader_m ~dst:owner,
+              Graph.host_by_name actual (Graph.name map owner) )
           with
-          | Some turns, Some _ ->
-            let src =
-              Option.get (Graph.host_by_name actual (Graph.name map leader_m))
-            in
+          | Some turns, Some _ -> Either.Left (owner, turns, bytes)
+          | _ -> Either.Right owner)
+        (List.filter (fun (owner, _) -> owner <> leader_m) slices)
+    in
+    let pending = ref deliverable in
+    let delivered = ref 0 in
+    let messages = ref 0 in
+    let clock = ref 0.0 in
+    let attempts = ref 0 in
+    while !pending <> [] && !attempts <= retries do
+      incr attempts;
+      let sim = San_simnet.Event_sim.create ~params actual in
+      let t = ref 0.0 in
+      let sent =
+        List.map
+          (fun (owner, turns, bytes) ->
             t := !t +. params.San_simnet.Params.send_overhead_ns;
             let wid =
               San_simnet.Event_sim.inject sim ~at_ns:!t ~src ~turns
-                ~payload_bytes:s.bytes ()
+                ~payload_bytes:bytes ()
             in
-            sent := wid :: !sent
-          | _ -> incr skipped
-        end)
-      p.slices;
-    San_simnet.Event_sim.run sim;
-    let delivered, last =
-      List.fold_left
-        (fun (n, last) wid ->
+            (owner, turns, bytes, wid))
+          !pending
+      in
+      messages := !messages + List.length sent;
+      San_simnet.Event_sim.run sim;
+      let missed = ref [] in
+      let last = ref 0.0 in
+      List.iter
+        (fun (owner, turns, bytes, wid) ->
           match San_simnet.Event_sim.outcome sim wid with
           | San_simnet.Event_sim.Delivered { at_ns; _ } ->
-            (n + 1, Float.max last at_ns)
-          | _ -> (n, last))
-        (0, 0.0) !sent
-    in
+            incr delivered;
+            last := Float.max !last at_ns
+          | _ -> missed := (owner, turns, bytes) :: !missed)
+        sent;
+      let pass_end =
+        if !missed = [] then !last
+        else
+          Float.max !last
+            (San_simnet.Event_sim.stats sim)
+              .San_simnet.Event_sim.finished_at_ns
+      in
+      clock := !clock +. pass_end;
+      pending := List.rev !missed
+    done;
+    let missed = List.map (fun (owner, _, _) -> owner) !pending @ skipped in
     Ok
       {
-        hosts_updated = delivered;
-        hosts_missed = List.length !sent - delivered + !skipped;
-        duration_ns = last;
-        total_messages = List.length !sent;
+        hosts_updated = !delivered;
+        hosts_missed = List.length missed;
+        duration_ns = !clock;
+        total_messages = !messages;
+        attempts = !attempts;
+        missed;
       }
 
-let simulate ?(params = San_simnet.Params.default) table ~actual ~leader =
+let simulate_slices ?(params = San_simnet.Params.default) ?(retries = 2) table
+    ~actual ~leader ~slices =
   San_obs.Obs.with_span "routes.distribute" (fun () ->
-      let r = simulate_inner ~params table ~actual ~leader in
+      let r =
+        simulate_slices_inner ~params ~retries table ~actual ~leader ~slices
+      in
       (if San_obs.Obs.on () then
          match r with
          | Ok rep ->
-           let p = plan table in
-           San_obs.Obs.count ~by:(List.length p.slices) "routes.slices";
+           let bytes = List.fold_left (fun a (_, b) -> a + b) 0 slices in
+           San_obs.Obs.count ~by:(List.length slices) "routes.slices";
            San_obs.Obs.count ~by:rep.hosts_updated "routes.hosts_updated";
            San_obs.Obs.count ~by:rep.hosts_missed "routes.hosts_missed";
+           San_obs.Obs.count ~by:(rep.attempts - 1) "routes.retry_passes";
            San_obs.Obs.emit
              (San_obs.Trace.Routes_distributed
-                { slices = List.length p.slices; bytes = p.total_bytes })
+                { slices = List.length slices; bytes })
          | Error _ -> San_obs.Obs.count "routes.distribute_failures");
       r)
+
+let simulate ?params ?retries table ~actual ~leader =
+  let p = plan table in
+  simulate_slices ?params ?retries table ~actual ~leader
+    ~slices:(List.map (fun s -> (s.owner, s.bytes)) p.slices)

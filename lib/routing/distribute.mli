@@ -24,20 +24,44 @@ type plan = { slices : slice list; total_bytes : int }
 val plan : Routes.t -> plan
 (** Slice the table per source host. *)
 
+val entry_bytes : San_simnet.Route.t -> int
+(** Encoded size of one route entry (destination id, length, one byte
+    per turn) — the unit both full and delta slices are priced in. *)
+
 type report = {
   hosts_updated : int;
-  hosts_missed : int;  (** slices that never arrived *)
-  duration_ns : float;  (** first send to last delivery *)
-  total_messages : int;
+  hosts_missed : int;  (** slices that never arrived, after all passes *)
+  duration_ns : float;  (** first send to last delivery, summed over passes *)
+  total_messages : int;  (** worms injected, re-sends included *)
+  attempts : int;  (** delivery passes actually run (>= 1 when anything was sent) *)
+  missed : Graph.node list;
+      (** the owners (in the table's graph) behind [hosts_missed] — the
+          delta distributor re-targets exactly these next epoch *)
 }
 
 val simulate :
   ?params:San_simnet.Params.t ->
+  ?retries:int ->
   Routes.t ->
   actual:Graph.t ->
   leader:Graph.node ->
   (report, string) result
 (** Deliver every slice from [leader] over the actual network using
     the worm simulator; hosts are matched by name (the table usually
-    comes from a map). Fails if the leader is missing from the
-    table's graph. *)
+    comes from a map). Slices that miss (contention drops) are re-sent
+    in up to [retries] further passes (default 2); slices with no
+    compliant route from the leader, or whose owner is absent from the
+    actual network, are structurally undeliverable and not retried.
+    Fails if the leader is missing from the table's graph. *)
+
+val simulate_slices :
+  ?params:San_simnet.Params.t ->
+  ?retries:int ->
+  Routes.t ->
+  actual:Graph.t ->
+  leader:Graph.node ->
+  slices:(Graph.node * int) list ->
+  (report, string) result
+(** Like {!simulate} but for caller-chosen payloads: one worm per
+    [(owner, bytes)] pair, owners named in the table's graph — the
+    delta distributor ships only changed table slices this way. *)

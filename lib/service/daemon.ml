@@ -1,0 +1,328 @@
+open San_topology
+open San_simnet
+open San_mapper
+module D = San_routing.Distribute
+
+type phase = Stable | Verifying | Remapping | Distributing | Degraded
+
+let phase_to_string = function
+  | Stable -> "stable"
+  | Verifying -> "verifying"
+  | Remapping -> "remapping"
+  | Distributing -> "distributing"
+  | Degraded -> "degraded"
+
+type verdict = Cold_start | Verified | Changed of int | Backing_off | Halted
+
+type incident = {
+  detected_epoch : int;
+  resolved_epoch : int;
+  converge_ns : float;
+}
+
+type epoch_report = {
+  epoch : int;
+  events : string list;
+  leader : string;
+  elected : bool;
+  verdict : verdict;
+  phases : phase list;
+  probes : int;
+  verify_ns : float;
+  remap_ns : float;
+  dist : Delta.report option;
+  hosts_total : int;
+  hosts_covered : int;
+  epoch_ns : float;
+}
+
+type outcome = {
+  reports : epoch_report list;
+  incidents : incident list;
+  final_phase : phase;
+  map : Graph.t option;
+  remaps : int;
+  elections : int;
+  total_probes : int;
+  delta_bytes : int;
+  full_bytes : int;
+}
+
+type config = {
+  dist_retries : int;
+  backoff_start : int;
+  backoff_max : int;
+  params : Params.t;
+  policy : Berkeley.policy;
+  seed : int;
+}
+
+let default_config =
+  {
+    dist_retries = 2;
+    backoff_start = 1;
+    backoff_max = 8;
+    params = Params.default;
+    policy = Berkeley.faithful;
+    seed = 1;
+  }
+
+(* The daemon's whole memory between epochs. *)
+type state = {
+  mutable map : Graph.t option;
+  mutable table : San_routing.Routes.t option;  (** routes of [map], cached *)
+  mutable installed : Delta.tables;
+  mutable missing : string list;  (** hosts whose installed slice is stale *)
+  mutable phase : phase;
+  mutable leader : string option;
+  mutable backoff : int;  (** epochs the next failure will sleep *)
+  mutable sleep : int;  (** backoff epochs still to sit out *)
+  mutable incident_start : int option;
+  mutable incident_acc : float;
+}
+
+let run ?(config = default_config) ?(schedule = Schedule.empty)
+    ?(on_epoch = fun _ -> ()) ~epochs g0 =
+  if Graph.hosts g0 = [] then Error "network has no hosts"
+  else begin
+    let world = World.create g0 in
+    let rng = San_util.Prng.create config.seed in
+    let st =
+      {
+        map = None;
+        table = None;
+        installed = Delta.empty;
+        missing = [];
+        phase = Stable;
+        leader = None;
+        backoff = config.backoff_start;
+        sleep = 0;
+        incident_start = None;
+        incident_acc = 0.0;
+      }
+    in
+    let reports = ref [] in
+    let incidents = ref [] in
+    let remaps = ref 0 in
+    let elections = ref 0 in
+    let total_probes = ref 0 in
+    let delta_bytes = ref 0 in
+    let full_bytes = ref 0 in
+    for e = 0 to epochs - 1 do
+      let phases = ref [] in
+      let goto p =
+        if st.phase <> p then begin
+          San_obs.Obs.emit
+            (San_obs.Trace.Daemon_transition
+               {
+                 epoch = e;
+                 from_ = phase_to_string st.phase;
+                 to_ = phase_to_string p;
+               });
+          st.phase <- p
+        end;
+        phases := p :: !phases
+      in
+      (* 1. The world moves, whether the daemon is looking or not. *)
+      let events =
+        ref
+          (Schedule.apply schedule world ~rng
+             ~leader:(Option.value ~default:"" st.leader)
+             ~epoch:e)
+      in
+      (* 2. Leadership: sticky while the leader's daemon answers; on
+         death the highest-address responding host takes over (§4.2's
+         election rule, modelled as its outcome). *)
+      let elected = ref false in
+      (match st.leader with
+      | Some l when not (World.is_down world l) -> ()
+      | previous -> (
+        match List.rev (World.responding_hosts world) with
+        | [] -> st.leader <- None
+        | best :: _ ->
+          let name = Graph.name (World.graph world) best in
+          st.leader <- Some name;
+          if previous <> Some name then begin
+            elected := true;
+            incr elections;
+            San_obs.Obs.count "daemon.elections";
+            events := !events @ [ Printf.sprintf "%s elected leader" name ]
+          end));
+      let verdict = ref Verified in
+      let probes = ref 0 in
+      let verify_ns = ref 0.0 in
+      let remap_ns = ref 0.0 in
+      let dist_report = ref None in
+      (match st.leader with
+      | None ->
+        goto Degraded;
+        verdict := Halted
+      | Some _ when st.sleep > 0 ->
+        st.sleep <- st.sleep - 1;
+        goto Degraded;
+        verdict := Backing_off
+      | Some leader_name -> (
+        let g = World.graph world in
+        let net =
+          Network.create ~params:config.params
+            ~responding:(World.responding world) g
+        in
+        let mapper = Option.get (Graph.host_by_name g leader_name) in
+        (* 3-4. Cheap verification sweep, full remap only on change. *)
+        let map_result =
+          match st.map with
+          | None ->
+            goto Remapping;
+            verdict := Cold_start;
+            incr remaps;
+            San_obs.Obs.count "daemon.remaps";
+            let r = Berkeley.run ~policy:config.policy net ~mapper in
+            probes := Berkeley.total_probes r;
+            remap_ns := r.Berkeley.elapsed_ns;
+            r.Berkeley.map
+          | Some previous -> (
+            goto Verifying;
+            let r = Incremental.run ~policy:config.policy net ~mapper ~previous in
+            verify_ns := r.Incremental.verify_elapsed_ns;
+            match r.Incremental.verdict with
+            | Incremental.Unchanged ->
+              verdict := Verified;
+              probes := r.Incremental.verify_probes;
+              r.Incremental.map
+            | Incremental.Changed d ->
+              goto Remapping;
+              verdict := Changed d;
+              incr remaps;
+              San_obs.Obs.count "daemon.remaps";
+              (* the fallback remap reset the net's counters, so they
+                 now hold exactly the remap's probes *)
+              probes :=
+                r.Incremental.verify_probes
+                + Stats.total_probes (Network.stats net);
+              remap_ns :=
+                r.Incremental.total_elapsed_ns
+                -. r.Incremental.verify_elapsed_ns;
+              if st.incident_start = None then begin
+                st.incident_start <- Some e;
+                st.incident_acc <- 0.0
+              end;
+              r.Incremental.map)
+        in
+        match map_result with
+        | Error err ->
+          (* Keep the stale map; retry after the backoff. *)
+          events := !events @ [ "remap failed: " ^ err ];
+          goto Degraded;
+          st.sleep <- st.backoff;
+          st.backoff <- min (st.backoff * 2) config.backoff_max
+        | Ok m ->
+          let map_changed =
+            match !verdict with
+            | Cold_start | Changed _ -> true
+            | _ -> st.table = None
+          in
+          st.map <- Some m;
+          if map_changed then st.table <- Some (San_routing.Routes.compute m);
+          let table = Option.get st.table in
+          (* 5-6. Recompute and delta-install routes when the map moved
+             or some host still runs a stale table. *)
+          if map_changed || st.missing <> [] then begin
+            goto Distributing;
+            match
+              Delta.distribute ~params:config.params
+                ~retries:config.dist_retries ~installed:st.installed table
+                ~actual:g ~leader:mapper
+            with
+            | Error err ->
+              events := !events @ [ "distribution failed: " ^ err ];
+              goto Degraded;
+              st.sleep <- st.backoff;
+              st.backoff <- min (st.backoff * 2) config.backoff_max
+            | Ok rep ->
+              dist_report := Some rep;
+              st.installed <- rep.Delta.installed;
+              let map_of_table = San_routing.Routes.graph table in
+              st.missing <-
+                List.map
+                  (fun n -> Graph.name map_of_table n)
+                  rep.Delta.dist.D.missed;
+              delta_bytes := !delta_bytes + rep.Delta.sent_bytes;
+              full_bytes := !full_bytes + rep.Delta.full_sent_bytes;
+              San_obs.Obs.count ~by:rep.Delta.sent_bytes "daemon.delta_bytes";
+              San_obs.Obs.count ~by:rep.Delta.full_sent_bytes
+                "daemon.full_bytes";
+              if st.missing = [] then begin
+                goto Stable;
+                st.backoff <- config.backoff_start
+              end
+              else begin
+                goto Degraded;
+                st.sleep <- st.backoff;
+                st.backoff <- min (st.backoff * 2) config.backoff_max
+              end
+          end
+          else goto Stable));
+      (* Close the books on the epoch. *)
+      let epoch_ns =
+        !verify_ns +. !remap_ns
+        +.
+        match !dist_report with
+        | Some r -> r.Delta.dist.D.duration_ns
+        | None -> 0.0
+      in
+      if st.incident_start <> None then
+        st.incident_acc <- st.incident_acc +. epoch_ns;
+      (match st.incident_start with
+      | Some d when st.phase = Stable && st.missing = [] ->
+        let inc =
+          { detected_epoch = d; resolved_epoch = e; converge_ns = st.incident_acc }
+        in
+        incidents := inc :: !incidents;
+        San_obs.Obs.observe "daemon.converge_ns" inc.converge_ns;
+        st.incident_start <- None;
+        st.incident_acc <- 0.0
+      | _ -> ());
+      let hosts_total =
+        match st.map with Some m -> Graph.num_hosts m | None -> 0
+      in
+      let hosts_covered = max 0 (hosts_total - List.length st.missing) in
+      total_probes := !total_probes + !probes;
+      San_obs.Obs.count "daemon.epochs";
+      San_obs.Obs.count ~by:!probes "daemon.probes";
+      if hosts_total > 0 then
+        San_obs.Obs.set_gauge "daemon.coverage"
+          (float_of_int hosts_covered /. float_of_int hosts_total);
+      if st.phase = Degraded then San_obs.Obs.count "daemon.degraded_epochs";
+      let report =
+        {
+          epoch = e;
+          events = !events;
+          leader = Option.value ~default:"(none)" st.leader;
+          elected = !elected;
+          verdict = !verdict;
+          phases = List.rev !phases;
+          probes = !probes;
+          verify_ns = !verify_ns;
+          remap_ns = !remap_ns;
+          dist = !dist_report;
+          hosts_total;
+          hosts_covered;
+          epoch_ns;
+        }
+      in
+      on_epoch report;
+      reports := report :: !reports
+    done;
+    Ok
+      {
+        reports = List.rev !reports;
+        incidents = List.rev !incidents;
+        final_phase = st.phase;
+        map = st.map;
+        remaps = !remaps;
+        elections = !elections;
+        total_probes = !total_probes;
+        delta_bytes = !delta_bytes;
+        full_bytes = !full_bytes;
+      }
+  end

@@ -1,0 +1,79 @@
+(** Delta route distribution: ship only what changed.
+
+    A full redistribution (§5.5, {!San_routing.Distribute}) re-sends
+    every host its whole route-table slice after every remap. But a
+    localized fault leaves most recomputed routes byte-identical, so
+    the leader can diff the fresh table against what it knows each
+    host's interface currently holds and ship only the changed
+    entries — plus a tombstone per vanished destination — falling back
+    to a full slice for hosts it has never updated (or whose delta
+    would not be cheaper). The installed-tables ledger is the leader's
+    {e belief}; it only advances for slices whose worm was actually
+    delivered, so a missed host is automatically re-targeted next
+    time. *)
+
+open San_topology
+
+type tables
+(** What the leader believes each host's interface holds: per host
+    name, a destination-name-keyed map of turn routes. *)
+
+val empty : tables
+(** A cold ledger: every host's first slice will be shipped full. *)
+
+val of_routes : San_routing.Routes.t -> tables
+(** The ledger after a (hypothetical) complete installation of this
+    table — hosts and destinations keyed by name. *)
+
+val hosts : tables -> string list
+val entries_for : tables -> string -> (string * San_simnet.Route.t) list
+(** Sorted by destination name; [] for unknown hosts. *)
+
+(** {1 Planning} *)
+
+type kind =
+  | Unchanged  (** slice identical to the installed one: nothing to ship *)
+  | Delta of { changed : int; removed : int }
+      (** re-send [changed] entries, tombstone [removed] destinations *)
+  | Full  (** never installed, or the delta would not be cheaper *)
+
+type slice = {
+  owner : string;
+  kind : kind;
+  bytes : int;  (** shipped under delta distribution; 0 when [Unchanged] *)
+  full_bytes : int;  (** the full slice's cost, for comparison *)
+}
+
+type plan = {
+  slices : slice list;  (** one per host of the table, name-sorted *)
+  delta_bytes : int;
+  full_bytes : int;
+  unchanged_hosts : int;
+}
+
+val plan : installed:tables -> San_routing.Routes.t -> plan
+
+(** {1 Distribution} *)
+
+type report = {
+  plan : plan;
+  dist : San_routing.Distribute.report;  (** worm-level delivery outcome *)
+  installed : tables;  (** the ledger advanced by the delivered slices *)
+  sent_bytes : int;  (** bytes actually put on the wire (leader excluded) *)
+  full_sent_bytes : int;
+      (** what a full redistribution would have put on the wire *)
+}
+
+val distribute :
+  ?params:San_simnet.Params.t ->
+  ?retries:int ->
+  installed:tables ->
+  San_routing.Routes.t ->
+  actual:Graph.t ->
+  leader:Graph.node ->
+  (report, string) result
+(** Plan against [installed], ship every non-[Unchanged] slice from
+    [leader] over the actual network ({!San_routing.Distribute}
+    retries included), and advance the ledger for delivered hosts (and
+    the leader itself, which installs locally). Fails when the leader
+    is not in the table's graph. *)

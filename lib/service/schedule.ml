@@ -1,0 +1,154 @@
+open San_topology
+
+type action =
+  | Cut_links of int
+  | Flap_link of int
+  | Isolate_switch
+  | Add_link
+  | Kill_host of string
+  | Kill_leader
+  | Revive_host of string
+
+type t = (int * action) list
+
+let empty = []
+let of_list l = l
+let actions_at t epoch = List.filter_map
+    (fun (e, a) -> if e = epoch then Some a else None)
+    t
+
+let last_epoch t = List.fold_left (fun acc (e, _) -> max acc e) (-1) t
+
+let pp_action ppf = function
+  | Cut_links n -> Format.fprintf ppf "cut %d link%s" n (if n = 1 then "" else "s")
+  | Flap_link d -> Format.fprintf ppf "flap a link (down %d epochs)" d
+  | Isolate_switch -> Format.fprintf ppf "isolate a switch"
+  | Add_link -> Format.fprintf ppf "add a link"
+  | Kill_host h -> Format.fprintf ppf "kill host %s" h
+  | Kill_leader -> Format.fprintf ppf "kill the leader"
+  | Revive_host h -> Format.fprintf ppf "revive host %s" h
+
+let parse_action s =
+  let kind, arg =
+    match String.index_opt s '=' with
+    | None -> (s, None)
+    | Some i ->
+      ( String.sub s 0 i,
+        Some (String.sub s (i + 1) (String.length s - i - 1)) )
+  in
+  let int_arg ~default =
+    match arg with
+    | None -> Ok default
+    | Some a -> (
+      match int_of_string_opt a with
+      | Some n when n > 0 -> Ok n
+      | _ -> Error (Printf.sprintf "%s: positive count expected, got %S" kind a))
+  in
+  match kind with
+  | "cut" -> Result.map (fun n -> Cut_links n) (int_arg ~default:1)
+  | "flap" -> Result.map (fun n -> Flap_link n) (int_arg ~default:2)
+  | "isolate" -> Ok Isolate_switch
+  | "add" -> Ok Add_link
+  | "kill-leader" -> Ok Kill_leader
+  | "kill" -> (
+    match arg with
+    | Some h -> Ok (Kill_host h)
+    | None -> Error "kill needs a host: kill=HOST (or use kill-leader)")
+  | "revive" -> (
+    match arg with
+    | Some h -> Ok (Revive_host h)
+    | None -> Error "revive needs a host: revive=HOST")
+  | _ ->
+    Error
+      (kind
+     ^ ": unknown action (cut[=N], flap[=EPOCHS], isolate, add, kill=HOST, \
+        kill-leader, revive=HOST)")
+
+let parse s =
+  let entries =
+    List.filter (fun e -> e <> "") (String.split_on_char ',' (String.trim s))
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest -> (
+      match String.index_opt e ':' with
+      | None -> Error (e ^ ": expected EPOCH:ACTION")
+      | Some i -> (
+        let epoch = String.sub e 0 i in
+        let action = String.sub e (i + 1) (String.length e - i - 1) in
+        match int_of_string_opt (String.trim epoch) with
+        | None -> Error (epoch ^ ": epoch number expected")
+        | Some n when n < 0 -> Error (epoch ^ ": epoch must be >= 0")
+        | Some n -> (
+          match parse_action (String.trim action) with
+          | Ok a -> go ((n, a) :: acc) rest
+          | Error err -> Error err)))
+  in
+  go [] entries
+
+(* ------------------------------------------------------------------ *)
+
+let random_switch_wire ~rng g =
+  let ws =
+    List.filter
+      (fun ((a, _), (b, _)) -> not (Graph.is_host g a || Graph.is_host g b))
+      (Graph.wires g)
+  in
+  match ws with
+  | [] -> None
+  | _ -> Some (fst (List.nth ws (San_util.Prng.int rng (List.length ws))))
+
+let describe_end g (n, p) =
+  let nm = Graph.name g n in
+  Printf.sprintf "(%s, port %d)"
+    (if nm = "" then "switch " ^ string_of_int n else nm)
+    p
+
+let apply_action world ~rng ~leader ~epoch = function
+  | Cut_links n ->
+    let g = World.graph world in
+    let before = Graph.num_wires g in
+    World.set_graph world (Faults.remove_random_links ~rng g ~count:n);
+    let cut = before - Graph.num_wires (World.graph world) in
+    [ Printf.sprintf "cut %d switch link%s" cut (if cut = 1 then "" else "s") ]
+  | Flap_link down -> (
+    let g = World.graph world in
+    match random_switch_wire ~rng g with
+    | None -> [ "flap: no switch link to cut" ]
+    | Some e -> (
+      match Faults.flap_link g e with
+      | None -> [ "flap: chosen port was vacant" ]
+      | Some (degraded, restore) ->
+        World.set_graph world degraded;
+        let label = Printf.sprintf "restored flapped link at %s" (describe_end g e) in
+        World.defer world ~at_epoch:(epoch + down) ~label restore;
+        [ Printf.sprintf "flapped link at %s (down %d epochs)" (describe_end g e) down ]))
+  | Isolate_switch -> (
+    let g = World.graph world in
+    let wired = List.filter (fun s -> Graph.degree g s > 0) (Graph.switches g) in
+    match wired with
+    | [] -> [ "isolate: no wired switch" ]
+    | _ ->
+      let sw = List.nth wired (San_util.Prng.int rng (List.length wired)) in
+      World.set_graph world (Faults.isolate_switch g sw);
+      [ Printf.sprintf "isolated switch %d" sw ])
+  | Add_link -> (
+    match Faults.add_random_link ~rng (World.graph world) with
+    | None -> [ "add: no two free switch ports" ]
+    | Some g ->
+      World.set_graph world g;
+      [ "added a switch link" ])
+  | Kill_host h ->
+    World.kill_host world h;
+    [ Printf.sprintf "killed daemon on %s" h ]
+  | Kill_leader ->
+    World.kill_host world leader;
+    [ Printf.sprintf "killed daemon on leader %s" leader ]
+  | Revive_host h ->
+    World.revive_host world h;
+    [ Printf.sprintf "revived daemon on %s" h ]
+
+let apply t world ~rng ~leader ~epoch =
+  let repaired = World.due_repairs world ~epoch in
+  repaired
+  @ List.concat_map (apply_action world ~rng ~leader ~epoch) (actions_at t epoch)

@@ -1,0 +1,45 @@
+(** Scripted fault and repair schedules for daemon experiments.
+
+    A schedule maps epoch numbers to actions on the {!World} — the
+    dynamic-reconfiguration script §6 leaves open, made executable:
+    cut cables, flap a link (cut now, auto-repair some epochs later),
+    isolate a switch, plug in a new cable, kill or revive a host's
+    mapper daemon, kill whoever is currently leader. Randomized
+    choices (which cable, which switch) draw from the caller's PRNG so
+    a scenario is reproducible from one seed. *)
+
+type action =
+  | Cut_links of int  (** cut this many random switch-to-switch wires *)
+  | Flap_link of int  (** cut a random wire; repair it this many epochs later *)
+  | Isolate_switch  (** unplug every wire of a random wired switch *)
+  | Add_link  (** plug a wire between two random free switch ports *)
+  | Kill_host of string
+  | Kill_leader  (** silence whichever host currently leads *)
+  | Revive_host of string
+
+type t
+
+val empty : t
+val of_list : (int * action) list -> t
+val actions_at : t -> int -> action list
+
+val last_epoch : t -> int
+(** Largest scheduled epoch, -1 when empty (flap repairs may land
+    later still). *)
+
+val parse : string -> (t, string) result
+(** Comma-separated [EPOCH:ACTION] entries, e.g.
+    ["2:cut,4:flap=3,6:isolate,8:kill-leader,9:revive=C-h4"].
+    Actions: [cut] / [cut=N], [flap] / [flap=DOWN_EPOCHS] (default 2),
+    [isolate], [add], [kill=HOST], [kill-leader], [revive=HOST]. *)
+
+val pp_action : Format.formatter -> action -> unit
+
+val apply :
+  t -> World.t -> rng:San_util.Prng.t -> leader:string -> epoch:int ->
+  string list
+(** Run this epoch's due repairs, then its scheduled actions, against
+    the world. Returns one description per thing that happened (the
+    daemon logs them; it must still {e discover} them by probing). An
+    action that cannot apply — no switch wire left to cut, no free
+    ports — becomes a note instead of an error. *)

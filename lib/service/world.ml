@@ -1,0 +1,37 @@
+open San_topology
+
+type t = {
+  mutable graph : Graph.t;
+  down : (string, unit) Hashtbl.t;
+  mutable repairs : (int * string * (Graph.t -> Graph.t)) list;
+}
+
+let create g = { graph = Graph.copy g; down = Hashtbl.create 8; repairs = [] }
+
+let graph t = t.graph
+let set_graph t g = t.graph <- g
+
+let is_down t name = Hashtbl.mem t.down name
+
+let responding t node =
+  (not (Graph.is_host t.graph node)) || not (is_down t (Graph.name t.graph node))
+
+let kill_host t name = Hashtbl.replace t.down name ()
+let revive_host t name = Hashtbl.remove t.down name
+
+let responding_hosts t =
+  List.filter (fun h -> responding t h) (Graph.hosts t.graph)
+
+let defer t ~at_epoch ~label f = t.repairs <- t.repairs @ [ (at_epoch, label, f) ]
+
+let due_repairs t ~epoch =
+  let due, later = List.partition (fun (e, _, _) -> e <= epoch) t.repairs in
+  t.repairs <- later;
+  List.map
+    (fun (_, label, f) ->
+      match f t.graph with
+      | g ->
+        t.graph <- g;
+        label
+      | exception Invalid_argument _ -> label ^ " (ports re-wired; skipped)")
+    due

@@ -1,0 +1,48 @@
+(** The evolving actual network under the daemon's feet.
+
+    The control-plane daemon runs against a fabric that changes while
+    it is not looking: cables are cut and re-plugged, switches die,
+    hosts stop (and restart) their mapper daemons. A world holds that
+    mutable ground truth — the current wiring plus the set of silent
+    hosts — together with the pending "repairs" a {!Schedule} flap has
+    promised for a later epoch. The daemon never reads a world
+    directly except to build the epoch's {!San_simnet.Network}; all
+    knowledge it acts on still arrives through probes. *)
+
+open San_topology
+
+type t
+
+val create : Graph.t -> t
+(** A world starting from this wiring with every host responding. The
+    graph is copied; the caller's stays untouched. *)
+
+val graph : t -> Graph.t
+(** The current actual wiring (shared, do not mutate). *)
+
+val set_graph : t -> Graph.t -> unit
+(** Replace the wiring (fault helpers return fresh copies). *)
+
+val responding : t -> Graph.node -> bool
+(** Predicate for {!San_simnet.Network.create}: hosts whose mapper
+    daemon currently answers probes. *)
+
+val is_down : t -> string -> bool
+
+val kill_host : t -> string -> unit
+(** Silence a host's daemon. Unknown names are a no-op: the wiring
+    does not change, so probes to it simply time out. *)
+
+val revive_host : t -> string -> unit
+
+val responding_hosts : t -> Graph.node list
+(** Responding hosts of the current graph, ascending node id. *)
+
+val defer : t -> at_epoch:int -> label:string -> (Graph.t -> Graph.t) -> unit
+(** Register a repair to run at the start of the given epoch —
+    {!Faults.flap_link} restores arrive this way. *)
+
+val due_repairs : t -> epoch:int -> string list
+(** Apply every repair scheduled for this epoch to the current graph
+    and return their labels. A repair that no longer applies (its
+    ports were re-wired by a later fault) is dropped with a note. *)

@@ -22,6 +22,19 @@ let remove_link g e =
   Graph.disconnect g e;
   g
 
+let flap_link g e =
+  match Graph.neighbor g e with
+  | None -> None
+  | Some peer ->
+    let degraded = Graph.copy g in
+    Graph.disconnect degraded e;
+    let restore g' =
+      let g' = Graph.copy g' in
+      Graph.connect g' e peer;
+      g'
+    in
+    Some (degraded, restore)
+
 let isolate_switch g sw =
   let g = Graph.copy g in
   List.iter (fun (p, _) -> Graph.disconnect g (sw, p)) (Graph.wired_ports g sw);

@@ -16,6 +16,15 @@ val remove_random_links : rng:San_util.Prng.t -> Graph.t -> count:int -> Graph.t
 val remove_link : Graph.t -> Graph.wire_end -> Graph.t
 (** Remove the wire plugged into the given end. *)
 
+val flap_link :
+  Graph.t -> Graph.wire_end -> (Graph.t * (Graph.t -> Graph.t)) option
+(** [flap_link g e] cuts the wire at [e] and returns the degraded graph
+    together with a restore function that re-plugs {e that} wire (both
+    recorded ends) into any later copy of the network — so a flap
+    scenario can apply further faults in between and still repair this
+    one. [None] if [e] is vacant. The restore raises [Invalid_argument]
+    if either port has been re-wired in the meantime. *)
+
 val isolate_switch : Graph.t -> Graph.node -> Graph.t
 (** Unplug every wire of a switch, simulating its removal from the
     fabric. The node remains but becomes unreachable. *)

@@ -145,6 +145,7 @@ let sample_events =
     Trace.Span_begin { name = "berkeley.run" };
     Trace.Span_end { name = "berkeley.run"; elapsed_ns = 1234.5 };
     Trace.Mark { name = "note"; note = "with \"quotes\" and \n newline" };
+    Trace.Daemon_transition { epoch = 4; from_ = "stable"; to_ = "verifying" };
   ]
 
 let test_jsonl_roundtrip () =
@@ -272,6 +273,36 @@ let test_stats_copy_merge () =
   Alcotest.(check (float 1e-9)) "merge sums time" 10.0 m.Stats.serial_time_ns;
   Alcotest.(check int) "merge leaves inputs alone" 10 a.Stats.host_probes
 
+let stats_equal a b =
+  a.Stats.host_probes = b.Stats.host_probes
+  && a.Stats.host_hits = b.Stats.host_hits
+  && a.Stats.switch_probes = b.Stats.switch_probes
+  && a.Stats.switch_hits = b.Stats.switch_hits
+  && Float.abs (a.Stats.serial_time_ns -. b.Stats.serial_time_ns) < 1e-6
+
+let filled_stats seed =
+  let rng = San_util.Prng.create seed in
+  let s = Stats.create () in
+  s.Stats.host_probes <- San_util.Prng.int rng 1000;
+  s.Stats.host_hits <- San_util.Prng.int rng 500;
+  s.Stats.switch_probes <- San_util.Prng.int rng 1000;
+  s.Stats.switch_hits <- San_util.Prng.int rng 500;
+  Stats.add_time s (San_util.Prng.float rng 1e6);
+  s
+
+let test_stats_merge_algebra () =
+  let a = filled_stats 1 and b = filled_stats 2 and c = filled_stats 3 in
+  Alcotest.(check bool) "associative" true
+    (stats_equal (Stats.merge (Stats.merge a b) c)
+       (Stats.merge a (Stats.merge b c)));
+  Alcotest.(check bool) "commutative" true
+    (stats_equal (Stats.merge a b) (Stats.merge b a));
+  let zero = Stats.create () in
+  Alcotest.(check bool) "fresh stats are a left identity" true
+    (stats_equal (Stats.merge zero a) a);
+  Alcotest.(check bool) "fresh stats are a right identity" true
+    (stats_equal (Stats.merge a zero) a)
+
 let test_parallel_merged_stats () =
   let g, _ = Generators.now_c () in
   let mappers = San_mapper.Parallel.spread_mappers g ~count:4 in
@@ -280,7 +311,22 @@ let test_parallel_merged_stats () =
     r.San_mapper.Parallel.total_probes
     (Stats.total_probes r.San_mapper.Parallel.stats);
   Alcotest.(check bool) "merged stats saw work" true
-    (Stats.total_probes r.San_mapper.Parallel.stats > 0)
+    (Stats.total_probes r.San_mapper.Parallel.stats > 0);
+  (* Each worker maps on its own quiescent network, so the merged
+     counters must equal running the same local explorations one after
+     another and summing by hand. *)
+  let sequential =
+    List.fold_left
+      (fun acc m ->
+        let net = Network.create g in
+        ignore
+          (San_mapper.Berkeley.run ~depth:(San_mapper.Berkeley.Fixed 5) net
+             ~mapper:m);
+        Stats.merge acc (Network.stats net))
+      (Stats.create ()) mappers
+  in
+  Alcotest.(check bool) "merged equals sequential totals" true
+    (stats_equal r.San_mapper.Parallel.stats sequential)
 
 let () =
   Alcotest.run "san_obs"
@@ -312,6 +358,8 @@ let () =
             test_disabled_is_silent;
           Alcotest.test_case "stats copy and merge" `Quick
             test_stats_copy_merge;
+          Alcotest.test_case "stats merge algebra" `Quick
+            test_stats_merge_algebra;
           Alcotest.test_case "parallel merged stats" `Quick
             test_parallel_merged_stats;
         ] );

@@ -277,6 +277,73 @@ let test_distribution_needs_leader () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unknown leader must be rejected"
 
+let test_distribution_retry_attempts () =
+  let g, _ = Generators.now_c () in
+  let mapper = Option.get (Graph.host_by_name g "C-util") in
+  let table = Routes.compute g in
+  (* realistic slices land in the first pass *)
+  (match Distribute.simulate table ~actual:g ~leader:mapper with
+  | Ok rep ->
+    Alcotest.(check int) "single pass suffices" 1 rep.Distribute.attempts;
+    Alcotest.(check (list int)) "no missed owners" [] rep.Distribute.missed
+  | Error e -> Alcotest.failf "distribution failed: %s" e);
+  (* grossly oversized slices contend until forward-reset drops some;
+     re-send passes, with less contention each time, win them back *)
+  let slices =
+    List.filter_map
+      (fun h -> if h = mapper then None else Some (h, 400_000))
+      (Graph.hosts g)
+  in
+  let no_retry =
+    Result.get_ok
+      (Distribute.simulate_slices ~retries:0 table ~actual:g ~leader:mapper
+         ~slices)
+  in
+  let with_retry =
+    Result.get_ok
+      (Distribute.simulate_slices ~retries:3 table ~actual:g ~leader:mapper
+         ~slices)
+  in
+  Alcotest.(check bool) "storm drops some slices" true
+    (no_retry.Distribute.hosts_missed > 0);
+  Alcotest.(check int) "no-retry runs one pass" 1 no_retry.Distribute.attempts;
+  Alcotest.(check bool) "retries run more passes" true
+    (with_retry.Distribute.attempts > 1);
+  Alcotest.(check bool) "retries recover slices" true
+    (with_retry.Distribute.hosts_missed < no_retry.Distribute.hosts_missed);
+  Alcotest.(check int) "every missed owner listed"
+    with_retry.Distribute.hosts_missed
+    (List.length with_retry.Distribute.missed)
+
+let test_distribution_structural_skip () =
+  (* table over three hosts; the actual fabric only knows two of them *)
+  let build names =
+    let g = Graph.create () in
+    let s = Graph.add_switch g ~name:"s" () in
+    List.iteri
+      (fun i n ->
+        let h = Graph.add_host g ~name:n in
+        Graph.connect g (h, 0) (s, i))
+      names;
+    g
+  in
+  let full = build [ "a"; "b"; "c" ] in
+  let actual = build [ "a"; "b" ] in
+  let table = Routes.compute full in
+  let leader = Option.get (Graph.host_by_name actual "a") in
+  match Distribute.simulate ~retries:5 table ~actual ~leader with
+  | Ok rep ->
+    Alcotest.(check int) "b updated" 1 rep.Distribute.hosts_updated;
+    Alcotest.(check int) "c unreachable" 1 rep.Distribute.hosts_missed;
+    Alcotest.(check int) "structural misses are not retried" 1
+      rep.Distribute.attempts;
+    (match rep.Distribute.missed with
+    | [ n ] ->
+      Alcotest.(check string) "missed owner is c" "c"
+        (Graph.name (Routes.graph table) n)
+    | l -> Alcotest.failf "expected one missed owner, got %d" (List.length l))
+  | Error e -> Alcotest.failf "distribution failed: %s" e
+
 let routes_sound_prop =
   QCheck.Test.make ~name:"routes on random nets: deliver, comply, acyclic"
     ~count:30
@@ -323,6 +390,8 @@ let () =
           Alcotest.test_case "plan" `Quick test_distribution_plan;
           Alcotest.test_case "delivers" `Quick test_distribution_delivers;
           Alcotest.test_case "leader check" `Quick test_distribution_needs_leader;
+          Alcotest.test_case "retry attempts" `Quick test_distribution_retry_attempts;
+          Alcotest.test_case "structural skip" `Quick test_distribution_structural_skip;
         ] );
       ("properties", [ qcheck routes_sound_prop ]);
     ]

@@ -389,6 +389,44 @@ let test_faults () =
       (Graph.num_wires g3)
   | None -> Alcotest.fail "spare ports exist, link should be addable"
 
+let test_flap_link () =
+  let g, _ = Generators.now_c () in
+  (* pick a switch-to-switch wire so hosts keep their attachment *)
+  let e =
+    List.find_map
+      (fun (((a, _) as ea), (b, _)) ->
+        if (not (Graph.is_host g a)) && not (Graph.is_host g b) then Some ea
+        else None)
+      (Graph.wires g)
+    |> Option.get
+  in
+  match Faults.flap_link g e with
+  | None -> Alcotest.fail "wired end should flap"
+  | Some (degraded, restore) ->
+    Alcotest.(check int) "one wire down" (Graph.num_wires g - 1)
+      (Graph.num_wires degraded);
+    Alcotest.(check int) "original untouched" (Graph.num_wires g)
+      (Graph.num_wires (Graph.copy g));
+    let repaired = restore degraded in
+    Alcotest.(check int) "wire back" (Graph.num_wires g)
+      (Graph.num_wires repaired);
+    Alcotest.(check bool) "same wires as before the flap" true
+      (List.sort compare (Graph.wires repaired)
+      = List.sort compare (Graph.wires g));
+    (* restore refuses if the port was re-wired meanwhile *)
+    let hijacked = Graph.copy degraded in
+    let s = Graph.add_switch hijacked ~name:"intruder" () in
+    Graph.connect hijacked e (s, 0);
+    (match restore hijacked with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "restore over a re-wired port should refuse")
+
+let test_flap_unwired () =
+  let g, _ = Generators.now_c () in
+  let s = Graph.add_switch g ~name:"spare" () in
+  Alcotest.(check bool) "unwired end does not flap" true
+    (Faults.flap_link g (s, 0) = None)
+
 (* ---------- serialization ---------- *)
 
 let test_serial_roundtrip () =
@@ -572,7 +610,12 @@ let () =
           Alcotest.test_case "renamed host" `Quick test_iso_detects_renamed_host;
           Alcotest.test_case "exclusion" `Quick test_iso_respects_exclusion;
         ] );
-      ("faults", [ Alcotest.test_case "inject" `Quick test_faults ]);
+      ( "faults",
+        [
+          Alcotest.test_case "inject" `Quick test_faults;
+          Alcotest.test_case "flap link" `Quick test_flap_link;
+          Alcotest.test_case "flap unwired" `Quick test_flap_unwired;
+        ] );
       ( "serial",
         [
           Alcotest.test_case "roundtrip" `Quick test_serial_roundtrip;
