@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-fast bench-smoke artifacts examples clean
+.PHONY: all build test check bench bench-fast bench-smoke health-smoke artifacts examples clean
 
 all: build
 
@@ -10,10 +10,12 @@ build:
 test:
 	dune runtest
 
-# What CI runs: a full build plus the test suites.
+# What CI runs: a full build plus the test suites and the telemetry
+# smoke (dashboard, chrome trace, prometheus exposition).
 check:
 	dune build @all
 	dune runtest
+	$(MAKE) health-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -27,6 +29,13 @@ bench-fast:
 bench-smoke:
 	dune exec bin/san_map.exe -- daemon -t star:3 --epochs 2 --schedule 1:cut
 	dune exec bench/main.exe -- --only daemon --fast --no-bechamel
+
+# The telemetry stack end to end: health dashboard with a link cut,
+# exporting a Chrome trace and a Prometheus exposition file.
+health-smoke:
+	dune exec bin/san_map.exe -- health -t star:3 --epochs 2 --schedule 1:cut \
+	  --chrome-trace smoke_trace.json --prom smoke_metrics.prom
+	test -s smoke_trace.json && test -s smoke_metrics.prom
 
 # The reproduction record: full test log and full harness output.
 artifacts:

@@ -1212,6 +1212,95 @@ let daemon_section () =
       (San_util.Summary.percentile l 1.0 /. 1e6))
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry overhead: what does leaving the switchboard on cost?       *)
+
+let telemetry_section () =
+  let module J = San_util.Json in
+  let g, _ = Generators.now_cab () in
+  let mapper = mapper_of g "C-util" in
+  let n = if !fast then 3 else 5 in
+  let best f =
+    (* Best-of-N wall time: overhead claims should not be inflated by
+       one unlucky scheduler hiccup. *)
+    let best = ref infinity in
+    for _ = 1 to n do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let map_once () =
+    let net = Network.create g in
+    ignore (Berkeley.run net ~mapper : Berkeley.result)
+  in
+  let daemon_epochs = if !fast then 4 else 8 in
+  let daemon_once () =
+    let schedule = Result.get_ok (San_service.Schedule.parse "2:cut") in
+    match
+      San_service.Daemon.run ~schedule ~epochs:daemon_epochs (fst (Generators.now_cab ()))
+    with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  in
+  let fabric = San_telemetry.Fabric_stats.create () in
+  let off f =
+    San_obs.Obs.set_enabled false;
+    Fun.protect ~finally:(fun () -> San_obs.Obs.set_enabled true) (fun () -> best f)
+  in
+  let on f =
+    San_telemetry.Fabric_stats.install fabric;
+    Fun.protect
+      ~finally:(fun () -> San_telemetry.Fabric_stats.uninstall ())
+      (fun () ->
+        best (fun () ->
+            San_telemetry.Fabric_stats.clear fabric;
+            f ()))
+  in
+  let map_off = off map_once in
+  let map_on = on map_once in
+  let daemon_off = off daemon_once in
+  let daemon_on = on daemon_once in
+  let pct a b = if a <= 0.0 then 0.0 else 100.0 *. ((b /. a) -. 1.0) in
+  let t =
+    T.create
+      ~header:[ "workload"; "telemetry off"; "on + fabric"; "overhead" ]
+  in
+  T.add_row t
+    [
+      "map C+A+B";
+      Printf.sprintf "%.1f ms" (map_off *. 1e3);
+      Printf.sprintf "%.1f ms" (map_on *. 1e3);
+      Printf.sprintf "%+.1f%%" (pct map_off map_on);
+    ];
+  T.add_row t
+    [
+      Printf.sprintf "daemon epoch (of %d)" daemon_epochs;
+      Printf.sprintf "%.1f ms" (daemon_off /. float_of_int daemon_epochs *. 1e3);
+      Printf.sprintf "%.1f ms" (daemon_on /. float_of_int daemon_epochs *. 1e3);
+      Printf.sprintf "%+.1f%%" (pct daemon_off daemon_on);
+    ];
+  T.print
+    ~title:
+      (Printf.sprintf
+         "Telemetry overhead — full run with observability disabled vs \
+          enabled with a fabric table installed (best of %d)"
+         n)
+    t;
+  obs_sections :=
+    ( "telemetry_overhead",
+      J.Obj
+        [
+          ("map_off_s", J.Num map_off);
+          ("map_on_s", J.Num map_on);
+          ("map_overhead_pct", J.Num (pct map_off map_on));
+          ("daemon_off_s", J.Num daemon_off);
+          ("daemon_on_s", J.Num daemon_on);
+          ("daemon_overhead_pct", J.Num (pct daemon_off daemon_on));
+        ] )
+    :: !obs_sections
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment              *)
 
 let bechamel_section () =
@@ -1362,6 +1451,7 @@ let () =
       ext_emergent_election ());
   section "sensitivity" ~when_:(wants "sensitivity" || !only = []) sensitivity;
   section "daemon" ~when_:(wants "daemon") daemon_section;
+  section "telemetry" ~when_:(wants "telemetry" || !only = []) telemetry_section;
   section "bechamel"
     ~when_:(!with_bechamel && (wants "bechamel" || !only = []))
     bechamel_section;

@@ -7,7 +7,11 @@
      routes  — map, then compute and check UP*/DOWN* routes
      diff    — compare two saved maps, anchored at host names
      verify  — incrementally check a saved map against the live
-               fabric (one probe per known port), remapping on change *)
+               fabric (one probe per known port), remapping on change
+     daemon  — epoch-driven control-plane loop over a fault schedule
+     health  — daemon run with fabric telemetry: sparkline dashboard,
+               alerts, hottest links
+     version — print the package version *)
 
 open Cmdliner
 open San_topology
@@ -82,10 +86,26 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
-(* Run [f] under the observability subsystem when either output was
-   requested; otherwise leave it disabled (zero-cost instrumentation). *)
-let with_obs ~trace ~metrics f =
-  if trace = None && metrics = None then f ()
+let chrome_arg =
+  let doc =
+    "Write a Chrome trace-event file (loadable in chrome://tracing and \
+     Perfetto) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "chrome-trace" ] ~docv:"FILE" ~doc)
+
+let prom_arg =
+  let doc = "Write the metrics in Prometheus text exposition to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "prom" ] ~docv:"FILE" ~doc)
+
+(* Run [f] under the observability subsystem when any output was
+   requested (or [force]d, for the health dashboard which reads the
+   in-memory ring and registry directly); otherwise leave it disabled
+   (zero-cost instrumentation). *)
+let with_obs ?(force = false) ?(chrome = None) ?(prom = None) ~trace ~metrics f
+    =
+  if (not force) && trace = None && metrics = None && chrome = None
+     && prom = None
+  then f ()
   else
     match
       San_obs.Obs.set_enabled true;
@@ -102,14 +122,26 @@ let with_obs ~trace ~metrics f =
         Option.iter (fun f -> Format.printf "wrote trace %s@." f) trace;
         Option.iter
           (fun file ->
-            let snap = San_obs.Metrics.snapshot San_obs.Obs.registry in
+            San_telemetry.Chrome_trace.to_file
+              (San_obs.Trace.records San_obs.Obs.tracer)
+              file;
+            Format.printf "wrote chrome trace %s@." file)
+          chrome;
+        let snap () = San_obs.Metrics.snapshot San_obs.Obs.registry in
+        Option.iter
+          (fun file ->
             let oc = open_out file in
             output_string oc
-              (San_util.Json.to_string (San_obs.Metrics.to_json snap));
+              (San_util.Json.to_string (San_obs.Metrics.to_json (snap ())));
             output_char oc '\n';
             close_out oc;
             Format.printf "wrote metrics %s@." file)
           metrics;
+        Option.iter
+          (fun file ->
+            San_telemetry.Prom.to_file (snap ()) file;
+            Format.printf "wrote prometheus metrics %s@." file)
+          prom;
         San_obs.Obs.set_enabled false
       in
       Fun.protect ~finally:finish f
@@ -193,8 +225,8 @@ let json_arg =
   Cmdliner.Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
 let run_map spec seed mapper_name algo model depth policy dot json trace
-    metrics =
-  with_obs ~trace ~metrics @@ fun () ->
+    metrics chrome prom =
+  with_obs ~chrome ~prom ~trace ~metrics @@ fun () ->
   let g = build_topology spec seed in
   let mapper = pick_mapper g mapper_name in
   let verify map =
@@ -385,8 +417,9 @@ let pp_epoch_report (r : San_service.Daemon.epoch_report) =
         d.Delta.dist.San_routing.Distribute.hosts_missed);
   List.iter (fun ev -> Format.printf "           * %s@." ev) r.Daemon.events
 
-let run_daemon spec seed epochs schedule retries quiet trace metrics =
-  with_obs ~trace ~metrics @@ fun () ->
+let run_daemon spec seed epochs schedule retries quiet trace metrics chrome
+    prom =
+  with_obs ~chrome ~prom ~trace ~metrics @@ fun () ->
   let open San_service in
   let g = build_topology spec seed in
   match Schedule.parse schedule with
@@ -424,6 +457,115 @@ let run_daemon spec seed epochs schedule retries quiet trace metrics =
       0)
 
 (* ------------------------------------------------------------------ *)
+(* health: the daemon run as a fabric-health dashboard                 *)
+
+let link_name g ((a, pa), (b, pb)) =
+  let name n =
+    let s = Graph.name g n in
+    if s = "" then Printf.sprintf "sw%d" n else s
+  in
+  Printf.sprintf "%s:%d -- %s:%d" (name a) pa (name b) pb
+
+let print_dashboard spec schedule (o : San_service.Daemon.outcome) fabric =
+  let open San_service in
+  let module H = San_telemetry.Health in
+  let h = o.Daemon.health in
+  let spark name f unit_ =
+    let series = List.map f h.H.r_samples in
+    match series with
+    | [] -> ()
+    | _ ->
+      let last = List.nth series (List.length series - 1) in
+      Format.printf "  %-12s %s  last %.2f%s@." name
+        (San_util.Tablefmt.sparkline ~width:60 series)
+        last unit_
+  in
+  Format.printf "fabric health: %s over %d epochs%s@." spec
+    (List.length o.Daemon.reports)
+    (if schedule = "" then "" else Printf.sprintf " (schedule %s)" schedule);
+  spark "coverage" (fun s -> s.H.coverage) "";
+  spark "drop rate" (fun s -> s.H.probe_drop_rate) "";
+  spark "delta bytes" (fun s -> float_of_int s.H.delta_bytes) " B";
+  spark "epoch ms" (fun s -> s.H.epoch_ms) " ms";
+  (match h.H.r_history with
+  | [] -> Format.printf "alerts: none@."
+  | alerts ->
+    let t =
+      San_util.Tablefmt.create
+        ~header:[ "alert"; "metric"; "raised"; "cleared"; "worst" ]
+    in
+    List.iter
+      (fun (a : H.alert) ->
+        San_util.Tablefmt.add_row t
+          [
+            a.H.a_rule.H.rule_name;
+            H.metric_name a.H.a_rule.H.metric;
+            string_of_int a.H.raised_epoch;
+            (match a.H.cleared_epoch with
+            | Some e -> string_of_int e
+            | None -> "ACTIVE");
+            Printf.sprintf "%.3f" a.H.worst;
+          ])
+      alerts;
+    San_util.Tablefmt.print ~title:"alerts" t);
+  match o.Daemon.map with
+  | None -> ()
+  | Some g ->
+    let links = San_telemetry.Fabric_stats.links fabric g in
+    let t =
+      San_util.Tablefmt.create
+        ~header:
+          [ "link"; "transits"; "occupied ms"; "blocked ms"; "coll"; "drops";
+            "util" ]
+    in
+    List.iteri
+      (fun i (l : San_telemetry.Fabric_stats.link) ->
+        if i < 10 then
+          San_util.Tablefmt.add_row t
+            [
+              link_name g l.San_telemetry.Fabric_stats.ends;
+              string_of_int l.San_telemetry.Fabric_stats.l_transits;
+              Printf.sprintf "%.3f"
+                (l.San_telemetry.Fabric_stats.l_occupied_ns /. 1e6);
+              Printf.sprintf "%.3f"
+                (l.San_telemetry.Fabric_stats.l_blocked_ns /. 1e6);
+              string_of_int l.San_telemetry.Fabric_stats.l_collisions;
+              string_of_int l.San_telemetry.Fabric_stats.l_drops;
+              Printf.sprintf "%.2f" l.San_telemetry.Fabric_stats.utilization;
+            ])
+      links;
+    San_util.Tablefmt.print ~title:"hottest links" t
+
+let run_health spec seed epochs schedule retries dot trace metrics chrome prom
+    =
+  with_obs ~force:true ~chrome ~prom ~trace ~metrics @@ fun () ->
+  let open San_service in
+  let g = build_topology spec seed in
+  match Schedule.parse schedule with
+  | Error e -> Format.printf "bad schedule: %s@." e; 1
+  | Ok parsed -> (
+    let fabric = San_telemetry.Fabric_stats.create () in
+    San_telemetry.Fabric_stats.install fabric;
+    Fun.protect ~finally:San_telemetry.Fabric_stats.uninstall @@ fun () ->
+    let config =
+      { Daemon.default_config with Daemon.dist_retries = retries; seed }
+    in
+    match Daemon.run ~config ~schedule:parsed ~epochs g with
+    | Error e -> Format.printf "daemon: %s@." e; 1
+    | Ok o ->
+      print_dashboard spec schedule o fabric;
+      (match (dot, o.Daemon.map) with
+      | Some f, Some m ->
+        Dot.to_file ~graph_name:spec
+          ~heat:(San_telemetry.Fabric_stats.heat fabric m)
+          m f;
+        Format.printf "wrote heat map %s@." f
+      | Some f, None ->
+        Format.printf "no map at exit; skipped heat map %s@." f
+      | None, _ -> ());
+      0)
+
+(* ------------------------------------------------------------------ *)
 
 let topo_cmd =
   Cmd.v
@@ -435,7 +577,8 @@ let map_cmd =
     (Cmd.info "map" ~doc:"Discover a topology with in-band probes")
     Term.(
       const run_map $ topo_arg $ seed_arg $ mapper_arg $ algo_arg $ model_arg
-      $ depth_arg $ policy_arg $ dot_arg $ json_arg $ trace_arg $ metrics_arg)
+      $ depth_arg $ policy_arg $ dot_arg $ json_arg $ trace_arg $ metrics_arg
+      $ chrome_arg $ prom_arg)
 
 let routes_cmd =
   Cmd.v
@@ -465,14 +608,38 @@ let daemon_cmd =
           fault/repair schedule")
     Term.(
       const run_daemon $ topo_arg $ seed_arg $ epochs_arg $ schedule_arg
-      $ retries_arg $ quiet_arg $ trace_arg $ metrics_arg)
+      $ retries_arg $ quiet_arg $ trace_arg $ metrics_arg $ chrome_arg
+      $ prom_arg)
+
+let health_cmd =
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Run the daemon with fabric telemetry and print a health dashboard \
+          (epoch sparklines, alerts, hottest links)")
+    Term.(
+      const run_health $ topo_arg $ seed_arg $ epochs_arg $ schedule_arg
+      $ retries_arg $ dot_arg $ trace_arg $ metrics_arg $ chrome_arg
+      $ prom_arg)
+
+let version_cmd =
+  Cmd.v
+    (Cmd.info "version" ~doc:"Print the package version")
+    Term.(
+      const (fun () ->
+          print_endline Version.version;
+          0)
+      $ const ())
 
 let () =
   let info =
-    Cmd.info "san_map" ~version:"1.0.0"
+    Cmd.info "san_map" ~version:Version.version
       ~doc:"System area network mapping (SPAA'97 reproduction)"
   in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ topo_cmd; map_cmd; routes_cmd; diff_cmd; verify_cmd; daemon_cmd ]))
+          [
+            topo_cmd; map_cmd; routes_cmd; diff_cmd; verify_cmd; daemon_cmd;
+            health_cmd; version_cmd;
+          ]))

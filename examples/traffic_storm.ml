@@ -54,6 +54,37 @@ let () =
     (San_util.Summary.percentile lats 0.95 /. 1e3)
     (st.Event_sim.max_latency_ns /. 1e3);
 
+  (* 4b: where did the storm actually go? Re-run it on the full
+     100-node NOW with a fabric counter table installed and rank the
+     links by worm transits — the inter-subcluster cross-links should
+     carry far more than their share. *)
+  let cab, _ = Generators.now_cab () in
+  let cab_table = San_routing.Routes.compute cab in
+  let fabric = San_telemetry.Fabric_stats.create () in
+  let cab_sim = Event_sim.create ~fabric cab in
+  List.iter
+    (fun (src, _, turns) ->
+      ignore
+        (Event_sim.inject cab_sim ~at_ns:0.0 ~src ~turns ~payload_bytes:4096 ()))
+    (San_routing.Routes.all cab_table);
+  Event_sim.run cab_sim;
+  let links = San_telemetry.Fabric_stats.links fabric cab in
+  let total = San_telemetry.Fabric_stats.total_transits fabric in
+  Format.printf
+    "@.NOW-wide storm: %d worms, %d channel transits over %d links@."
+    (Event_sim.stats cab_sim).Event_sim.injected total (List.length links);
+  Format.printf "hottest links (transits, share of all traffic):@.";
+  List.iteri
+    (fun i l ->
+      if i < 8 then
+        let (a, pa), (b, pb) = l.San_telemetry.Fabric_stats.ends in
+        Format.printf "  %s:%d -- %s:%d  %6d  %4.1f%%@." (Graph.name cab a) pa
+          (Graph.name cab b) pb l.San_telemetry.Fabric_stats.l_transits
+          (100.0
+          *. float_of_int l.San_telemetry.Fabric_stats.l_transits
+          /. float_of_int total))
+    links;
+
   (* 5: the counterexample. *)
   let rg = Graph.create () in
   let sw = Array.init 4 (fun i -> Graph.add_switch rg ~name:(Printf.sprintf "r%d" i) ()) in

@@ -13,9 +13,50 @@ type event =
   | Routes_distributed of { slices : int; bytes : int }
   | Epoch_started of { name : string; discrepancies : int }
   | Daemon_transition of { epoch : int; from_ : string; to_ : string }
+  | Alert_raised of { name : string; epoch : int }
+  | Alert_cleared of { name : string; epoch : int }
   | Span_begin of { name : string }
   | Span_end of { name : string; elapsed_ns : float }
   | Mark of { name : string; note : string }
+
+(* One sample per constructor, linked as a successor chain: the match
+   in [next] is over every constructor, so adding a variant without
+   threading it into the chain (and therefore into [all_events]) is a
+   fatal inexhaustive-match error. The serialization round-trip test
+   walks this list, which is how a forgotten [event_of_json] arm
+   becomes a test failure instead of silent data loss. *)
+let all_events =
+  let next = function
+    | None -> Some (Probe_sent { kind = Host; hit = true; cost_ns = 125.0 })
+    | Some (Probe_sent _) ->
+      Some (Worm_injected { wid = 7; at_ns = 10.0; hops = 3 })
+    | Some (Worm_injected _) ->
+      Some (Worm_delivered { wid = 7; at_ns = 60.0; latency_ns = 50.0 })
+    | Some (Worm_delivered _) ->
+      Some (Worm_dropped { wid = 8; at_ns = 90.0; reason = "forward_reset" })
+    | Some (Worm_dropped _) -> Some (Replicate_merged { kept = 4; absorbed = 2 })
+    | Some (Replicate_merged _) ->
+      Some (Route_computed { pairs = 90; unreachable = 0 })
+    | Some (Route_computed _) ->
+      Some (Routes_distributed { slices = 10; bytes = 4096 })
+    | Some (Routes_distributed _) ->
+      Some (Epoch_started { name = "e1"; discrepancies = 1 })
+    | Some (Epoch_started _) ->
+      Some (Daemon_transition { epoch = 3; from_ = "stable"; to_ = "verifying" })
+    | Some (Daemon_transition _) ->
+      Some (Alert_raised { name = "coverage"; epoch = 4 })
+    | Some (Alert_raised _) -> Some (Alert_cleared { name = "coverage"; epoch = 5 })
+    | Some (Alert_cleared _) -> Some (Span_begin { name = "map" })
+    | Some (Span_begin _) -> Some (Span_end { name = "map"; elapsed_ns = 42.0 })
+    | Some (Span_end _) -> Some (Mark { name = "note"; note = "hello" })
+    | Some (Mark _) -> None
+  in
+  let rec walk acc cur =
+    match next cur with
+    | None -> List.rev acc
+    | Some e -> walk (e :: acc) (Some e)
+  in
+  walk [] None
 
 type record = { seq : int; wall_ns : float; event : event }
 
@@ -136,6 +177,10 @@ let event_to_json event =
         ("from", J.Str from_);
         ("to", J.Str to_);
       ]
+    | Alert_raised { name; epoch } ->
+      [ ("ev", J.Str "alert_raised"); ("name", J.Str name); ("epoch", J.int epoch) ]
+    | Alert_cleared { name; epoch } ->
+      [ ("ev", J.Str "alert_cleared"); ("name", J.Str name); ("epoch", J.int epoch) ]
     | Span_begin { name } -> [ ("ev", J.Str "span_begin"); ("name", J.Str name) ]
     | Span_end { name; elapsed_ns } ->
       [
@@ -206,6 +251,14 @@ let event_of_json j =
     | Some epoch, Some from_, Some to_ ->
       Some (Daemon_transition { epoch; from_; to_ })
     | _ -> None)
+  | Some "alert_raised" -> (
+    match (str "name", int "epoch") with
+    | Some name, Some epoch -> Some (Alert_raised { name; epoch })
+    | _ -> None)
+  | Some "alert_cleared" -> (
+    match (str "name", int "epoch") with
+    | Some name, Some epoch -> Some (Alert_cleared { name; epoch })
+    | _ -> None)
   | Some "span_begin" ->
     Option.map (fun name -> Span_begin { name }) (str "name")
   | Some "span_end" -> (
@@ -255,6 +308,10 @@ let pp_event ppf = function
     Format.fprintf ppf "epoch %s started (%d discrepancies)" name discrepancies
   | Daemon_transition { epoch; from_; to_ } ->
     Format.fprintf ppf "epoch %d: daemon %s -> %s" epoch from_ to_
+  | Alert_raised { name; epoch } ->
+    Format.fprintf ppf "ALERT %s raised at epoch %d" name epoch
+  | Alert_cleared { name; epoch } ->
+    Format.fprintf ppf "alert %s cleared at epoch %d" name epoch
   | Span_begin { name } -> Format.fprintf ppf "span %s begin" name
   | Span_end { name; elapsed_ns } ->
     Format.fprintf ppf "span %s end (%.0f ns)" name elapsed_ns

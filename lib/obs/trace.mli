@@ -19,6 +19,9 @@ type event =
   | Epoch_started of { name : string; discrepancies : int }
   | Daemon_transition of { epoch : int; from_ : string; to_ : string }
       (** control-plane daemon state-machine step *)
+  | Alert_raised of { name : string; epoch : int }
+      (** a health rule breached its threshold for long enough *)
+  | Alert_cleared of { name : string; epoch : int }
   | Span_begin of { name : string }
   | Span_end of { name : string; elapsed_ns : float }
   | Mark of { name : string; note : string }
@@ -65,3 +68,9 @@ val event_of_json : San_util.Json.t -> event option
 
 val probe_kind_to_string : probe_kind -> string
 val pp_event : Format.formatter -> event -> unit
+
+val all_events : event list
+(** One sample per constructor, maintained by a compiler-checked
+    successor chain inside {!Trace}: the serialization test round-trips
+    every element, so a constructor added without JSON support fails
+    the suite instead of silently dropping records. *)

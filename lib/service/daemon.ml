@@ -34,6 +34,9 @@ type epoch_report = {
   hosts_total : int;
   hosts_covered : int;
   epoch_ns : float;
+  health : San_telemetry.Health.sample option;
+  alerts_raised : string list;
+  alerts_cleared : string list;
 }
 
 type outcome = {
@@ -46,6 +49,7 @@ type outcome = {
   total_probes : int;
   delta_bytes : int;
   full_bytes : int;
+  health : San_telemetry.Health.report;
 }
 
 type config = {
@@ -101,6 +105,7 @@ let run ?(config = default_config) ?(schedule = Schedule.empty)
         incident_acc = 0.0;
       }
     in
+    let health = San_telemetry.Health.create () in
     let reports = ref [] in
     let incidents = ref [] in
     let remaps = ref 0 in
@@ -293,6 +298,62 @@ let run ?(config = default_config) ?(schedule = Schedule.empty)
         San_obs.Obs.set_gauge "daemon.coverage"
           (float_of_int hosts_covered /. float_of_int hosts_total);
       if st.phase = Degraded then San_obs.Obs.count "daemon.degraded_epochs";
+      (* Fabric health: one sample per steady-state epoch. Cold start
+         is skipped on purpose — the bootstrap ships every slice by
+         definition, and alerting on it would make every run open with
+         a spurious incident. *)
+      let health_sample, alerts_raised, alerts_cleared =
+        match !verdict with
+        | Cold_start -> (None, [], [])
+        | _ ->
+          let coverage =
+            if hosts_total = 0 then 0.0
+            else
+              match !verdict with
+              | Verified when st.missing = [] -> 1.0
+              | Changed _ -> (
+                (* A detected change means some hosts ran stale routes
+                   this epoch, even if the delta repaired them before
+                   the books closed: the plan's unchanged count is the
+                   honest coverage of the epoch as lived. *)
+                match !dist_report with
+                | Some rep ->
+                  float_of_int rep.Delta.plan.Delta.unchanged_hosts
+                  /. float_of_int hosts_total
+                | None -> 0.0)
+              | Cold_start | Verified | Backing_off | Halted ->
+                float_of_int hosts_covered /. float_of_int hosts_total
+          in
+          let missed_slices, probe_drop_rate =
+            match !dist_report with
+            | None -> (0, 0.0)
+            | Some rep ->
+              let missed = rep.Delta.dist.D.hosts_missed in
+              let msgs = rep.Delta.dist.D.total_messages in
+              ( missed,
+                if msgs = 0 then 0.0
+                else float_of_int missed /. float_of_int msgs )
+          in
+          let sample =
+            {
+              San_telemetry.Health.epoch = e;
+              coverage;
+              convergence_epochs =
+                (match st.incident_start with
+                | Some d -> e - d + 1
+                | None -> 0);
+              delta_bytes =
+                (match !dist_report with
+                | Some rep -> rep.Delta.sent_bytes
+                | None -> 0);
+              missed_slices;
+              probe_drop_rate;
+              epoch_ms = epoch_ns /. 1e6;
+            }
+          in
+          let raised, cleared = San_telemetry.Health.observe health sample in
+          (Some sample, raised, cleared)
+      in
       let report =
         {
           epoch = e;
@@ -308,6 +369,9 @@ let run ?(config = default_config) ?(schedule = Schedule.empty)
           hosts_total;
           hosts_covered;
           epoch_ns;
+          health = health_sample;
+          alerts_raised;
+          alerts_cleared;
         }
       in
       on_epoch report;
@@ -324,5 +388,6 @@ let run ?(config = default_config) ?(schedule = Schedule.empty)
         total_probes = !total_probes;
         delta_bytes = !delta_bytes;
         full_bytes = !full_bytes;
+        health = San_telemetry.Health.report health;
       }
   end

@@ -21,7 +21,14 @@
     Every transition emits a {!San_obs.Trace.Daemon_transition} event,
     and convergence (fault detected to routes fully re-installed,
     counted in simulated work time) lands in the
-    ["daemon.converge_ns"] histogram of the global registry. *)
+    ["daemon.converge_ns"] histogram of the global registry.
+
+    Every non-cold-start epoch additionally feeds one
+    {!San_telemetry.Health.sample} (coverage, convergence,
+    distribution bytes, missed slices, drop rate) into a sliding
+    health window whose rules raise and clear typed alerts —
+    {!San_obs.Trace.Alert_raised} / [Alert_cleared] trace events plus
+    the [health] blocks of the reports below. *)
 
 open San_topology
 
@@ -58,6 +65,10 @@ type epoch_report = {
   hosts_total : int;  (** hosts in the daemon's current map *)
   hosts_covered : int;  (** hosts whose installed slice is current *)
   epoch_ns : float;  (** simulated work this epoch *)
+  health : San_telemetry.Health.sample option;
+      (** [None] only for cold-start epochs, which are not anomalies *)
+  alerts_raised : string list;  (** health rules that raised this epoch *)
+  alerts_cleared : string list;
 }
 
 type outcome = {
@@ -72,6 +83,9 @@ type outcome = {
   full_bytes : int;
       (** what shipping full slices on every distribution would have
           cost — the delta savings baseline *)
+  health : San_telemetry.Health.report;
+      (** the health window at exit: per-epoch samples, active alerts
+          and the full alert history ({!San_telemetry.Health}) *)
 }
 
 type config = {

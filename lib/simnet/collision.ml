@@ -12,50 +12,75 @@ let undirected_id (h : Worm.hop) =
   if h.exit_end <= h.entry_end then (h.exit_end, h.entry_end)
   else (h.entry_end, h.exit_end)
 
-let has_duplicate ids =
+(* The hop at which the path first reuses a channel (under [key]'s
+   notion of identity) — the place the self-collision happens. *)
+let find_duplicate key hops =
   let tbl = Hashtbl.create 16 in
-  List.exists
-    (fun id ->
+  List.find_opt
+    (fun h ->
+      let id = key h in
       if Hashtbl.mem tbl id then true
       else begin
         Hashtbl.add tbl id ();
         false
       end)
-    ids
+    hops
 
 (* Cut-through: the head enters channel c for hop index i at time
    i * hop_latency; the tail clears it [drain] later.  A reuse at hop
    j > i blocks iff the head returns before the tail cleared. *)
-let cut_through_blocks params (trace : Worm.trace) =
+let cut_through_blocking_hop params (trace : Worm.trace) =
   let hops = Array.of_list trace.hops in
   let drain =
     Params.worm_drain_ns params ~route_flits:(Array.length hops)
   in
-  if drain <= 0.0 then false
+  if drain <= 0.0 then None
   else begin
     let last_use = Hashtbl.create 16 in
-    let blocked = ref false in
+    let blocked = ref None in
     Array.iteri
       (fun j h ->
         let id = directed_id h in
         (match Hashtbl.find_opt last_use id with
         | Some i ->
           let gap = float_of_int (j - i) *. Params.hop_latency_ns params in
-          if gap < drain then blocked := true
+          if gap < drain && !blocked = None then blocked := Some h
         | None -> ());
         Hashtbl.replace last_use id j)
       hops;
     !blocked
   end
 
-let host_probe_blocks model params (trace : Worm.trace) =
-  match model with
-  | Circuit -> has_duplicate (List.map directed_id trace.hops)
-  | Cut_through -> cut_through_blocks params trace
+(* A blocking self-collision is charged to the directed channel the
+   head was exiting through when it stepped on its own tail. *)
+let record fabric hop =
+  match hop with
+  | None -> false
+  | Some (h : Worm.hop) ->
+    (match fabric with
+    | Some f -> San_telemetry.Fabric_stats.collision f h.exit_end
+    | None -> ());
+    true
 
-let switch_probe_blocks model params ~forward_hops (trace : Worm.trace) =
+let host_probe_blocks ?fabric model params (trace : Worm.trace) =
+  let fabric =
+    match fabric with
+    | Some _ as f -> f
+    | None -> San_telemetry.Fabric_stats.current ()
+  in
+  match model with
+  | Circuit -> record fabric (find_duplicate directed_id trace.hops)
+  | Cut_through -> record fabric (cut_through_blocking_hop params trace)
+
+let switch_probe_blocks ?fabric model params ~forward_hops (trace : Worm.trace)
+    =
+  let fabric =
+    match fabric with
+    | Some _ as f -> f
+    | None -> San_telemetry.Fabric_stats.current ()
+  in
   match model with
   | Circuit ->
     let forward = List.filteri (fun i _ -> i < forward_hops) trace.hops in
-    has_duplicate (List.map undirected_id forward)
-  | Cut_through -> cut_through_blocks params trace
+    record fabric (find_duplicate undirected_id forward)
+  | Cut_through -> record fabric (cut_through_blocking_hop params trace)

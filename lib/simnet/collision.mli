@@ -24,11 +24,17 @@ type model = Circuit | Cut_through
 
 val model_to_string : model -> string
 
-val host_probe_blocks : model -> Params.t -> Worm.trace -> bool
-(** Does this host-probe worm block on itself? *)
+val host_probe_blocks :
+  ?fabric:San_telemetry.Fabric_stats.t -> model -> Params.t -> Worm.trace ->
+  bool
+(** Does this host-probe worm block on itself? A blocking collision is
+    charged to the directed channel where the head stepped on its tail
+    in [fabric] (default: the process-wide
+    {!San_telemetry.Fabric_stats.current} slot, if installed). *)
 
 val switch_probe_blocks :
-  model -> Params.t -> forward_hops:int -> Worm.trace -> bool
+  ?fabric:San_telemetry.Fabric_stats.t -> model -> Params.t ->
+  forward_hops:int -> Worm.trace -> bool
 (** Does this loopback worm block on itself? [forward_hops] is the
     number of wire crossings of the outbound half (k+1 for a probe of
-    k turns). *)
+    k turns). Collision attribution as in {!host_probe_blocks}. *)

@@ -29,6 +29,7 @@ type worm = {
 type channel = {
   mutable owner : worm_id option;
   mutable gen : int; (* acquisition counter, guards stale releases *)
+  mutable acquired_at : float; (* when the current owner took it *)
   waiters : (worm_id * int) Queue.t;
 }
 
@@ -42,6 +43,9 @@ type event =
 type t = {
   graph : Graph.t;
   params : Params.t;
+  fabric : San_telemetry.Fabric_stats.t option;
+      (* resolved once at create: explicit arg, else the process-wide
+         slot; None means per-channel accounting is off *)
   events : event San_util.Heap.t;
   channels : (Graph.wire_end, channel) Hashtbl.t;
   mutable worms : worm array;
@@ -55,10 +59,16 @@ type t = {
   mutable lats : float list;
 }
 
-let create ?(params = Params.default) graph =
+let create ?(params = Params.default) ?fabric graph =
+  let fabric =
+    match fabric with
+    | Some _ as f -> f
+    | None -> San_telemetry.Fabric_stats.current ()
+  in
   {
     graph;
     params;
+    fabric;
     events = San_util.Heap.create ();
     channels = Hashtbl.create 256;
     worms = [||];
@@ -76,7 +86,9 @@ let channel t key =
   match Hashtbl.find_opt t.channels key with
   | Some c -> c
   | None ->
-    let c = { owner = None; gen = 0; waiters = Queue.create () } in
+    let c =
+      { owner = None; gen = 0; acquired_at = 0.0; waiters = Queue.create () }
+    in
     Hashtbl.add t.channels key c;
     c
 
@@ -154,6 +166,24 @@ let finish_drop t w reason ~at =
   (match reason with
   | Bad_route _ -> t.n_bad_route <- t.n_bad_route + 1
   | Forward_reset -> t.n_reset <- t.n_reset + 1);
+  (match t.fabric with
+  | None -> ()
+  | Some f ->
+    (* Attribute the death to the channel where the worm actually
+       died: the one it was queued on for a reset, the last one it
+       crossed for a bad route. *)
+    let key =
+      match reason with
+      | Forward_reset when w.waiting_on >= 0 ->
+        if w.waiting_since >= 0.0 then
+          San_telemetry.Fabric_stats.blocked f w.path.(w.waiting_on)
+            (at -. w.waiting_since);
+        Some w.path.(w.waiting_on)
+      | _ when Array.length w.path > 0 ->
+        Some w.path.(Array.length w.path - 1)
+      | _ -> None
+    in
+    Option.iter (San_telemetry.Fabric_stats.drop f) key);
   if San_obs.Obs.on () then begin
     let tag =
       match reason with
@@ -179,7 +209,15 @@ let rec try_acquire t w i ~at =
       | None ->
         c.owner <- Some w.wid;
         c.gen <- c.gen + 1;
+        c.acquired_at <- at;
         w.head <- i + 1;
+        (match t.fabric with
+        | None -> ()
+        | Some f ->
+          San_telemetry.Fabric_stats.transit f w.path.(i);
+          if w.waiting_on = i && w.waiting_since >= 0.0 then
+            San_telemetry.Fabric_stats.blocked f w.path.(i)
+              (at -. w.waiting_since));
         w.waiting_on <- -1;
         w.waiting_since <- -1.0;
         (* The body compresses into downstream buffers: everything more
@@ -239,6 +277,9 @@ let handle t ev ~at =
     let c = channel t key in
     if c.owner = Some expected && c.gen = gen then begin
       c.owner <- None;
+      (match t.fabric with
+      | None -> ()
+      | Some f -> San_telemetry.Fabric_stats.occupied f key (at -. c.acquired_at));
       serve_waiters t key c ~at
     end
   | Reset_check (wid, i, since) ->
@@ -301,18 +342,29 @@ type stats = {
   dropped_bad_route : int;
   dropped_reset : int;
   in_flight : int;
+  hops_acquired : int;
   avg_latency_ns : float;
   max_latency_ns : float;
   finished_at_ns : float;
 }
 
 let stats t =
+  (* Channels acquired, counted from the worm side: each worm's [head]
+     is exactly how many channels it won arbitration for. The fabric
+     table counts the same thing from the channel side, which is what
+     makes this a conservation cross-check rather than one number read
+     twice. *)
+  let hops = ref 0 in
+  for i = 0 to t.nworms - 1 do
+    hops := !hops + t.worms.(i).head
+  done;
   {
     injected = t.nworms;
     delivered = t.n_delivered;
     dropped_bad_route = t.n_bad_route;
     dropped_reset = t.n_reset;
     in_flight = t.nworms - t.n_delivered - t.n_bad_route - t.n_reset;
+    hops_acquired = !hops;
     avg_latency_ns =
       (if t.n_delivered = 0 then 0.0
        else t.lat_sum /. float_of_int t.n_delivered);

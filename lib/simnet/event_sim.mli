@@ -43,7 +43,13 @@ type outcome =
   | Delivered of { dst : Graph.node; at_ns : float; latency_ns : float }
   | Dropped of { reason : drop_reason; at_ns : float }
 
-val create : ?params:Params.t -> Graph.t -> t
+val create :
+  ?params:Params.t -> ?fabric:San_telemetry.Fabric_stats.t -> Graph.t -> t
+(** [fabric] is the per-channel counter table this simulator reports
+    channel transits, occupied/blocked time and drop locations into.
+    Defaults to the process-wide
+    {!San_telemetry.Fabric_stats.current} slot; when neither is set,
+    per-channel accounting is off (aggregate {!stats} still work). *)
 
 val inject :
   t -> at_ns:float -> src:Graph.node -> turns:Route.t -> ?payload_bytes:int ->
@@ -71,6 +77,10 @@ type stats = {
   dropped_bad_route : int;
   dropped_reset : int;
   in_flight : int;
+  hops_acquired : int;
+      (** channels won across all worms, counted worm-side — pairs with
+          {!San_telemetry.Fabric_stats.total_transits} (counted
+          channel-side) as a conservation cross-check *)
   avg_latency_ns : float;  (** over delivered worms *)
   max_latency_ns : float;
   finished_at_ns : float;

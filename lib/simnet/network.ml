@@ -12,10 +12,12 @@ type t = {
   traffic : (float * San_util.Prng.t) option;
   run_bias : float;
   net_stats : Stats.t;
+  net_fabric : San_telemetry.Fabric_stats.t option;
 }
 
 let create ?(model = Collision.Circuit) ?(params = Params.default)
-    ?(responding = fun _ -> true) ?(software_slowdown = 1.0) ?jitter ?traffic g =
+    ?(responding = fun _ -> true) ?(software_slowdown = 1.0) ?jitter ?traffic
+    ?fabric g =
   let run_bias =
     (* Per-run correlated load level: most runs sit within ±frac/2 of
        nominal; roughly one in ten lands on a busy machine and pays up
@@ -40,6 +42,10 @@ let create ?(model = Collision.Circuit) ?(params = Params.default)
     traffic;
     run_bias;
     net_stats = Stats.create ();
+    net_fabric =
+      (match fabric with
+      | Some _ as f -> f
+      | None -> San_telemetry.Fabric_stats.current ());
   }
 
 (* Cross-traffic: a probe survives each wire crossing independently.
@@ -64,6 +70,20 @@ let stats t = t.net_stats
 let params t = t.net_params
 let model t = t.net_model
 let reset_stats t = Stats.reset t.net_stats
+
+(* Per-channel accounting for the analytic front end: every wire
+   crossing the worm actually made transits the forward channel (the
+   hop's exit end); a hit means the reply retraced, transiting each
+   reverse channel (the hop's entry end) too. *)
+let fabric_transits t ?(reply = false) (trace : Worm.trace) =
+  match t.net_fabric with
+  | None -> ()
+  | Some f ->
+    List.iter
+      (fun (h : Worm.hop) ->
+        San_telemetry.Fabric_stats.transit f h.Worm.exit_end;
+        if reply then San_telemetry.Fabric_stats.transit f h.Worm.entry_end)
+      trace.hops
 
 let probe_cost_hit t ~hops =
   let p = t.net_params in
@@ -107,7 +127,10 @@ let host_probe t ~src ~turns =
   let success =
     match trace.outcome with
     | Worm.Arrived h ->
-      if Collision.host_probe_blocks t.net_model t.net_params trace then None
+      if
+        Collision.host_probe_blocks ?fabric:t.net_fabric t.net_model
+          t.net_params trace
+      then None
       else if t.responding h then Some (Graph.name t.net_graph h)
       else None
     | Worm.Illegal_turn _ | Worm.No_such_wire _ | Worm.Hit_host_too_soon _
@@ -127,10 +150,12 @@ let host_probe t ~src ~turns =
        crossings in the opposite direction. *)
     let hops = 2 * List.length trace.hops in
     let cost = jittered t (probe_cost_hit t ~hops) in
+    fabric_transits t ~reply:true trace;
     account t ~kind:San_obs.Trace.Host ~hit:true ~cost;
     (Host name, cost)
   | None ->
     let cost = jittered t (probe_cost_miss t) in
+    fabric_transits t trace;
     account t ~kind:San_obs.Trace.Host ~hit:false ~cost;
     (Nothing, cost)
 
@@ -150,7 +175,9 @@ let walk_probe t ~src ~turns =
   in
   let answer =
     match answer with
-    | Some _ when Collision.host_probe_blocks t.net_model t.net_params trace ->
+    | Some _
+      when Collision.host_probe_blocks ?fabric:t.net_fabric t.net_model
+             t.net_params trace ->
       None
     | a -> a
   in
@@ -164,10 +191,12 @@ let walk_probe t ~src ~turns =
   match answer with
   | Some (name, consumed) ->
     let cost = jittered t (probe_cost_hit t ~hops:(2 * List.length trace.hops)) in
+    fabric_transits t ~reply:true trace;
     account t ~kind:San_obs.Trace.Walk ~hit:true ~cost;
     (Some (name, consumed), cost)
   | None ->
     let cost = jittered t (probe_cost_miss t) in
+    fabric_transits t trace;
     account t ~kind:San_obs.Trace.Walk ~hit:false ~cost;
     (None, cost)
 
@@ -202,10 +231,12 @@ let loop_probe t ~src ~turns ~turn =
   match answer with
   | Some d ->
     let cost = jittered t (probe_cost_hit t ~hops:(2 * (List.length trace.hops + 1))) in
+    fabric_transits t ~reply:true trace;
     account t ~kind:San_obs.Trace.Loop ~hit:true ~cost;
     (Some d, cost)
   | None ->
     let cost = jittered t (probe_cost_miss t) in
+    fabric_transits t trace;
     account t ~kind:San_obs.Trace.Loop ~hit:false ~cost;
     (None, cost)
 
@@ -218,8 +249,8 @@ let switch_probe t ~src ~turns =
     | Worm.Arrived h ->
       h = src
       && not
-           (Collision.switch_probe_blocks t.net_model t.net_params
-              ~forward_hops trace)
+           (Collision.switch_probe_blocks ?fabric:t.net_fabric t.net_model
+              t.net_params ~forward_hops trace)
     | Worm.Illegal_turn _ | Worm.No_such_wire _ | Worm.Hit_host_too_soon _
     | Worm.Stranded _ | Worm.Unwired_source ->
       false
@@ -229,11 +260,15 @@ let switch_probe t ~src ~turns =
   in
   if success then begin
     let cost = jittered t (probe_cost_hit t ~hops:(List.length trace.hops)) in
+    (* A loopback probe's route already contains its own retrace, so
+       the forward pass over [trace.hops] is the whole journey. *)
+    fabric_transits t trace;
     account t ~kind:San_obs.Trace.Switch ~hit:true ~cost;
     (Switch, cost)
   end
   else begin
     let cost = jittered t (probe_cost_miss t) in
+    fabric_transits t trace;
     account t ~kind:San_obs.Trace.Switch ~hit:false ~cost;
     (Nothing, cost)
   end

@@ -19,6 +19,7 @@ val create :
   ?software_slowdown:float ->
   ?jitter:float * San_util.Prng.t ->
   ?traffic:float * San_util.Prng.t ->
+  ?fabric:San_telemetry.Fabric_stats.t ->
   Graph.t ->
   t
 (** [create g] wraps a network. [model] defaults to {!Collision.Circuit}
@@ -34,7 +35,11 @@ val create :
     simulation is fully deterministic. [traffic] relaxes the paper's
     quiescence assumption (the §6 cross-traffic question): application
     worms occupy each directed channel independently so a probe is lost
-    with the given probability per wire crossing. *)
+    with the given probability per wire crossing. [fabric] is the
+    per-channel counter table every probe's wire crossings, collisions
+    and replies are attributed to (default: the process-wide
+    {!San_telemetry.Fabric_stats.current} slot; when neither is set,
+    per-channel accounting is off). *)
 
 val graph : t -> Graph.t
 val stats : t -> Stats.t

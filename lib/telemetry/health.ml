@@ -1,0 +1,189 @@
+(* Sliding window of per-epoch health samples evaluated against
+   declarative rules. Breaches must persist for a rule's [for_epochs]
+   consecutive observations before the alert raises — one noisy epoch
+   is weather, a streak is an incident — and the first non-breaching
+   observation clears it. Raise/clear both land in the trace so
+   post-mortems line alerts up against worm and daemon events. *)
+
+module Trace = San_obs.Trace
+module Obs = San_obs.Obs
+
+type sample = {
+  epoch : int;
+  coverage : float;
+  convergence_epochs : int;
+  delta_bytes : int;
+  missed_slices : int;
+  probe_drop_rate : float;
+  epoch_ms : float;
+}
+
+type metric =
+  | Coverage
+  | Convergence_epochs
+  | Delta_bytes
+  | Missed_slices
+  | Probe_drop_rate
+
+type cmp = Above | Below
+
+type rule = {
+  rule_name : string;
+  metric : metric;
+  cmp : cmp;
+  threshold : float;
+  for_epochs : int;
+}
+
+type alert = {
+  a_rule : rule;
+  raised_epoch : int;
+  mutable cleared_epoch : int option;
+  mutable worst : float;
+}
+
+type t = {
+  window : int;
+  rules : rule list;
+  mutable samples : sample list; (* newest first, length <= window *)
+  mutable streaks : (string * int) list;
+  mutable active : (string * alert) list;
+  mutable history : alert list; (* newest first, raised or cleared *)
+}
+
+let metric_name = function
+  | Coverage -> "coverage"
+  | Convergence_epochs -> "convergence_epochs"
+  | Delta_bytes -> "delta_bytes"
+  | Missed_slices -> "missed_slices"
+  | Probe_drop_rate -> "probe_drop_rate"
+
+let value_of m s =
+  match m with
+  | Coverage -> s.coverage
+  | Convergence_epochs -> float_of_int s.convergence_epochs
+  | Delta_bytes -> float_of_int s.delta_bytes
+  | Missed_slices -> float_of_int s.missed_slices
+  | Probe_drop_rate -> s.probe_drop_rate
+
+let breaches rule v =
+  match rule.cmp with
+  | Above -> v > rule.threshold
+  | Below -> v < rule.threshold
+
+let default_rules =
+  [
+    { rule_name = "coverage"; metric = Coverage; cmp = Below; threshold = 1.0;
+      for_epochs = 1 };
+    { rule_name = "missed_slices"; metric = Missed_slices; cmp = Above;
+      threshold = 0.0; for_epochs = 1 };
+    { rule_name = "slow_convergence"; metric = Convergence_epochs; cmp = Above;
+      threshold = 2.0; for_epochs = 1 };
+    { rule_name = "probe_drops"; metric = Probe_drop_rate; cmp = Above;
+      threshold = 0.25; for_epochs = 2 };
+  ]
+
+let create ?(window = 64) ?(rules = default_rules) () =
+  { window; rules; samples = []; streaks = []; active = []; history = [] }
+
+let take n l =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: go (n - 1) tl
+  in
+  go n l
+
+let observe t s =
+  t.samples <- take t.window (s :: t.samples);
+  let raised = ref [] and cleared = ref [] in
+  List.iter
+    (fun rule ->
+      let v = value_of rule.metric s in
+      if breaches rule v then begin
+        let streak =
+          1 + Option.value ~default:0 (List.assoc_opt rule.rule_name t.streaks)
+        in
+        t.streaks <-
+          (rule.rule_name, streak)
+          :: List.remove_assoc rule.rule_name t.streaks;
+        match List.assoc_opt rule.rule_name t.active with
+        | Some a -> a.worst <- (match rule.cmp with
+            | Above -> Float.max a.worst v
+            | Below -> Float.min a.worst v)
+        | None ->
+          if streak >= rule.for_epochs then begin
+            let a =
+              { a_rule = rule; raised_epoch = s.epoch; cleared_epoch = None;
+                worst = v }
+            in
+            t.active <- (rule.rule_name, a) :: t.active;
+            t.history <- a :: t.history;
+            raised := rule.rule_name :: !raised;
+            Obs.emit (Trace.Alert_raised { name = rule.rule_name;
+                                           epoch = s.epoch })
+          end
+      end
+      else begin
+        t.streaks <- List.remove_assoc rule.rule_name t.streaks;
+        match List.assoc_opt rule.rule_name t.active with
+        | None -> ()
+        | Some a ->
+          a.cleared_epoch <- Some s.epoch;
+          t.active <- List.remove_assoc rule.rule_name t.active;
+          cleared := rule.rule_name :: !cleared;
+          Obs.emit (Trace.Alert_cleared { name = rule.rule_name;
+                                          epoch = s.epoch })
+      end)
+    t.rules;
+  (List.rev !raised, List.rev !cleared)
+
+let samples t = List.rev t.samples
+let active t = List.rev_map snd t.active
+
+type report = {
+  r_samples : sample list;
+  r_active : alert list;
+  r_history : alert list;
+}
+
+let report t =
+  { r_samples = samples t; r_active = active t;
+    r_history = List.rev t.history }
+
+let series t f = List.map f (samples t)
+
+let sample_to_json s =
+  let module J = San_util.Json in
+  J.Obj
+    [
+      ("epoch", J.int s.epoch);
+      ("coverage", J.Num s.coverage);
+      ("convergence_epochs", J.int s.convergence_epochs);
+      ("delta_bytes", J.int s.delta_bytes);
+      ("missed_slices", J.int s.missed_slices);
+      ("probe_drop_rate", J.Num s.probe_drop_rate);
+      ("epoch_ms", J.Num s.epoch_ms);
+    ]
+
+let alert_to_json a =
+  let module J = San_util.Json in
+  J.Obj
+    [
+      ("rule", J.Str a.a_rule.rule_name);
+      ("metric", J.Str (metric_name a.a_rule.metric));
+      ("threshold", J.Num a.a_rule.threshold);
+      ("raised_epoch", J.int a.raised_epoch);
+      ("cleared_epoch",
+       match a.cleared_epoch with None -> J.Null | Some e -> J.int e);
+      ("worst", J.Num a.worst);
+    ]
+
+let report_to_json r =
+  let module J = San_util.Json in
+  J.Obj
+    [
+      ("samples", J.Arr (List.map sample_to_json r.r_samples));
+      ("active", J.Arr (List.map alert_to_json r.r_active));
+      ("history", J.Arr (List.map alert_to_json r.r_history));
+    ]

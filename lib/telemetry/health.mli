@@ -1,0 +1,77 @@
+(** Sliding-window fabric health with declarative alert rules.
+
+    The control-plane daemon records one {!sample} per epoch; each
+    {!rule} names a sample metric, a direction, a threshold and a
+    persistence requirement ([for_epochs] consecutive breaches before
+    raising — one noisy epoch is weather, a streak is an incident).
+    Raise and clear both emit typed trace events
+    ({!San_obs.Trace.Alert_raised} / [Alert_cleared]) through the
+    {!San_obs.Obs} switchboard, so alerts line up against worm and
+    daemon activity in post-mortem traces. *)
+
+type sample = {
+  epoch : int;
+  coverage : float;  (** fraction of hosts with current routes, 0..1 *)
+  convergence_epochs : int;
+      (** epochs an incident has been open (0 when the fabric is quiet) *)
+  delta_bytes : int;  (** route bytes shipped this epoch *)
+  missed_slices : int;  (** hosts whose slice distribution failed *)
+  probe_drop_rate : float;  (** dropped/attempted control messages, 0..1 *)
+  epoch_ms : float;  (** wall-clock epoch duration *)
+}
+
+type metric =
+  | Coverage
+  | Convergence_epochs
+  | Delta_bytes
+  | Missed_slices
+  | Probe_drop_rate
+
+type cmp = Above | Below
+
+type rule = {
+  rule_name : string;
+  metric : metric;
+  cmp : cmp;
+  threshold : float;
+  for_epochs : int;  (** consecutive breaching epochs before raising *)
+}
+
+type alert = {
+  a_rule : rule;
+  raised_epoch : int;
+  mutable cleared_epoch : int option;
+  mutable worst : float;  (** most extreme breaching value seen *)
+}
+
+type t
+
+val default_rules : rule list
+(** Full coverage expected every epoch; any missed slice alerts; an
+    incident open beyond 2 epochs alerts; probe drops alert only after
+    two consecutive epochs above 25%. *)
+
+val create : ?window:int -> ?rules:rule list -> unit -> t
+(** Keep the last [window] samples (default 64). *)
+
+val observe : t -> sample -> string list * string list
+(** Record a sample and evaluate every rule, returning the rule names
+    ([raised], [cleared]) this epoch. Emits trace events for each. *)
+
+val samples : t -> sample list
+(** Window contents, oldest first. *)
+
+val active : t -> alert list
+
+type report = {
+  r_samples : sample list;
+  r_active : alert list;
+  r_history : alert list;  (** every alert ever raised, oldest first *)
+}
+
+val report : t -> report
+val series : t -> (sample -> float) -> float list
+val metric_name : metric -> string
+val sample_to_json : sample -> San_util.Json.t
+val alert_to_json : alert -> San_util.Json.t
+val report_to_json : report -> San_util.Json.t

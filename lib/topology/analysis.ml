@@ -107,3 +107,13 @@ let hop_histogram g src =
     dist;
   Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
   |> List.sort compare
+
+(* Weighted link ranking: the telemetry layer scores each wire (by
+   occupancy, transit counts, route loads, ...) and this orders them
+   hottest first, ties broken by the canonical end pair so post-mortem
+   renderings are stable across runs. *)
+let hottest_links g ~weight =
+  Graph.wires g
+  |> List.map (fun ends -> (ends, weight ends))
+  |> List.sort (fun (ea, wa) (eb, wb) ->
+         match compare wb wa with 0 -> compare ea eb | c -> c)

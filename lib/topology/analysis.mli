@@ -33,3 +33,11 @@ val farthest_switch_from_hosts : Graph.t -> ignore:Graph.node list -> Graph.node
 
 val hop_histogram : Graph.t -> Graph.node -> (int * int) list
 (** [(distance, node-count)] pairs from a source, ascending. *)
+
+val hottest_links :
+  Graph.t ->
+  weight:(Graph.wire_end * Graph.wire_end -> float) ->
+  ((Graph.wire_end * Graph.wire_end) * float) list
+(** Every wire of the graph scored by [weight] (ends in the canonical
+    order {!Graph.wires} uses), heaviest first; ties break towards the
+    smaller end pair so renderings are stable. *)

@@ -50,3 +50,35 @@ let print ?title t =
     print_endline (String.make (String.length s) '=')
   | None -> ());
   print_string (render t)
+
+(* Eight block glyphs, min-to-max normalized. Each glyph is a 3-byte
+   UTF-8 sequence, so indexing must be by glyph, not by byte. *)
+let spark_glyphs = [| "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |]
+
+let sparkline ?width values =
+  match values with
+  | [] -> ""
+  | _ ->
+    let values =
+      match width with
+      | Some w when w > 0 && List.length values > w ->
+        (* Keep the most recent [w] samples: a health sparkline is a
+           trailing window, so the right edge must be "now". *)
+        let skip = List.length values - w in
+        List.filteri (fun i _ -> i >= skip) values
+      | _ -> values
+    in
+    let lo = List.fold_left Float.min infinity values in
+    let hi = List.fold_left Float.max neg_infinity values in
+    let buf = Buffer.create (3 * List.length values) in
+    List.iter
+      (fun v ->
+        let i =
+          if hi <= lo then 3 (* flat series: mid-height bar *)
+          else
+            let u = (v -. lo) /. (hi -. lo) in
+            min 7 (max 0 (int_of_float (u *. 7.99)))
+        in
+        Buffer.add_string buf spark_glyphs.(i))
+      values;
+    Buffer.contents buf

@@ -18,3 +18,9 @@ val render : t -> string
 val print : ?title:string -> t -> unit
 (** [print ~title t] writes the optional underlined title and the table
     to stdout. *)
+
+val sparkline : ?width:int -> float list -> string
+(** A unicode block-glyph trend line ("▁▂▅█") normalized to the series'
+    min/max; a flat series renders mid-height. With [width], only the
+    most recent that many samples are drawn. Empty input renders
+    empty. *)

@@ -98,6 +98,53 @@ let test_metrics_to_json () =
     Alcotest.(check (option int)) "counter round-trips" (Some 3)
       (Option.bind (San_util.Json.member "probes" counters) San_util.Json.to_int)
 
+(* Pin the quantile corner cases: these behaviors are part of the
+   exporter contract (Prometheus summaries call quantile_of on
+   whatever the run produced, including nothing at all). *)
+let test_hist_quantile_edges () =
+  let r = Metrics.create () in
+  (* empty: every quantile is 0 *)
+  let h_empty = Metrics.histogram r "empty" in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "empty q=%g" q)
+        0.0
+        (Metrics.quantile h_empty q))
+    [ 0.0; 0.5; 1.0 ];
+  (* single observation: min/max clamping pins every quantile to it *)
+  let h_one = Metrics.histogram r "one" in
+  Metrics.observe h_one 42.0;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "single obs q=%g" q)
+        42.0
+        (Metrics.quantile h_one q))
+    [ 0.0; 0.5; 1.0 ];
+  (* all-zero observations land in the zero bucket *)
+  let h_zero = Metrics.histogram r "zeros" in
+  for _ = 1 to 10 do
+    Metrics.observe h_zero 0.0
+  done;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "all-zero q=%g" q)
+        0.0
+        (Metrics.quantile h_zero q))
+    [ 0.0; 0.5; 1.0 ];
+  (* q=0 and q=1 clamp into the observed [min,max]; the answer is a
+     geometric bucket midpoint, so it lands within one bucket (~9%
+     relative) of the true extreme, never outside it *)
+  let h = Metrics.histogram r "spread" in
+  List.iter (Metrics.observe h) [ 3.0; 17.0; 1000.0 ];
+  let q0 = Metrics.quantile h 0.0 and q1 = Metrics.quantile h 1.0 in
+  Alcotest.(check bool) "q=0 within a bucket of the min" true
+    (q0 >= 3.0 && q0 <= 3.0 *. 1.10);
+  Alcotest.(check bool) "q=1 within a bucket of the max" true
+    (q1 >= 1000.0 /. 1.10 && q1 <= 1000.0)
+
 (* ------------------------------------------------------------------ *)
 (* Trace ring buffer                                                   *)
 
@@ -181,6 +228,44 @@ let test_jsonl_roundtrip () =
                 ("record round-trips: " ^ line)
                 true (r = orig)))
         lines originals)
+
+(* Every constructor the compiler knows about must serialize: walk the
+   compiler-maintained [all_events] witness list through a full
+   to-string / parse / decode cycle. A constructor added to [event]
+   without JSON support breaks here (and forgetting to extend
+   [all_events] itself is a fatal inexhaustive match in trace.ml). *)
+let test_all_events_roundtrip () =
+  Alcotest.(check int) "one witness per constructor" 14
+    (List.length Trace.all_events);
+  let tags =
+    List.filter_map
+      (fun ev ->
+        match Trace.event_to_json ev with
+        | San_util.Json.Obj fields -> (
+          match List.assoc_opt "ev" fields with
+          | Some (San_util.Json.Str tag) -> Some tag
+          | _ -> None)
+        | _ -> None)
+      Trace.all_events
+  in
+  Alcotest.(check int) "every witness carries an \"ev\" tag" 14
+    (List.length tags);
+  Alcotest.(check int) "tags are distinct" 14
+    (List.length (List.sort_uniq compare tags));
+  List.iter
+    (fun ev ->
+      let orig = { Trace.seq = 0; wall_ns = 1.0; event = ev } in
+      let text =
+        San_util.Json.to_string ~pretty:false (Trace.record_to_json orig)
+      in
+      match San_util.Json.of_string text with
+      | Error e -> Alcotest.fail (text ^ " does not parse: " ^ e)
+      | Ok j -> (
+        match Trace.record_of_json j with
+        | None -> Alcotest.fail (text ^ " does not decode")
+        | Some r ->
+          Alcotest.(check bool) ("round-trips: " ^ text) true (r = orig)))
+    Trace.all_events
 
 (* ------------------------------------------------------------------ *)
 (* End to end: a mapper run's trace agrees with its Stats view         *)
@@ -339,6 +424,8 @@ let () =
             test_hist_quantiles_exponential;
           Alcotest.test_case "zero bucket and clamping" `Quick
             test_hist_zero_and_clamp;
+          Alcotest.test_case "quantile edge cases" `Quick
+            test_hist_quantile_edges;
           Alcotest.test_case "snapshot and diff" `Quick
             test_registry_snapshot_diff;
           Alcotest.test_case "to_json parses back" `Quick test_metrics_to_json;
@@ -349,6 +436,8 @@ let () =
           Alcotest.test_case "ring under capacity" `Quick
             test_ring_under_capacity;
           Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "all constructors round-trip" `Quick
+            test_all_events_roundtrip;
         ] );
       ( "integration",
         [

@@ -1,0 +1,450 @@
+open San_topology
+open San_telemetry
+module Obs = San_obs.Obs
+module Trace = San_obs.Trace
+module Metrics = San_obs.Metrics
+module Event_sim = San_simnet.Event_sim
+
+let with_obs f =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) f
+
+let with_fabric fabric f =
+  Fabric_stats.install fabric;
+  Fun.protect ~finally:Fabric_stats.uninstall f
+
+(* ---------- Chrome trace exporter ---------- *)
+
+(* A deterministic sim-only workload: every all-pairs route on a tiny
+   two-switch network, injected at t=0. All its trace events carry
+   simulated timestamps, so the export must be byte-identical across
+   runs — the acceptance criterion for diffable trace artifacts. *)
+let chrome_of_seeded_run () =
+  with_obs @@ fun () ->
+  let g = Generators.ring ~switches:2 ~hosts_per_switch:2 () in
+  let table = San_routing.Routes.compute g in
+  (* drop the route-computation span: its wall-clock timestamps are the
+     one non-deterministic thing here, and the contract under test is
+     that a sim-only trace (all fabric events on the simulated clock)
+     exports byte-identically *)
+  Obs.reset ();
+  let sim = Event_sim.create g in
+  List.iter
+    (fun (src, _, turns) ->
+      ignore (Event_sim.inject sim ~at_ns:0.0 ~src ~turns ~payload_bytes:256 ()))
+    (San_routing.Routes.all table);
+  Event_sim.run sim;
+  Chrome_trace.of_records (Trace.records Obs.tracer)
+
+let test_chrome_byte_stable () =
+  let a = chrome_of_seeded_run () in
+  let b = chrome_of_seeded_run () in
+  Alcotest.(check bool) "two seeded runs export identically" true (a = b);
+  Alcotest.(check bool) "export is not trivially empty" true
+    (String.length a > 200)
+
+let test_chrome_valid_json () =
+  let s = chrome_of_seeded_run () in
+  match San_util.Json.of_string s with
+  | Error e -> Alcotest.fail ("chrome trace does not parse: " ^ e)
+  | Ok (San_util.Json.Obj fields) ->
+    (match List.assoc_opt "traceEvents" fields with
+    | Some (San_util.Json.Arr evs) ->
+      Alcotest.(check bool) "has events beyond metadata" true
+        (List.length evs > 5)
+    | _ -> Alcotest.fail "no traceEvents array");
+    Alcotest.(check bool) "displayTimeUnit present" true
+      (List.assoc_opt "displayTimeUnit" fields = Some (San_util.Json.Str "ms"))
+  | Ok _ -> Alcotest.fail "chrome trace is not a JSON object"
+
+let test_chrome_handles_all_events () =
+  (* Every constructor the tracer can emit must export without raising
+     — driven by the same compiler-maintained witness list the JSON
+     round-trip uses. *)
+  let records =
+    List.mapi
+      (fun i ev -> { Trace.seq = i; wall_ns = float_of_int (i * 1000); event = ev })
+      Trace.all_events
+  in
+  let s = Chrome_trace.of_records records in
+  match San_util.Json.of_string s with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("all-constructor export invalid: " ^ e)
+
+(* ---------- Prometheus exporter ---------- *)
+
+let test_prom_roundtrip () =
+  let r = Metrics.create () in
+  Metrics.incr ~by:7 (Metrics.counter r "probes.sent");
+  Metrics.incr (Metrics.counter r "worms.dropped");
+  Metrics.set (Metrics.gauge r "daemon.coverage") 0.8333333333333334;
+  Metrics.set (Metrics.gauge r "window.depth") (-2.5);
+  let h = Metrics.histogram r "probe.latency_ns" in
+  List.iter (Metrics.observe h) [ 120.0; 450.0; 450.0; 88_000.0; 0.0 ];
+  let snap = Metrics.snapshot r in
+  let text = Prom.of_snapshot snap in
+  let values = Prom.parse_values text in
+  let find series =
+    match List.assoc_opt series values with
+    | Some v -> v
+    | None ->
+      Alcotest.fail (Printf.sprintf "series %s missing from:\n%s" series text)
+  in
+  (* every counter and gauge recovers exactly *)
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check (float 0.0))
+        ("counter " ^ name)
+        (float_of_int v)
+        (find ("san_" ^ String.map (fun c -> if c = '.' then '_' else c) name)))
+    snap.Metrics.s_counters;
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check (float 0.0))
+        ("gauge " ^ name)
+        v
+        (find ("san_" ^ String.map (fun c -> if c = '.' then '_' else c) name)))
+    snap.Metrics.s_gauges;
+  (* summaries carry the exact count and sum, and the library's own
+     quantiles *)
+  let hs = List.assoc "probe.latency_ns" snap.Metrics.s_histograms in
+  Alcotest.(check (float 0.0)) "summary count" (float_of_int hs.Metrics.hs_count)
+    (find "san_probe_latency_ns_count");
+  Alcotest.(check (float 0.0)) "summary sum" hs.Metrics.hs_sum
+    (find "san_probe_latency_ns_sum");
+  List.iter
+    (fun (label, q) ->
+      Alcotest.(check (float 0.0))
+        ("quantile " ^ label)
+        (Metrics.quantile_of hs q)
+        (find (Printf.sprintf "san_probe_latency_ns{quantile=%S}" label)))
+    [ ("0.5", 0.5); ("0.9", 0.9); ("0.99", 0.99) ]
+
+let test_prom_sanitizes_names () =
+  let r = Metrics.create () in
+  Metrics.incr (Metrics.counter r "weird name-with:stuff!");
+  let text = Prom.of_snapshot (Metrics.snapshot r) in
+  let ok =
+    List.for_all
+      (fun line ->
+        String.length line = 0
+        || line.[0] = '#'
+        || String.for_all
+             (fun c ->
+               (c >= 'a' && c <= 'z')
+               || (c >= 'A' && c <= 'Z')
+               || (c >= '0' && c <= '9')
+               || c = '_' || c = ':' || c = ' ')
+             line)
+      (String.split_on_char '\n' text)
+  in
+  Alcotest.(check bool) "only prometheus-charset names" true ok
+
+(* ---------- fabric conservation ---------- *)
+
+let storm_fabric () =
+  (* All-pairs application storm on the paper's C subcluster, counted
+     by an explicitly-passed table (no global slot involved). *)
+  let g, _ = Generators.now_c () in
+  let table = San_routing.Routes.compute g in
+  let fabric = Fabric_stats.create () in
+  let sim = Event_sim.create ~fabric g in
+  List.iter
+    (fun (src, _, turns) ->
+      ignore (Event_sim.inject sim ~at_ns:0.0 ~src ~turns ~payload_bytes:4096 ()))
+    (San_routing.Routes.all table);
+  Event_sim.run sim;
+  (g, fabric, Event_sim.stats sim)
+
+let test_fabric_conservation () =
+  let _, fabric, st = storm_fabric () in
+  Alcotest.(check int) "storm fully drains" 0 st.Event_sim.in_flight;
+  Alcotest.(check bool) "storm acquired channels" true
+    (st.Event_sim.hops_acquired > 0);
+  (* channel-side and worm-side accounting meet in the middle: every
+     acquired hop was charged to exactly one channel *)
+  Alcotest.(check int) "transits conserved" st.Event_sim.hops_acquired
+    (Fabric_stats.total_transits fabric)
+
+let test_fabric_links_cover_transits () =
+  let g, fabric, _ = storm_fabric () in
+  let links = Fabric_stats.links fabric g in
+  Alcotest.(check int) "one row per wire" (Graph.num_wires g)
+    (List.length links);
+  let link_sum =
+    List.fold_left (fun acc l -> acc + l.Fabric_stats.l_transits) 0 links
+  in
+  Alcotest.(check int) "undirected rows sum to the directed total"
+    (Fabric_stats.total_transits fabric)
+    link_sum;
+  (* hottest-first ordering, utilization normalized into [0,1] with the
+     hottest link at 1 *)
+  (match links with
+  | top :: _ ->
+    Alcotest.(check (float 1e-9)) "hottest link pegs utilization" 1.0
+      top.Fabric_stats.utilization
+  | [] -> Alcotest.fail "no links");
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "utilization within [0,1]" true
+        (l.Fabric_stats.utilization >= 0.0 && l.Fabric_stats.utilization <= 1.0))
+    links;
+  let sorted =
+    List.sort
+      (fun a b -> compare b.Fabric_stats.utilization a.Fabric_stats.utilization)
+      links
+  in
+  Alcotest.(check bool) "rows arrive hottest-first" true
+    (List.map (fun l -> l.Fabric_stats.utilization) links
+    = List.map (fun l -> l.Fabric_stats.utilization) sorted)
+
+let test_fabric_global_slot () =
+  let fabric = Fabric_stats.create () in
+  with_fabric fabric @@ fun () ->
+  let g = Generators.ring ~switches:2 ~hosts_per_switch:2 () in
+  let table = San_routing.Routes.compute g in
+  let sim = Event_sim.create g in
+  (* no ~fabric argument: the simulator must pick up the slot *)
+  List.iter
+    (fun (src, _, turns) ->
+      ignore (Event_sim.inject sim ~at_ns:0.0 ~src ~turns ()))
+    (San_routing.Routes.all table);
+  Event_sim.run sim;
+  Alcotest.(check int) "slot table sees the storm"
+    (Event_sim.stats sim).Event_sim.hops_acquired
+    (Fabric_stats.total_transits fabric)
+
+let test_dot_heat_renders () =
+  let g, fabric, _ = storm_fabric () in
+  let dot = Dot.to_string ~heat:(Fabric_stats.heat fabric g) g in
+  Alcotest.(check bool) "heat map widens wires" true
+    (Astring.String.is_infix ~affix:"penwidth" dot);
+  Alcotest.(check bool) "heat map colors wires" true
+    (Astring.String.is_infix ~affix:"color=" dot)
+
+(* ---------- health window ---------- *)
+
+let sample ?(coverage = 1.0) ?(convergence = 0) ?(delta = 0) ?(missed = 0)
+    ?(drop = 0.0) epoch =
+  {
+    Health.epoch;
+    coverage;
+    convergence_epochs = convergence;
+    delta_bytes = delta;
+    missed_slices = missed;
+    probe_drop_rate = drop;
+    epoch_ms = 1.0;
+  }
+
+let test_health_for_epochs_streak () =
+  (* a for_epochs=2 rule ignores a single bad epoch but fires on the
+     streak, and clears on the first good epoch *)
+  let rules =
+    [
+      {
+        Health.rule_name = "drops";
+        metric = Health.Probe_drop_rate;
+        cmp = Health.Above;
+        threshold = 0.25;
+        for_epochs = 2;
+      };
+    ]
+  in
+  let h = Health.create ~rules () in
+  let r1, c1 = Health.observe h (sample ~drop:0.5 1) in
+  Alcotest.(check (list string)) "one bad epoch is weather" [] r1;
+  Alcotest.(check (list string)) "nothing to clear" [] c1;
+  let r2, _ = Health.observe h (sample ~drop:0.0 2) in
+  Alcotest.(check (list string)) "streak broken, still quiet" [] r2;
+  let _ = Health.observe h (sample ~drop:0.5 3) in
+  let r4, _ = Health.observe h (sample ~drop:0.6 4) in
+  Alcotest.(check (list string)) "second consecutive breach raises"
+    [ "drops" ] r4;
+  Alcotest.(check int) "alert is active" 1 (List.length (Health.active h));
+  let r5, c5 = Health.observe h (sample ~drop:0.7 5) in
+  Alcotest.(check (list string)) "no re-raise while active" [] r5;
+  Alcotest.(check (list string)) "not cleared while breaching" [] c5;
+  let _, c6 = Health.observe h (sample ~drop:0.0 6) in
+  Alcotest.(check (list string)) "first good epoch clears" [ "drops" ] c6;
+  Alcotest.(check int) "no active alerts left" 0
+    (List.length (Health.active h));
+  match (Health.report h).Health.r_history with
+  | [ a ] ->
+    Alcotest.(check int) "raised on the streak's second epoch" 4
+      a.Health.raised_epoch;
+    Alcotest.(check bool) "cleared at 6" true (a.Health.cleared_epoch = Some 6);
+    Alcotest.(check (float 1e-9)) "worst value tracked" 0.7 a.Health.worst
+  | l -> Alcotest.failf "expected one alert in history, got %d" (List.length l)
+
+let test_health_below_rule_and_window () =
+  let rules =
+    [
+      {
+        Health.rule_name = "coverage";
+        metric = Health.Coverage;
+        cmp = Health.Below;
+        threshold = 1.0;
+        for_epochs = 1;
+      };
+    ]
+  in
+  let h = Health.create ~window:3 ~rules () in
+  let r1, _ = Health.observe h (sample ~coverage:0.8 1) in
+  Alcotest.(check (list string)) "below threshold raises immediately"
+    [ "coverage" ] r1;
+  let _, c2 = Health.observe h (sample ~coverage:1.0 2) in
+  Alcotest.(check (list string)) "full coverage clears" [ "coverage" ] c2;
+  List.iter (fun e -> ignore (Health.observe h (sample e))) [ 3; 4; 5 ];
+  Alcotest.(check (list int)) "window keeps the trailing 3 epochs" [ 3; 4; 5 ]
+    (List.map (fun s -> s.Health.epoch) (Health.samples h))
+
+let test_health_emits_trace_events () =
+  with_obs @@ fun () ->
+  let rules =
+    [
+      {
+        Health.rule_name = "missed";
+        metric = Health.Missed_slices;
+        cmp = Health.Above;
+        threshold = 0.0;
+        for_epochs = 1;
+      };
+    ]
+  in
+  let h = Health.create ~rules () in
+  ignore (Health.observe h (sample ~missed:2 7));
+  ignore (Health.observe h (sample 8));
+  let evs = Trace.events Obs.tracer in
+  Alcotest.(check bool) "raise hits the tracer" true
+    (List.mem (Trace.Alert_raised { name = "missed"; epoch = 7 }) evs);
+  Alcotest.(check bool) "clear hits the tracer" true
+    (List.mem (Trace.Alert_cleared { name = "missed"; epoch = 8 }) evs)
+
+(* ---------- daemon alerting end to end ---------- *)
+
+let test_daemon_link_cut_alerts () =
+  (* The acceptance scenario: a link cut at epoch 2 on the C subcluster
+     dips coverage for exactly one epoch, so the daemon raises exactly
+     one coverage alert and clears it on the next verified epoch —
+     visible both in the typed trace and in the outcome's health
+     report. *)
+  with_obs @@ fun () ->
+  let g, _ = Generators.now_c () in
+  let schedule = Result.get_ok (San_service.Schedule.parse "2:cut") in
+  let o = Result.get_ok (San_service.Daemon.run ~schedule ~epochs:6 g) in
+  let coverage_raised, coverage_cleared =
+    List.fold_left
+      (fun (r, c) ev ->
+        match ev with
+        | Trace.Alert_raised { name = "coverage"; epoch } -> (epoch :: r, c)
+        | Trace.Alert_cleared { name = "coverage"; epoch } -> (r, epoch :: c)
+        | _ -> (r, c))
+      ([], [])
+      (Trace.events Obs.tracer)
+  in
+  Alcotest.(check (list int)) "exactly one raise, at the cut epoch" [ 2 ]
+    coverage_raised;
+  Alcotest.(check (list int)) "cleared on the next verified epoch" [ 3 ]
+    coverage_cleared;
+  let cov_alerts =
+    List.filter
+      (fun a -> a.Health.a_rule.Health.rule_name = "coverage")
+      o.San_service.Daemon.health.Health.r_history
+  in
+  (match cov_alerts with
+  | [ a ] ->
+    Alcotest.(check int) "report raised epoch" 2 a.Health.raised_epoch;
+    Alcotest.(check bool) "report cleared epoch" true
+      (a.Health.cleared_epoch = Some 3);
+    Alcotest.(check bool) "worst coverage is a real dip" true
+      (a.Health.worst < 1.0)
+  | l ->
+    Alcotest.failf "expected one coverage alert in history, got %d"
+      (List.length l));
+  Alcotest.(check int) "nothing left active" 0
+    (List.length o.San_service.Daemon.health.Health.r_active);
+  (* the per-epoch reports carry the same story *)
+  let by_epoch e =
+    List.find (fun r -> r.San_service.Daemon.epoch = e) o.San_service.Daemon.reports
+  in
+  Alcotest.(check (list string)) "epoch 2 report flags the raise" [ "coverage" ]
+    (by_epoch 2).San_service.Daemon.alerts_raised;
+  Alcotest.(check (list string)) "epoch 3 report flags the clear" [ "coverage" ]
+    (by_epoch 3).San_service.Daemon.alerts_cleared
+
+let test_daemon_quiet_run_no_alerts () =
+  with_obs @@ fun () ->
+  let g, _ = Generators.now_c () in
+  let o = Result.get_ok (San_service.Daemon.run ~epochs:4 g) in
+  Alcotest.(check int) "no alerts on a healthy fabric" 0
+    (List.length o.San_service.Daemon.health.Health.r_history);
+  Alcotest.(check bool) "no alert events traced" true
+    (List.for_all
+       (fun ev ->
+         match ev with
+         | Trace.Alert_raised _ | Trace.Alert_cleared _ -> false
+         | _ -> true)
+       (Trace.events Obs.tracer));
+  (* every warm epoch sampled *)
+  Alcotest.(check int) "one sample per warm epoch" 3
+    (List.length o.San_service.Daemon.health.Health.r_samples)
+
+(* ---------- sparklines ---------- *)
+
+let test_sparkline_shapes () =
+  Alcotest.(check string) "empty series" "" (San_util.Tablefmt.sparkline []);
+  Alcotest.(check string) "flat series renders mid-height bars" "▄▄▄"
+    (San_util.Tablefmt.sparkline [ 5.0; 5.0; 5.0 ]);
+  Alcotest.(check string) "ramp sweeps the glyph range" "▁▃▆█"
+    (San_util.Tablefmt.sparkline [ 0.0; 1.0; 2.0; 3.0 ]);
+  Alcotest.(check string) "width keeps the most recent samples" "▁█"
+    (San_util.Tablefmt.sparkline ~width:2 [ 9.0; 9.0; 0.0; 1.0 ])
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "chrome",
+        [
+          Alcotest.test_case "seeded export is byte-stable" `Quick
+            test_chrome_byte_stable;
+          Alcotest.test_case "export is valid json" `Quick
+            test_chrome_valid_json;
+          Alcotest.test_case "every event constructor exports" `Quick
+            test_chrome_handles_all_events;
+        ] );
+      ( "prom",
+        [
+          Alcotest.test_case "exposition round-trips" `Quick
+            test_prom_roundtrip;
+          Alcotest.test_case "names sanitized" `Quick test_prom_sanitizes_names;
+        ] );
+      ( "fabric",
+        [
+          Alcotest.test_case "transit conservation" `Quick
+            test_fabric_conservation;
+          Alcotest.test_case "link aggregation covers transits" `Quick
+            test_fabric_links_cover_transits;
+          Alcotest.test_case "global slot wiring" `Quick
+            test_fabric_global_slot;
+          Alcotest.test_case "dot heat rendering" `Quick test_dot_heat_renders;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "for-epochs streak semantics" `Quick
+            test_health_for_epochs_streak;
+          Alcotest.test_case "below rule and window bound" `Quick
+            test_health_below_rule_and_window;
+          Alcotest.test_case "alerts hit the tracer" `Quick
+            test_health_emits_trace_events;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "link cut raises and clears coverage" `Quick
+            test_daemon_link_cut_alerts;
+          Alcotest.test_case "quiet run stays quiet" `Quick
+            test_daemon_quiet_run_no_alerts;
+        ] );
+      ( "sparkline",
+        [ Alcotest.test_case "shapes" `Quick test_sparkline_shapes ] );
+    ]
