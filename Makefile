@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-fast bench-smoke health-smoke artifacts examples clean
+.PHONY: all build test check bench bench-fast bench-smoke fuzz-smoke health-smoke artifacts examples clean
 
 all: build
 
@@ -16,6 +16,7 @@ check:
 	dune build @all
 	dune runtest
 	$(MAKE) health-smoke
+	$(MAKE) fuzz-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -29,6 +30,14 @@ bench-fast:
 bench-smoke:
 	dune exec bin/san_map.exe -- daemon -t star:3 --epochs 2 --schedule 1:cut
 	dune exec bench/main.exe -- --only daemon --fast --no-bechamel
+
+# The property fuzzer at CI size: a fixed seed so the run is
+# reproducible, 200 random fabrics through the full suite. On a
+# failure the exit code is non-zero and each shrunk counterexample is
+# written to fuzz_artifacts/ as DOT plus its replay seed.
+fuzz-smoke:
+	dune exec bin/san_map.exe -- fuzz --cases 200 --seed 42 \
+	  --artifacts fuzz_artifacts
 
 # The telemetry stack end to end: health dashboard with a link cut,
 # exporting a Chrome trace and a Prometheus exposition file.

@@ -1212,6 +1212,38 @@ let daemon_section () =
       (San_util.Summary.percentile l 1.0 /. 1e6))
 
 (* ------------------------------------------------------------------ *)
+(* Fuzz throughput: how much random-fabric checking a CI minute buys.   *)
+
+let fuzz_section () =
+  let cases = if !fast then 40 else 250 in
+  let t =
+    T.create ~header:[ "properties"; "cases"; "failures"; "wall s"; "cases/s" ]
+  in
+  let row name props =
+    let t0 = Unix.gettimeofday () in
+    let r = San_check.Runner.run ?props ~cases ~seed:42 () in
+    let wall = Unix.gettimeofday () -. t0 in
+    T.add_row t
+      [
+        name;
+        string_of_int r.San_check.Runner.r_cases;
+        string_of_int (List.length r.San_check.Runner.r_failures);
+        Printf.sprintf "%.2f" wall;
+        Printf.sprintf "%.0f" (float_of_int cases /. wall);
+      ]
+  in
+  row "full suite" None;
+  List.iter (fun p -> row p (Some [ p ])) San_check.Props.names;
+  T.print
+    ~title:
+      (Printf.sprintf
+         "Property-fuzz throughput — %d generated fabrics per row, seed 42; \
+          per-property rows rebuild the mapper context each case, so the \
+          full suite beats the sum of its parts"
+         cases)
+    t
+
+(* ------------------------------------------------------------------ *)
 (* Telemetry overhead: what does leaving the switchboard on cost?       *)
 
 let telemetry_section () =
@@ -1451,6 +1483,7 @@ let () =
       ext_emergent_election ());
   section "sensitivity" ~when_:(wants "sensitivity" || !only = []) sensitivity;
   section "daemon" ~when_:(wants "daemon") daemon_section;
+  section "fuzz" ~when_:(wants "fuzz") fuzz_section;
   section "telemetry" ~when_:(wants "telemetry" || !only = []) telemetry_section;
   section "bechamel"
     ~when_:(!with_bechamel && (wants "bechamel" || !only = []))

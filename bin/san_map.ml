@@ -8,10 +8,15 @@
      diff    — compare two saved maps, anchored at host names
      verify  — incrementally check a saved map against the live
                fabric (one probe per known port), remapping on change
+     fuzz    — randomized property fuzzing with counterexample
+               shrinking (seeded, replayable)
      daemon  — epoch-driven control-plane loop over a fault schedule
      health  — daemon run with fabric telemetry: sparkline dashboard,
                alerts, hottest links
-     version — print the package version *)
+     version — print the package version
+
+   map, routes, verify and fuzz exit non-zero when any property they
+   check fails, so CI cannot green-wash a broken map. *)
 
 open Cmdliner
 open San_topology
@@ -229,12 +234,15 @@ let run_map spec seed mapper_name algo model depth policy dot json trace
   with_obs ~chrome ~prom ~trace ~metrics @@ fun () ->
   let g = build_topology spec seed in
   let mapper = pick_mapper g mapper_name in
+  let failed = ref false in
   let verify map =
     match
       Iso.check ~map ~actual:g ~exclude:(Core_set.separated_set g) ()
     with
     | Ok () -> Format.printf "verified: map isomorphic to N - F@."
-    | Error e -> Format.printf "verification FAILED: %s@." e
+    | Error e ->
+      failed := true;
+      Format.printf "verification FAILED: %s@." e
   in
   (match algo with
   | `Berkeley -> (
@@ -260,7 +268,9 @@ let run_map spec seed mapper_name algo model depth policy dot json trace
       verify map;
       Option.iter (fun f -> Dot.to_file map f; Format.printf "wrote %s@." f) dot;
       Option.iter (fun f -> Serial.save map f; Format.printf "wrote %s@." f) json
-    | Error e -> Format.printf "export failed: %s@." e)
+    | Error e ->
+      failed := true;
+      Format.printf "export failed: %s@." e)
   | `Myricom -> (
     let r = San_myricom.Myricom.run ~model g ~mapper in
     let c = r.San_myricom.Myricom.counts in
@@ -278,8 +288,10 @@ let run_map spec seed mapper_name algo model depth policy dot json trace
       verify map;
       Option.iter (fun f -> Dot.to_file map f; Format.printf "wrote %s@." f) dot;
       Option.iter (fun f -> Serial.save map f; Format.printf "wrote %s@." f) json
-    | Error e -> Format.printf "export failed: %s@." e));
-  0
+    | Error e ->
+      failed := true;
+      Format.printf "export failed: %s@." e));
+  if !failed then 1 else 0
 
 (* ------------------------------------------------------------------ *)
 (* routes                                                              *)
@@ -288,14 +300,22 @@ let loads_arg =
   let doc = "Print the N hottest channels." in
   Arg.(value & opt int 0 & info [ "loads" ] ~docv:"N" ~doc)
 
-let run_routes spec seed mapper_name loads trace metrics =
+let run_routes spec seed mapper_name algo loads trace metrics =
   with_obs ~trace ~metrics @@ fun () ->
   let g = build_topology spec seed in
   let mapper = pick_mapper g mapper_name in
-  let net = San_simnet.Network.create g in
-  let r = San_mapper.Berkeley.run net ~mapper in
-  (match r.San_mapper.Berkeley.map with
-  | Error e -> Format.printf "mapping failed: %s@." e
+  let failed = ref false in
+  let map_result =
+    match algo with
+    | `Berkeley ->
+      let net = San_simnet.Network.create g in
+      (San_mapper.Berkeley.run net ~mapper).San_mapper.Berkeley.map
+    | `Myricom -> (San_myricom.Myricom.run g ~mapper).San_myricom.Myricom.map
+  in
+  (match map_result with
+  | Error e ->
+    failed := true;
+    Format.printf "mapping failed: %s@." e
   | Ok map ->
     let rng = San_util.Prng.create seed in
     let table = San_routing.Routes.compute ~rng map in
@@ -306,11 +326,15 @@ let run_routes spec seed mapper_name loads trace metrics =
     Format.printf "delivery on actual network: %s@."
       (match San_routing.Routes.verify_delivery ~against:g table with
       | Ok () -> "ok"
-      | Error e -> e);
+      | Error e ->
+        failed := true;
+        e);
     Format.printf "deadlock freedom: %s@."
       (match San_routing.Deadlock.check_routes table with
       | Ok () -> "channel dependency graph acyclic"
-      | Error e -> e);
+      | Error e ->
+        failed := true;
+        e);
     if loads > 0 then
       San_routing.Routes.channel_loads table
       |> List.filteri (fun i _ -> i < loads)
@@ -319,7 +343,7 @@ let run_routes spec seed mapper_name loads trace metrics =
                (let nm = Graph.name map n in
                 if nm = "" then string_of_int n else nm)
                p l));
-  0
+  if !failed then 1 else 0
 
 (* ------------------------------------------------------------------ *)
 (* diff                                                                *)
@@ -365,13 +389,139 @@ let run_verify spec seed mapper_name prev_file json trace metrics =
       Format.printf
         "%d discrepancies; remapped in full (total %.1f ms simulated)@." n
         (r.San_mapper.Incremental.total_elapsed_ns /. 1e6));
-    (match (r.San_mapper.Incremental.map, json) with
-    | Ok m, Some f ->
-      Serial.save m f;
-      Format.printf "wrote %s@." f
-    | Ok _, None -> ()
-    | Error e, _ -> Format.printf "map export failed: %s@." e);
-    0
+    let failed = ref false in
+    (match r.San_mapper.Incremental.map with
+    | Error e ->
+      failed := true;
+      Format.printf "map export failed: %s@." e
+    | Ok m ->
+      (match
+         Iso.check ~map:m ~actual:g ~exclude:(Core_set.separated_set g) ()
+       with
+      | Ok () -> Format.printf "final map isomorphic to N - F@."
+      | Error e ->
+        failed := true;
+        Format.printf "final map verification FAILED: %s@." e);
+      Option.iter
+        (fun f ->
+          Serial.save m f;
+          Format.printf "wrote %s@." f)
+        json);
+    if !failed then 1 else 0
+
+(* ------------------------------------------------------------------ *)
+(* fuzz: randomized property checking with shrinking                   *)
+
+let cases_arg =
+  let doc = "Number of random fabrics to generate and check." in
+  Arg.(value & opt int 200 & info [ "cases" ] ~docv:"N" ~doc)
+
+let prop_arg =
+  let doc =
+    "Check only this property (repeatable). One of: "
+    ^ String.concat ", " San_check.Props.names ^ "."
+  in
+  Arg.(value & opt_all string [] & info [ "prop" ] ~docv:"NAME" ~doc)
+
+let replay_arg =
+  let doc =
+    "Replay a single case by its case seed (printed in a counterexample \
+     report) instead of generating fresh cases."
+  in
+  Arg.(value & opt (some int) None & info [ "replay" ] ~docv:"CASE_SEED" ~doc)
+
+let artifacts_arg =
+  let doc =
+    "Write each counterexample as DOT plus a replay command under $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "artifacts" ] ~docv:"DIR" ~doc)
+
+let shrink_budget_arg =
+  let doc = "Maximum shrink attempts per counterexample." in
+  Arg.(
+    value
+    & opt int San_check.Runner.default_shrink_budget
+    & info [ "shrink-budget" ] ~docv:"N" ~doc)
+
+let progress_arg =
+  let doc = "Print a progress line every N cases (0: silent)." in
+  Arg.(value & opt int 100 & info [ "progress" ] ~docv:"N" ~doc)
+
+let write_artifacts dir (failures : San_check.Runner.failure list) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iteri
+    (fun i (f : San_check.Runner.failure) ->
+      let stem =
+        Filename.concat dir (Printf.sprintf "counterexample-%02d-%s" i f.San_check.Runner.f_prop)
+      in
+      let dot = stem ^ ".dot" in
+      let oc = open_out dot in
+      output_string oc (San_check.Runner.dot_of_failure f);
+      close_out oc;
+      let seed_file = stem ^ ".seed" in
+      let oc = open_out seed_file in
+      Printf.fprintf oc
+        "prop: %s\ncase_seed: %d\nreplay: san_map fuzz --replay %d --prop %s\nerror: %s\n"
+        f.San_check.Runner.f_prop f.San_check.Runner.f_case_seed
+        f.San_check.Runner.f_case_seed f.San_check.Runner.f_prop
+        f.San_check.Runner.f_shrunk_error;
+      close_out oc;
+      Format.printf "wrote %s and %s@." dot seed_file)
+    failures
+
+let run_fuzz cases seed props replay artifacts shrink_budget progress trace
+    metrics =
+  with_obs ~trace ~metrics @@ fun () ->
+  let props = if props = [] then None else Some props in
+  let unknown =
+    match props with
+    | None -> []
+    | Some ps -> List.filter (fun p -> not (List.mem p San_check.Props.names)) ps
+  in
+  if unknown <> [] then begin
+    Format.eprintf "unknown propert%s %s (try: %s)@."
+      (if List.length unknown = 1 then "y" else "ies")
+      (String.concat ", " unknown)
+      (String.concat ", " San_check.Props.names);
+    2
+  end
+  else
+  match replay with
+  | Some case_seed ->
+    let failures =
+      San_check.Runner.run_case ?props ~shrink_budget ~case_seed ()
+    in
+    Format.printf "replay of case %d (%a):@." case_seed San_check.Fuzz_gen.pp
+      (San_check.Fuzz_gen.gen ~seed:case_seed);
+    if failures = [] then begin
+      Format.printf "all properties hold@.";
+      0
+    end
+    else begin
+      List.iter
+        (fun f -> Format.printf "%a@." San_check.Runner.pp_failure f)
+        failures;
+      Option.iter (fun dir -> write_artifacts dir failures) artifacts;
+      1
+    end
+  | None ->
+    let on_progress =
+      if progress <= 0 then None
+      else
+        Some
+          (fun i ->
+            if i mod progress = 0 then
+              Format.printf "... %d/%d cases@." i cases)
+    in
+    let report =
+      San_check.Runner.run ?props ~shrink_budget ?on_progress ~cases ~seed ()
+    in
+    Format.printf "%a@." San_check.Runner.pp_report report;
+    (match report.San_check.Runner.r_failures with
+    | [] -> 0
+    | failures ->
+      Option.iter (fun dir -> write_artifacts dir failures) artifacts;
+      1)
 
 (* ------------------------------------------------------------------ *)
 (* daemon: the epoch-driven control-plane loop                         *)
@@ -584,8 +734,19 @@ let routes_cmd =
   Cmd.v
     (Cmd.info "routes" ~doc:"Map, then compute and verify UP*/DOWN* routes")
     Term.(
-      const run_routes $ topo_arg $ seed_arg $ mapper_arg $ loads_arg
-      $ trace_arg $ metrics_arg)
+      const run_routes $ topo_arg $ seed_arg $ mapper_arg $ algo_arg
+      $ loads_arg $ trace_arg $ metrics_arg)
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz the mapper: random fabrics, six invariants, shrunk \
+          counterexamples")
+    Term.(
+      const run_fuzz $ cases_arg $ seed_arg $ prop_arg $ replay_arg
+      $ artifacts_arg $ shrink_budget_arg $ progress_arg $ trace_arg
+      $ metrics_arg)
 
 let diff_cmd =
   Cmd.v
@@ -640,6 +801,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            topo_cmd; map_cmd; routes_cmd; diff_cmd; verify_cmd; daemon_cmd;
-            health_cmd; version_cmd;
+            topo_cmd; map_cmd; routes_cmd; diff_cmd; verify_cmd; fuzz_cmd;
+            daemon_cmd; health_cmd; version_cmd;
           ]))

@@ -1,0 +1,223 @@
+open San_topology
+module Prng = San_util.Prng
+
+type case = {
+  case_seed : int;
+  graph : Graph.t;
+  mapper_name : string;
+  silent : string list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Random wiring helpers. All of them degrade to no-ops when ports run
+   out: a generated fabric is whatever fit, never an exception. *)
+
+let random_free_port rng g n =
+  match Graph.free_ports g n with
+  | [] -> None
+  | l -> Some (List.nth l (Prng.int rng (List.length l)))
+
+(* Wire a and b at random free ports; same-switch cables pick two
+   distinct ports. Returns whether a wire was actually added. *)
+let wire rng g a b =
+  if a <> b then
+    match (random_free_port rng g a, random_free_port rng g b) with
+    | Some pa, Some pb ->
+      Graph.connect g (a, pa) (b, pb);
+      true
+    | _ -> false
+  else
+    match Graph.free_ports g a with
+    | pa :: (_ :: _ as rest) ->
+      let pb = List.nth rest (Prng.int rng (List.length rest)) in
+      Graph.connect g (a, pa) (a, pb);
+      ignore pa;
+      true
+    | _ -> false
+
+let attach_host rng g sw ~name =
+  match random_free_port rng g sw with
+  | None -> None
+  | Some p ->
+    let h = Graph.add_host g ~name in
+    Graph.connect g (h, 0) (sw, p);
+    Some h
+
+(* A switch of the given array with at least one free port, or None. *)
+let roomy rng g sw =
+  let candidates =
+    Array.to_list sw |> List.filter (fun s -> Graph.free_ports g s <> [])
+  in
+  match candidates with
+  | [] -> None
+  | l -> Some (List.nth l (Prng.int rng (List.length l)))
+
+(* ------------------------------------------------------------------ *)
+(* Generation: a connected skeleton carrying the hosts, then
+   decorations aimed at the tail topologies probe-based discovery is
+   known to bias against — pendant hostless switch chains and cycles
+   behind bridges, doubled attachments, same-switch cables,
+   disconnected fragments, silent hosts. *)
+
+type shape = Line | Ring | Tree | Dense
+
+let gen ~seed =
+  let rng = Prng.create seed in
+  let radix = Prng.int_in rng 3 10 in
+  let g = Graph.create ~radix () in
+  let host_counter = ref 0 in
+  let fresh_host_name () =
+    let n = Printf.sprintf "h%d" !host_counter in
+    incr host_counter;
+    n
+  in
+  let nsw = Prng.int_in rng 1 7 in
+  let sw =
+    Array.init nsw (fun i -> Graph.add_switch g ~name:(Printf.sprintf "s%d" i) ())
+  in
+  let shape =
+    Prng.choose rng [| Line; Ring; Tree; Dense |]
+  in
+  (* Skeleton: always connected. *)
+  (match shape with
+  | Line | Ring ->
+    for i = 0 to nsw - 2 do
+      ignore (wire rng g sw.(i) sw.(i + 1))
+    done;
+    if shape = Ring && nsw > 2 then ignore (wire rng g sw.(nsw - 1) sw.(0))
+  | Tree | Dense ->
+    for i = 1 to nsw - 1 do
+      ignore (wire rng g sw.(i) sw.(Prng.int rng i))
+    done);
+  (* Two hosts before anything else can exhaust the ports. *)
+  let hosts_placed = ref 0 in
+  let place_host () =
+    match roomy rng g sw with
+    | None -> ()
+    | Some s ->
+      if attach_host rng g s ~name:(fresh_host_name ()) <> None then
+        incr hosts_placed
+  in
+  place_host ();
+  place_host ();
+  (* Extra links: parallel wires and same-switch cables included. *)
+  let extra = if shape = Dense then Prng.int_in rng 1 4 else Prng.int_in rng 0 2 in
+  for _ = 1 to extra do
+    let a = sw.(Prng.int rng nsw) in
+    let b =
+      if Prng.int rng 8 = 0 then a (* same-switch cable *)
+      else sw.(Prng.int rng nsw)
+    in
+    ignore (wire rng g a b)
+  done;
+  (* More hosts. *)
+  for _ = 1 to Prng.int_in rng 0 4 do
+    place_host ()
+  done;
+  (* Decoration: pendant hostless tail (a switch-bridge into F). *)
+  if Prng.int rng 3 = 0 then begin
+    match roomy rng g sw with
+    | None -> ()
+    | Some anchor ->
+      let len = Prng.int_in rng 1 2 in
+      let prev = ref anchor in
+      for i = 0 to len - 1 do
+        let t = Graph.add_switch g ~name:(Printf.sprintf "t%d-%d" seed i) () in
+        if wire rng g !prev t then prev := t
+      done;
+      (* Sometimes a same-switch cable inside the tail. *)
+      if Prng.int rng 3 = 0 then ignore (wire rng g !prev !prev)
+  end;
+  (* Decoration: pendant hostless cycle behind a single bridge. *)
+  if Prng.int rng 4 = 0 then begin
+    match roomy rng g sw with
+    | None -> ()
+    | Some anchor ->
+      let c =
+        Array.init 3 (fun i ->
+            Graph.add_switch g ~name:(Printf.sprintf "c%d-%d" seed i) ())
+      in
+      if wire rng g anchor c.(0) then begin
+        ignore (wire rng g c.(0) c.(1));
+        ignore (wire rng g c.(1) c.(2));
+        ignore (wire rng g c.(2) c.(0))
+      end
+  end;
+  (* Decoration: a second, independent tail (two bridge-separated
+     fragments — the Iso ~exclude union case). *)
+  if Prng.int rng 4 = 0 then begin
+    match roomy rng g sw with
+    | None -> ()
+    | Some anchor ->
+      let t = Graph.add_switch g ~name:(Printf.sprintf "u%d" seed) () in
+      ignore (wire rng g anchor t)
+  end;
+  (* Decoration: hostless neighbour attached by two parallel wires
+     (deliberately NOT a bridge: must stay in the map). *)
+  if Prng.int rng 4 = 0 then begin
+    match roomy rng g sw with
+    | None -> ()
+    | Some anchor ->
+      let d = Graph.add_switch g ~name:(Printf.sprintf "d%d" seed) () in
+      if wire rng g anchor d then ignore (wire rng g anchor d)
+  end;
+  (* Decoration: disconnected fragment, sometimes hosted. *)
+  if Prng.int rng 4 = 0 then begin
+    let n = Prng.int_in rng 1 3 in
+    let f =
+      Array.init n (fun i ->
+          Graph.add_switch g ~name:(Printf.sprintf "f%d-%d" seed i) ())
+    in
+    for i = 1 to n - 1 do
+      ignore (wire rng g f.(i) f.(Prng.int rng i))
+    done;
+    if n = 3 && Prng.bool rng then ignore (wire rng g f.(2) f.(0));
+    if Prng.bool rng then
+      ignore (attach_host rng g f.(Prng.int rng n) ~name:(fresh_host_name ()))
+  end;
+  (* Silent hosts: attached but not running a mapper daemon. Keep at
+     least two responding so the mapper has someone to talk to. *)
+  let hosts = Graph.hosts g in
+  let host_names = List.map (Graph.name g) hosts in
+  let silent =
+    match host_names with
+    | _ :: _ :: rest when rest <> [] && Prng.int rng 3 = 0 ->
+      List.filter (fun _ -> Prng.int rng 3 = 0) rest
+    | _ -> []
+  in
+  (* Mapper: a responding host of the skeleton (the first two hosts
+     placed always hang off the skeleton). *)
+  let responding =
+    List.filter (fun n -> not (List.mem n silent)) host_names
+  in
+  let mapper_name =
+    match responding with
+    | [] -> "" (* degenerate: no host fit; properties skip *)
+    | l -> List.nth l (Prng.int rng (List.length l))
+  in
+  { case_seed = seed; graph = g; mapper_name; silent }
+
+(* ------------------------------------------------------------------ *)
+
+let mapper_node c =
+  match Graph.host_by_name c.graph c.mapper_name with
+  | Some h -> Some h
+  | None -> (
+    (* After shrinking the named host may be gone: fall back to the
+       first host still responding, then to any host. *)
+    let silent n = List.mem (Graph.name c.graph n) c.silent in
+    match List.filter (fun h -> not (silent h)) (Graph.hosts c.graph) with
+    | h :: _ -> Some h
+    | [] -> ( match Graph.hosts c.graph with h :: _ -> Some h | [] -> None))
+
+let pp ppf c =
+  let mapper =
+    match mapper_node c with
+    | Some h -> Graph.name c.graph h
+    | None -> "<none>"
+  in
+  Format.fprintf ppf "case %d: %a; mapper %s%s" c.case_seed Graph.pp_stats
+    c.graph mapper
+    (match c.silent with
+    | [] -> ""
+    | l -> Printf.sprintf "; silent [%s]" (String.concat " " l))

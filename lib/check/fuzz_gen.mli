@@ -1,0 +1,28 @@
+(** Random fabric generation for the property fuzzer.
+
+    Far broader than {!San_topology.Generators}: arbitrary switch
+    radices, line/ring/tree/dense skeletons, parallel wires,
+    same-switch cables, deliberate switch-bridges into hostless tails
+    and cycles (the paper's F set), doubled attachments that must NOT
+    land in F, disconnected fragments, and silent (non-responding)
+    hosts. Everything is a deterministic function of the case seed, so
+    a counterexample replays from one integer. *)
+
+open San_topology
+
+type case = {
+  case_seed : int;
+  graph : Graph.t;  (** the actual network N *)
+  mapper_name : string;  (** host that runs the mapper *)
+  silent : string list;  (** attached hosts with no mapper daemon *)
+}
+
+val gen : seed:int -> case
+(** Deterministic: same seed, same fabric. *)
+
+val mapper_node : case -> Graph.node option
+(** The mapper host resolved in the case's graph; falls back to the
+    first (responding) host when the named one was shrunk away. *)
+
+val pp : Format.formatter -> case -> unit
+(** One-line description: stats, mapper, silent set. *)

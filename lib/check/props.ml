@@ -1,0 +1,350 @@
+open San_topology
+module Prng = San_util.Prng
+
+(* Everything expensive is computed lazily and shared between
+   properties: one Berkeley run serves iso, deadlock, incremental and
+   delta; one Myricom run serves agreement and deadlock. *)
+type ctx = {
+  case : Fuzz_gen.case;
+  mapper : Graph.node option;
+  responding : Graph.node -> bool;
+  eff : Graph.t Lazy.t;
+  depth : int Lazy.t;
+  berkeley : (Graph.t, string) result Lazy.t;
+  myricom : (Graph.t * int, string) result Lazy.t;
+  core_exclude : bool array Lazy.t;
+  reach_exclude : bool array Lazy.t;
+}
+
+(* The graph as the mapper can possibly see it: silent hosts detached
+   (their switch port is indistinguishable from a vacancy). *)
+let effective_graph (c : Fuzz_gen.case) ~mapper =
+  let eff = Graph.copy c.graph in
+  List.iter
+    (fun name ->
+      match Graph.host_by_name eff name with
+      | Some h when Some h <> mapper -> Graph.disconnect eff (h, 0)
+      | _ -> ())
+    c.silent;
+  eff
+
+let make (case : Fuzz_gen.case) =
+  let g = case.graph in
+  let mapper = Fuzz_gen.mapper_node case in
+  let silent = Hashtbl.create 8 in
+  List.iter (fun n -> Hashtbl.replace silent n ()) case.silent;
+  let responding n =
+    Some n = mapper || not (Hashtbl.mem silent (Graph.name g n))
+  in
+  let eff = lazy (effective_graph case ~mapper) in
+  let depth =
+    lazy
+      (match mapper with
+      | None -> 0
+      | Some m -> Core_set.search_depth (Lazy.force eff) ~root:m)
+  in
+  let berkeley =
+    lazy
+      (match mapper with
+      | None -> Error "no mapper host"
+      | Some m ->
+        let net = San_simnet.Network.create ~responding g in
+        let r =
+          San_mapper.Berkeley.run
+            ~depth:(San_mapper.Berkeley.Fixed (Lazy.force depth))
+            net ~mapper:m
+        in
+        r.San_mapper.Berkeley.map)
+  in
+  let myricom =
+    lazy
+      (match mapper with
+      | None -> Error "no mapper host"
+      | Some m ->
+        (* The depth window is a probe-count heuristic (§4.1); widen it
+           past any possible depth so the property exercises the
+           algorithm's correctness, not the heuristic's probe budget. *)
+        let r =
+          San_myricom.Myricom.run ~responding
+            ~compare_depth_window:(Graph.num_nodes g) g ~mapper:m
+        in
+        Result.map
+          (fun map -> (map, r.San_myricom.Myricom.false_matches))
+          r.San_myricom.Myricom.map)
+  in
+  let reach_exclude =
+    lazy
+      (let n = Graph.num_nodes g in
+       match mapper with
+       | None -> Array.make n true
+       | Some m ->
+         let dist = Analysis.bfs_distances g m in
+         Array.init n (fun v ->
+             dist.(v) = max_int
+             || (Graph.is_host g v && not (responding v))))
+  in
+  let core_exclude =
+    lazy
+      (let sep = Core_set.separated_set (Lazy.force eff) in
+       let reach = Lazy.force reach_exclude in
+       Array.init (Graph.num_nodes g) (fun v -> sep.(v) || reach.(v)))
+  in
+  { case; mapper; responding; eff; depth; berkeley; myricom;
+    core_exclude; reach_exclude }
+
+(* Deterministic fault for the incremental / delta epochs: a random
+   switch-to-switch wire of the case's fabric. *)
+let fault_link ctx =
+  let g = ctx.case.graph in
+  let candidates =
+    List.filter
+      (fun ((a, _), (b, _)) ->
+        (not (Graph.is_host g a)) && not (Graph.is_host g b))
+      (Graph.wires g)
+  in
+  match candidates with
+  | [] -> None
+  | l ->
+    let rng = Prng.create (ctx.case.case_seed lxor 0x0FA17) in
+    let (e, _) = List.nth l (Prng.int rng (List.length l)) in
+    Some e
+
+let run_berkeley_on ctx g' =
+  match ctx.mapper with
+  | None -> Error "no mapper host"
+  | Some m ->
+    let mapper_name = Graph.name ctx.case.graph m in
+    (match Graph.host_by_name g' mapper_name with
+    | None -> Error "mapper host missing from faulted fabric"
+    | Some m' ->
+      let case' = { ctx.case with Fuzz_gen.graph = g' } in
+      let eff' = effective_graph case' ~mapper:(Some m') in
+      let depth' = Core_set.search_depth eff' ~root:m' in
+      let responding n =
+        n = m'
+        || not (List.mem (Graph.name g' n) ctx.case.Fuzz_gen.silent)
+      in
+      let net = San_simnet.Network.create ~responding g' in
+      let r =
+        San_mapper.Berkeley.run
+          ~depth:(San_mapper.Berkeley.Fixed depth') net ~mapper:m'
+      in
+      r.San_mapper.Berkeley.map)
+
+let exclusion_of ctx g' =
+  match ctx.mapper with
+  | None -> Array.make (Graph.num_nodes g') true
+  | Some m ->
+    let mapper_name = Graph.name ctx.case.graph m in
+    (match Graph.host_by_name g' mapper_name with
+    | None -> Array.make (Graph.num_nodes g') true
+    | Some m' ->
+      let case' = { ctx.case with Fuzz_gen.graph = g' } in
+      let eff' = effective_graph case' ~mapper:(Some m') in
+      let sep = Core_set.separated_set eff' in
+      let dist = Analysis.bfs_distances g' m' in
+      let silent n =
+        Graph.is_host g' n
+        && n <> m'
+        && List.mem (Graph.name g' n) ctx.case.Fuzz_gen.silent
+      in
+      Array.init (Graph.num_nodes g') (fun v ->
+          sep.(v) || dist.(v) = max_int || silent v))
+
+(* ------------------------------------------------------------------ *)
+(* The six properties.                                                 *)
+
+(* 1. The Berkeley map is isomorphic to N - F (Theorem 1), with the
+   mapper-unreachable region and silent hosts joining F. *)
+let prop_iso ctx =
+  match ctx.mapper with
+  | None -> Ok ()
+  | Some _ -> (
+    match Lazy.force ctx.berkeley with
+    | Error e -> Error ("berkeley export failed: " ^ e)
+    | Ok map ->
+      Iso.check ~map ~actual:ctx.case.graph
+        ~exclude:(Lazy.force ctx.core_exclude) ())
+
+(* 2. UP*/DOWN* routes computed on either algorithm's map have an
+   acyclic channel dependency graph, under both labelings. *)
+let prop_deadlock ctx =
+  let check name map labeling =
+    let table = San_routing.Routes.compute ?labeling map in
+    match San_routing.Deadlock.check_routes table with
+    | Ok () -> Ok ()
+    | Error e -> Error (Printf.sprintf "%s: %s" name e)
+  in
+  let ( >>= ) r f = Result.bind r f in
+  (match Lazy.force ctx.berkeley with
+  | Error _ -> Ok () (* prop_iso owns mapping failures *)
+  | Ok map ->
+    check "berkeley/bfs" map None
+    >>= fun () -> check "berkeley/dfs" map (Some San_routing.Updown.Dfs))
+  >>= fun () ->
+  match Lazy.force ctx.myricom with
+  | Error _ -> Ok () (* prop_agreement owns myricom failures *)
+  | Ok (_, fm) when fm > 0 -> Ok ()
+  | Ok (map, _) -> check "myricom/bfs" map None
+
+(* 3. The Myricom map agrees with the actual fabric (and hence, on
+   N - F, with the Berkeley map). Myricom does not prune, so its map
+   must cover the entire reachable fabric, pendant switches included.
+   Runs with comparison matching through coincidental alternative
+   paths excepted (a documented weakness, surfaced as
+   [false_matches]). *)
+let prop_agreement ctx =
+  match ctx.mapper with
+  | None -> Ok ()
+  | Some _ -> (
+    match Lazy.force ctx.myricom with
+    | Error e -> Error ("myricom export failed: " ^ e)
+    | Ok (_, fm) when fm > 0 -> Ok ()
+    | Ok (map, _) ->
+      Iso.check ~map ~actual:ctx.case.graph
+        ~exclude:(Lazy.force ctx.reach_exclude) ())
+
+(* 4. Incremental remap after a fault converges to the same map a
+   from-scratch run produces: ~ N' - F'. *)
+let prop_incremental ctx =
+  match (ctx.mapper, Lazy.force ctx.berkeley) with
+  | None, _ | _, Error _ -> Ok ()
+  | Some m, Ok previous ->
+    let g' =
+      match fault_link ctx with
+      | None -> Graph.copy ctx.case.graph
+      | Some e -> Faults.remove_link ctx.case.graph e
+    in
+    let mapper_name = Graph.name ctx.case.graph m in
+    (match Graph.host_by_name g' mapper_name with
+    | None -> Ok ()
+    | Some m' ->
+      let responding n =
+        n = m'
+        || not (List.mem (Graph.name g' n) ctx.case.Fuzz_gen.silent)
+      in
+      let net = San_simnet.Network.create ~responding g' in
+      let r = San_mapper.Incremental.run net ~mapper:m' ~previous in
+      (match r.San_mapper.Incremental.map with
+      | Error e -> Error ("incremental map failed: " ^ e)
+      | Ok map ->
+        (match
+           Iso.check ~map ~actual:g' ~exclude:(exclusion_of ctx g') ()
+         with
+        | Ok () -> Ok ()
+        | Error e -> Error ("incremental map not iso to N'-F': " ^ e))))
+
+(* 5. Delta distribution over an installed ledger ends with exactly the
+   tables a full redistribution would install. *)
+let prop_delta ctx =
+  match (ctx.mapper, Lazy.force ctx.berkeley) with
+  | None, _ | _, Error _ -> Ok ()
+  | Some m, Ok map0 ->
+    let mapper_name = Graph.name ctx.case.graph m in
+    let module Delta = San_service.Delta in
+    let distribute ~installed map =
+      match Graph.host_by_name map mapper_name with
+      | None -> Error "leader missing from map"
+      | Some leader ->
+        let table = San_routing.Routes.compute map in
+        (match Delta.distribute ~installed table ~actual:map ~leader with
+        | Error e -> Error ("distribute failed: " ^ e)
+        | Ok r -> Ok (table, r))
+    in
+    let check_ledger table (r : Delta.report) =
+      if r.Delta.dist.San_routing.Distribute.hosts_missed > 0 then Ok ()
+        (* contention losses are Distribute's own test surface *)
+      else if r.Delta.sent_bytes > r.Delta.full_sent_bytes then
+        Error
+          (Printf.sprintf "delta shipped %dB > full %dB" r.Delta.sent_bytes
+             r.Delta.full_sent_bytes)
+      else
+        let want = Delta.of_routes table in
+        let bad =
+          List.find_opt
+            (fun h ->
+              Delta.entries_for r.Delta.installed h <> Delta.entries_for want h)
+            (Delta.hosts want)
+        in
+        match bad with
+        | None -> Ok ()
+        | Some h ->
+          Error
+            (Printf.sprintf
+               "host %s: installed table differs from a full redistribution" h)
+    in
+    (match distribute ~installed:San_service.Delta.empty map0 with
+    | Error e -> Error ("epoch 1: " ^ e)
+    | Ok (table1, r1) -> (
+      match check_ledger table1 r1 with
+      | Error e -> Error ("epoch 1: " ^ e)
+      | Ok () -> (
+        (* Epoch 2: fault, remap, delta-distribute over the ledger. *)
+        let g' =
+          match fault_link ctx with
+          | None -> Graph.copy ctx.case.graph
+          | Some e -> Faults.remove_link ctx.case.graph e
+        in
+        match run_berkeley_on ctx g' with
+        | Error _ -> Ok () (* prop_incremental owns post-fault mapping *)
+        | Ok map1 -> (
+          match
+            distribute ~installed:r1.San_service.Delta.installed map1
+          with
+          | Error e -> Error ("epoch 2: " ^ e)
+          | Ok (table2, r2) -> (
+            match check_ledger table2 r2 with
+            | Error e -> Error ("epoch 2: " ^ e)
+            | Ok () -> Ok ())))))
+
+(* 6. Per-channel fabric accounting conserves transits under an
+   all-pairs storm: every acquired hop lands on exactly one channel. *)
+let prop_conservation ctx =
+  let g = ctx.case.graph in
+  let table = San_routing.Routes.compute g in
+  let fabric = San_telemetry.Fabric_stats.create () in
+  let sim = San_simnet.Event_sim.create ~fabric g in
+  List.iter
+    (fun (src, _, turns) ->
+      ignore
+        (San_simnet.Event_sim.inject sim ~at_ns:0.0 ~src ~turns
+           ~payload_bytes:4096 ()))
+    (San_routing.Routes.all table);
+  San_simnet.Event_sim.run sim;
+  let st = San_simnet.Event_sim.stats sim in
+  let transits = San_telemetry.Fabric_stats.total_transits fabric in
+  if st.San_simnet.Event_sim.in_flight <> 0 then
+    Error
+      (Printf.sprintf "storm did not drain: %d worms in flight"
+         st.San_simnet.Event_sim.in_flight)
+  else if transits <> st.San_simnet.Event_sim.hops_acquired then
+    Error
+      (Printf.sprintf "transit conservation: channels saw %d, worms acquired %d"
+         transits st.San_simnet.Event_sim.hops_acquired)
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    ("iso", prop_iso);
+    ("deadlock", prop_deadlock);
+    ("agreement", prop_agreement);
+    ("incremental", prop_incremental);
+    ("delta", prop_delta);
+    ("conservation", prop_conservation);
+  ]
+
+let names = List.map fst all
+
+let find name = List.assoc_opt name all
+
+(* Exceptions are counterexamples too: a property must never crash on
+   a fabric the generator can produce. *)
+let run name case =
+  match find name with
+  | None -> invalid_arg ("San_check.Props.run: unknown property " ^ name)
+  | Some f -> (
+    let ctx = make case in
+    try f ctx with
+    | exn -> Error ("exception: " ^ Printexc.to_string exn))

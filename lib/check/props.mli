@@ -1,0 +1,47 @@
+(** The property suite: what must hold of every fabric the generator
+    can produce.
+
+    Six properties, one per paper-level claim the system depends on:
+
+    - ["iso"] — the Berkeley map is isomorphic to [N - F] (Theorem 1),
+      with mapper-unreachable nodes and silent hosts joining F;
+    - ["deadlock"] — UP*/DOWN* routes computed on either algorithm's
+      map have an acyclic channel dependency graph (both labelings for
+      Berkeley);
+    - ["agreement"] — the Myricom map covers the reachable fabric
+      exactly (and hence agrees with the Berkeley map on [N - F]);
+      skipped when a comparison probe matched through a coincidental
+      alternative path ([false_matches > 0], the §4 documented
+      weakness);
+    - ["incremental"] — incremental remap after a link cut produces a
+      map isomorphic to [N' - F'], like a from-scratch run;
+    - ["delta"] — delta route distribution over an installed ledger
+      converges to exactly the tables a full redistribution installs,
+      and never ships more bytes than full;
+    - ["conservation"] — per-channel fabric counters conserve transits
+      against the event simulator's acquired-hop total under an
+      all-pairs storm.
+
+    Degenerate fabrics (no hosts, no mapper) make a property pass
+    trivially rather than error: the generator is free to produce
+    them. A property that raises is reported as a failure — crashes
+    are counterexamples too. *)
+
+type ctx
+(** Per-case shared state: the Berkeley and Myricom runs, exclusion
+    sets and search depth are computed lazily once and reused by every
+    property. *)
+
+val make : Fuzz_gen.case -> ctx
+
+val all : (string * (ctx -> (unit, string) result)) list
+(** The suite, in execution order. *)
+
+val names : string list
+
+val find : string -> (ctx -> (unit, string) result) option
+
+val run : string -> Fuzz_gen.case -> (unit, string) result
+(** [run name case] builds a fresh context and runs one property,
+    converting exceptions into [Error]. @raise Invalid_argument on an
+    unknown property name. *)

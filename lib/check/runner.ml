@@ -1,0 +1,107 @@
+open San_topology
+
+type failure = {
+  f_prop : string;
+  f_case_seed : int;
+  f_error : string;
+  f_shrunk : Fuzz_gen.case;
+  f_shrunk_error : string;
+  f_shrink_tries : int;
+}
+
+type report = {
+  r_seed : int;
+  r_cases : int;
+  r_props : string list;
+  r_failures : failure list;
+}
+
+let default_shrink_budget = 400
+
+let validate_props = function
+  | None -> Props.names
+  | Some ps ->
+    List.iter
+      (fun p ->
+        if Props.find p = None then
+          invalid_arg
+            (Printf.sprintf "unknown property %s (have: %s)" p
+               (String.concat ", " Props.names)))
+      ps;
+    ps
+
+let check_case ~props case =
+  List.filter_map
+    (fun name ->
+      match Props.run name case with
+      | Ok () -> None
+      | Error e -> Some (name, e))
+    props
+
+let shrink_failure ~shrink_budget case (name, error) =
+  let fails c = Result.is_error (Props.run name c) in
+  let shrunk, tries = Shrink.shrink ~fails ~budget:shrink_budget case in
+  let shrunk_error =
+    match Props.run name shrunk with Error e -> e | Ok () -> error
+  in
+  {
+    f_prop = name;
+    f_case_seed = case.Fuzz_gen.case_seed;
+    f_error = error;
+    f_shrunk = shrunk;
+    f_shrunk_error = shrunk_error;
+    f_shrink_tries = tries;
+  }
+
+let run_case ?props ?(shrink_budget = default_shrink_budget) ~case_seed () =
+  let props = validate_props props in
+  let case = Fuzz_gen.gen ~seed:case_seed in
+  List.map (shrink_failure ~shrink_budget case) (check_case ~props case)
+
+(* Case seeds are drawn from a master SplitMix stream, so any failing
+   case replays from its own printed seed, independently of --cases. *)
+let case_seeds ~seed ~cases =
+  let master = San_util.Prng.create seed in
+  List.init cases (fun _ ->
+      Int64.to_int
+        (Int64.logand (San_util.Prng.next_int64 master) 0x3FFFFFFFFFFFFFFFL))
+
+let run ?props ?(shrink_budget = default_shrink_budget) ?on_progress ~cases
+    ~seed () =
+  let props = validate_props props in
+  let failures = ref [] in
+  List.iteri
+    (fun i case_seed ->
+      Option.iter (fun f -> f i) on_progress;
+      let case = Fuzz_gen.gen ~seed:case_seed in
+      List.iter
+        (fun failure ->
+          failures := shrink_failure ~shrink_budget case failure :: !failures)
+        (check_case ~props case))
+    (case_seeds ~seed ~cases);
+  { r_seed = seed; r_cases = cases; r_props = props;
+    r_failures = List.rev !failures }
+
+(* ------------------------------------------------------------------ *)
+
+let dot_of_failure f = Dot.to_string ~graph_name:"counterexample" f.f_shrunk.Fuzz_gen.graph
+
+let pp_failure ppf f =
+  Format.fprintf ppf
+    "@[<v>property %s FAILED on case seed %d@,\
+     error: %s@,\
+     shrunk (%d predicate calls): %a@,\
+     shrunk error: %s@,\
+     replay: san_map fuzz --replay %d --prop %s@]"
+    f.f_prop f.f_case_seed f.f_error f.f_shrink_tries Fuzz_gen.pp f.f_shrunk
+    f.f_shrunk_error f.f_case_seed f.f_prop
+
+let pp_report ppf r =
+  Format.fprintf ppf "fuzz: %d cases from seed %d over [%s]: " r.r_cases
+    r.r_seed
+    (String.concat " " r.r_props);
+  match r.r_failures with
+  | [] -> Format.fprintf ppf "all properties held@."
+  | fs ->
+    Format.fprintf ppf "%d counterexample(s)@." (List.length fs);
+    List.iter (fun f -> Format.fprintf ppf "%a@." pp_failure f) fs

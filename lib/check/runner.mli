@@ -1,0 +1,47 @@
+(** The fuzz driver: generate cases, run the property suite, shrink
+    every failure to a minimal counterexample. *)
+
+type failure = {
+  f_prop : string;
+  f_case_seed : int;  (** replayable: [run_case ~case_seed] *)
+  f_error : string;  (** the original (unshrunk) failure *)
+  f_shrunk : Fuzz_gen.case;
+  f_shrunk_error : string;
+  f_shrink_tries : int;
+}
+
+type report = {
+  r_seed : int;
+  r_cases : int;
+  r_props : string list;
+  r_failures : failure list;
+}
+
+val default_shrink_budget : int
+
+val run :
+  ?props:string list ->
+  ?shrink_budget:int ->
+  ?on_progress:(int -> unit) ->
+  cases:int ->
+  seed:int ->
+  unit ->
+  report
+(** [run ~cases ~seed ()] draws [cases] case seeds from a master
+    stream and checks every property on each. [props] restricts the
+    suite ({!Props.names}); @raise Invalid_argument on unknown names. *)
+
+val run_case :
+  ?props:string list -> ?shrink_budget:int -> case_seed:int -> unit ->
+  failure list
+(** Replay exactly one case by its seed (the one a counterexample
+    report prints). *)
+
+val case_seeds : seed:int -> cases:int -> int list
+(** The case seeds [run] would use, for tooling. *)
+
+val dot_of_failure : failure -> string
+(** DOT text of the shrunk counterexample fabric. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+val pp_report : Format.formatter -> report -> unit

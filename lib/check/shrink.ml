@@ -1,0 +1,69 @@
+open San_topology
+
+(* Rebuild g restricted to the kept nodes, preserving port numbers,
+   radix and names, so the shrunk fabric is a true subfabric and every
+   port-sensitive bug survives the shrink. *)
+let subgraph g ~keep =
+  let ng = Graph.create ~radix:(Graph.radix g) () in
+  let map = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      if keep v then
+        let nv =
+          match Graph.kind g v with
+          | Graph.Host -> Graph.add_host ng ~name:(Graph.name g v)
+          | Graph.Switch -> Graph.add_switch ng ~name:(Graph.name g v) ()
+        in
+        Hashtbl.replace map v nv)
+    (Graph.nodes g);
+  List.iter
+    (fun ((a, pa), (b, pb)) ->
+      match (Hashtbl.find_opt map a, Hashtbl.find_opt map b) with
+      | Some a', Some b' -> Graph.connect ng (a', pa) (b', pb)
+      | _ -> ())
+    (Graph.wires g);
+  ng
+
+let restrict_silent graph silent =
+  List.filter (fun n -> Graph.host_by_name graph n <> None) silent
+
+let drop_node (c : Fuzz_gen.case) v =
+  let graph = subgraph c.Fuzz_gen.graph ~keep:(fun u -> u <> v) in
+  { c with Fuzz_gen.graph; silent = restrict_silent graph c.Fuzz_gen.silent }
+
+let drop_wire (c : Fuzz_gen.case) (e, _) =
+  let graph = Graph.copy c.Fuzz_gen.graph in
+  Graph.disconnect graph e;
+  { c with Fuzz_gen.graph }
+
+let unsilence (c : Fuzz_gen.case) name =
+  { c with Fuzz_gen.silent = List.filter (( <> ) name) c.Fuzz_gen.silent }
+
+(* Reduction moves, biggest first: drop a switch (and all its wires),
+   drop a host, drop a single wire, wake a silent host. *)
+let candidates (c : Fuzz_gen.case) =
+  let g = c.Fuzz_gen.graph in
+  List.map (fun s () -> drop_node c s) (Graph.switches g)
+  @ List.map (fun h () -> drop_node c h) (Graph.hosts g)
+  @ List.map (fun w () -> drop_wire c w) (Graph.wires g)
+  @ List.map (fun n () -> unsilence c n) c.Fuzz_gen.silent
+
+(* Greedy: take the first candidate that still fails and restart from
+   it; stop at a local minimum or when the budget runs out. *)
+let shrink ~fails ~budget case =
+  let tries = ref 0 in
+  let rec go case =
+    let rec first = function
+      | [] -> case
+      | cand :: rest ->
+        if !tries >= budget then case
+        else begin
+          incr tries;
+          let c = cand () in
+          if fails c then go c else first rest
+        end
+    in
+    first (candidates case)
+  in
+  let shrunk = go case in
+  (shrunk, !tries)

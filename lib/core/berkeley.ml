@@ -116,7 +116,7 @@ let explore_service ~policy ~depth_used ~record_trace sv model seeds =
       if not (try_host ()) then ignore (try_switch ()))
     else if not (try_switch ()) then ignore (try_host ())
   in
-  let explore v =
+  let explore ~fill_only v =
     if San_obs.Obs.on () then begin
       San_obs.Obs.count "mapper.explorations";
       San_obs.Obs.observe "mapper.frontier"
@@ -126,7 +126,8 @@ let explore_service ~policy ~depth_used ~record_trace sv model seeds =
     List.iter
       (fun turn ->
         let skip =
-          (policy.skip_known && Probe_order.already_known model v ~turn)
+          ((fill_only || policy.skip_known)
+          && Probe_order.already_known model v ~turn)
           || (policy.window_pruning && Probe_order.provably_illegal model v ~turn)
         in
         if not skip then probe_pair v turn)
@@ -152,15 +153,31 @@ let explore_service ~policy ~depth_used ~record_trace sv model seeds =
       let within_depth =
         List.length (Model.probe_string model v) < depth_used
       in
-      let skip =
-        (not within_depth)
-        || (not (Model.is_live model v))
-        || (policy.skip_explored && Model.is_explored model v)
-      in
-      if not skip then explore v;
+      if within_depth && Model.is_live model v then begin
+        (* A replicate of an explored class is not skipped outright:
+           each worm holds the wires of its own path, so a member
+           reached by a different route can probe into slots the first
+           member physically could not (its worm would have collided
+           with itself). Probing only the still-unknown slots keeps
+           the heuristic's savings while recovering that evidence. *)
+        if not (policy.skip_explored && Model.is_explored model v) then
+          explore ~fill_only:false v
+        else explore ~fill_only:true v
+      end;
       drain ()
   in
   drain ();
+  (* The root switch is the one vertex the model assumes rather than
+     discovers. When the exploration confirmed nothing behind it, a
+     turn-0 probe tells the two degenerate fabrics apart: off a real
+     switch it bounces straight back to the mapper (keep the pendant
+     switch), on an unwired cable it dies (retract the assumption). *)
+  let root = Model.root_switch model in
+  if Model.is_live model root && Model.degree model root <= 1 then begin
+    match with_retries (fun () -> sv.sv_host_probe ~turns:[ 0 ]) with
+    | Network.Host _ -> ()
+    | Network.Switch | Network.Nothing -> Model.kill_root_switch model
+  end;
   (!explorations, !elapsed, List.rev !trace)
 
 let explore_from ~policy ~depth_used ~record_trace net ~mapper model seeds =

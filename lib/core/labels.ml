@@ -204,7 +204,10 @@ let run ?(depth = Berkeley.Oracle) net ~mapper =
           | Some `Switch, `Switch -> ()
           | Some _, _ -> raise (Unresolved "label with conflicting kinds"))
         all;
-      (* Iterative prune of degree<=1 switch classes. *)
+      (* PRUNE: kill every switch class a single switch-switch
+         quotient wire separates from all host classes — the same
+         separation criterion as Core_set.separated_set (hostless
+         trees AND cycles; a pendant class wired to a host stays). *)
       let dead = Hashtbl.create 16 in
       let live_wires () =
         Hashtbl.fold
@@ -212,25 +215,54 @@ let run ?(depth = Berkeley.Oracle) net ~mapper =
             if Hashtbl.mem dead la || Hashtbl.mem dead lb then acc else w :: acc)
           wires []
       in
-      let changed = ref true in
-      while !changed do
-        changed := false;
-        let ws = live_wires () in
-        List.iter
-          (fun l ->
-            if (not (Hashtbl.mem dead l)) && Hashtbl.find kind_of l = `Switch
-            then begin
-              let deg =
-                List.length
-                  (List.filter (fun ((la, _), (lb, _)) -> la = l || lb = l) ws)
+      let reach ~avoid start ws =
+        let seen = Hashtbl.create 16 in
+        let frontier = Queue.create () in
+        Hashtbl.replace seen start ();
+        Queue.add start frontier;
+        while not (Queue.is_empty frontier) do
+          let u = Queue.take frontier in
+          List.iter
+            (fun (((la, _), (lb, _)) as w) ->
+              if w <> avoid then
+                let far =
+                  if la = u then Some lb
+                  else if lb = u then Some la
+                  else None
+                in
+                match far with
+                | Some f when not (Hashtbl.mem seen f) ->
+                  Hashtbl.replace seen f ();
+                  Queue.add f frontier
+                | _ -> ())
+            ws
+        done;
+        seen
+      in
+      List.iter
+        (fun (((la, _), (lb, _)) as w) ->
+          if
+            (not (Hashtbl.mem dead la))
+            && (not (Hashtbl.mem dead lb))
+            && la <> lb
+            && Hashtbl.find kind_of la = `Switch
+            && Hashtbl.find kind_of lb = `Switch
+          then begin
+            let ws = live_wires () in
+            let try_side start =
+              let seen = reach ~avoid:w start ws in
+              let hostless =
+                Hashtbl.fold
+                  (fun l () acc -> acc && Hashtbl.find kind_of l = `Switch)
+                  seen true
               in
-              if deg <= 1 then begin
-                Hashtbl.replace dead l ();
-                changed := true
-              end
-            end)
-          distinct_labels
-      done;
+              if hostless then
+                Hashtbl.iter (fun l () -> Hashtbl.replace dead l ()) seen
+            in
+            try_side la;
+            if not (Hashtbl.mem dead la) then try_side lb
+          end)
+        (live_wires ());
       (* Slot sanity: each (label, idx) carries at most one wire. *)
       let slot_seen = Hashtbl.create 64 in
       List.iter

@@ -359,21 +359,80 @@ let incident_edges t c =
 
 let degree t v = List.length (incident_edges t v)
 
+let kill_root_switch t =
+  let c = canonical t t.m_root_switch in
+  let xc = vertex t c in
+  if not xc.dead then begin
+    List.iter (kill_edge t) (incident_edges t c);
+    xc.dead <- true;
+    t.n_verts_live <- t.n_verts_live - 1
+  end
+
+(* PRUNE removes Theorem 1's F: every region that one switch-switch
+   cable separates from all hosts.  The pseudo-code's degree<=1
+   formulation only removes hostless *trees*; separation also covers
+   hostless cycles and self-cabled pendants behind a bridge, and — the
+   other direction — keeps a pendant switch whose single cable leads
+   to a host (a mapper isolated with its switch after faults). *)
 let prune t =
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for v = 0 to t.nverts - 1 do
-      let xv = t.verts.(v) in
-      if xv.parent = v && (not xv.dead) && xv.v_kind = Vswitch then
-        if degree t v <= 1 then begin
+  let bfs ~avoid start =
+    let seen = Hashtbl.create 16 in
+    let q = Queue.create () in
+    Hashtbl.replace seen start ();
+    Queue.add start q;
+    while not (Queue.is_empty q) do
+      let u = Queue.take q in
+      List.iter
+        (fun e ->
+          if e.eid <> avoid then begin
+            let a = canonical t e.ea and b = canonical t e.eb in
+            let far = if a = u then b else a in
+            if not (Hashtbl.mem seen far) then begin
+              Hashtbl.replace seen far ();
+              Queue.add far q
+            end
+          end)
+        (incident_edges t u)
+    done;
+    seen
+  in
+  let hostless seen =
+    Hashtbl.fold
+      (fun v () acc ->
+        acc
+        && match (vertex t v).v_kind with Vhost _ -> false | Vswitch -> true)
+      seen true
+  in
+  let kill_side seen =
+    Hashtbl.iter
+      (fun v () ->
+        let xv = vertex t v in
+        if not xv.dead then begin
           List.iter (kill_edge t) (incident_edges t v);
           xv.dead <- true;
-          t.n_verts_live <- t.n_verts_live - 1;
-          changed := true
+          t.n_verts_live <- t.n_verts_live - 1
+        end)
+      seen
+  in
+  let is_switch v =
+    match (vertex t (canonical t v)).v_kind with
+    | Vswitch -> true
+    | Vhost _ -> false
+  in
+  List.iter
+    (fun e ->
+      if (not e.e_dead) && is_switch e.ea && is_switch e.eb then begin
+        let a = canonical t e.ea and b = canonical t e.eb in
+        if a <> b then begin
+          let try_side start =
+            let seen = bfs ~avoid:e.eid start in
+            if hostless seen then kill_side seen
+          in
+          try_side a;
+          if not e.e_dead then try_side b
         end
-    done
-  done
+      end)
+    t.all_edges
 
 let known_hosts t = Hashtbl.length t.host_names
 let created_vertices t = t.nverts

@@ -111,6 +111,10 @@ val offset_window : t -> vid -> int * int
 val degree : t -> vid -> int
 (** Live edges incident to the class (a same-switch edge counts once). *)
 
+val kill_root_switch : t -> unit
+(** Retract the assumed root switch and its edges: the mapper's own
+    cable turned out to be unwired. The mapper host vertex stays. *)
+
 (** {1 Convergence} *)
 
 val run_merge_loop : t -> unit
@@ -119,7 +123,13 @@ val run_merge_loop : t -> unit
     tests. *)
 
 val prune : t -> unit
-(** Repeatedly delete switch classes of degree <= 1 (§3.1 PRUNE). *)
+(** Delete every switch region that a single switch-switch cable
+    separates from all hosts (Theorem 1's F, the same separation
+    criterion as {!San_topology.Core_set.separated_set}). This
+    subsumes §3.1's degree-based PRUNE — which removes hostless
+    pendant trees but neither hostless cycles nor self-cabled pendants
+    behind a bridge — and, unlike it, keeps a pendant switch whose
+    only cable leads to a host. *)
 
 (** {1 Results and accounting} *)
 

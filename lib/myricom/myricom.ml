@@ -31,15 +31,15 @@ type known = {
 
 exception Bad_map of string
 
-let run ?(params = Params.default) ?(model = Collision.Circuit) ?max_depth
-    ?(compare_depth_window = 3) g ~mapper =
+let run ?(params = Params.default) ?(model = Collision.Circuit) ?responding
+    ?max_depth ?(compare_depth_window = 3) g ~mapper =
   if not (Graph.is_host g mapper) then
     invalid_arg "Myricom.run: mapper must be a host";
   San_obs.Obs.with_span "myricom.run" @@ fun () ->
   let radix = Graph.radix g in
   let net =
-    Network.create ~model ~params ~software_slowdown:params.Params.embedded_slowdown
-      g
+    Network.create ~model ~params ?responding
+      ~software_slowdown:params.Params.embedded_slowdown g
   in
   let max_depth =
     match max_depth with Some d -> d | None -> Analysis.diameter g + 2

@@ -40,7 +40,14 @@ let build ?root ?(ignore_hosts = []) ?(labeling = Bfs) g =
     | None -> (
       match Analysis.farthest_switch_from_hosts g ~ignore:ignore_hosts with
       | Some r -> r
-      | None -> invalid_arg "Updown.build: graph has no switch")
+      | None -> (
+        (* Degenerate maps are legal: a mapper isolated by faults maps
+           to a lone host (or host + pendant switch). Any node then
+           gives a trivial total order; routing has no pairs to serve. *)
+        match (Graph.switches g, Graph.hosts g) with
+        | s :: _, _ -> s
+        | [], h :: _ -> h
+        | [], [] -> invalid_arg "Updown.build: empty graph"))
   in
   let labels =
     match labeling with

@@ -123,10 +123,18 @@ let q_of g ~root v =
   let t_root = n and t_any = n + 1 and sink = n + 2 and source = n + 3 in
   let build ~force_root =
     let f = Flow.create (n + 4) in
+    (* A wire's two directed channels are distinct resources: the
+       confirming worm travels root->v then v->host and may cross a
+       wire once in each direction (the root's own cable does exactly
+       that in the first-edge/last-edge case), so each arc carries up
+       to one unit per walk — capacity 2. The exception is arcs leaving
+       [v]: the two walks must depart v through different wires, or the
+       concatenated worm would U-turn there (a turn-0 hop the mapper
+       never probes mid-route). *)
     List.iter
       (fun (((a, _), (b, _)) : edge) ->
-        Flow.add_arc f ~src:a ~dst:b ~cap:1 ~cost:1;
-        Flow.add_arc f ~src:b ~dst:a ~cap:1 ~cost:1)
+        Flow.add_arc f ~src:a ~dst:b ~cap:(if a = v then 1 else 2) ~cost:1;
+        Flow.add_arc f ~src:b ~dst:a ~cap:(if b = v then 1 else 2) ~cost:1)
       (Graph.wires g);
     if force_root then begin
       Flow.add_arc f ~src:root ~dst:t_root ~cap:1 ~cost:0;

@@ -33,12 +33,16 @@ val core_is_empty_f : Graph.t -> bool
 
 val q_of : Graph.t -> root:Graph.node -> Graph.node -> int option
 (** [q_of g ~root v] is [Q(v)] computed as a 2-unit min-cost flow: one
-    unit from [v] to the mapper [root], one from [v] to any host, over
-    unit-capacity undirected wires. [None] when no such trail exists.
-    The paper's first-edge/last-edge coincidence anomaly is resolved by
-    falling back to two edge-disjoint trails to any hosts (the Lemma 1
-    flow), which can only overestimate the true [Q(v)] — a safe
-    direction for a search depth. *)
+    unit from [v] to the mapper [root] (modelling the worm's outbound
+    leg reversed), one from [v] to any host. Each directed channel of
+    a wire is a separate unit-capacity resource — the confirming worm
+    may cross a wire once in each direction, which resolves the
+    paper's first-edge/last-edge coincidence anomaly natively (both
+    legs may end on the root's cable) — except that the two legs must
+    leave [v] by different wires (no mid-route turn-0). [None] when no
+    such trail exists even via the two-trails-to-any-hosts fallback,
+    which can only overestimate the true [Q(v)] — a safe direction for
+    a search depth. *)
 
 val q_bound : Graph.t -> root:Graph.node -> int
 (** [Q] = max of [q_of] over the core. 0 for degenerate graphs. *)

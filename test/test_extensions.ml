@@ -285,12 +285,15 @@ let test_traffic_lossless_at_zero () =
   Alcotest.(check int) "identical probe counts at zero loss"
     (Berkeley.total_probes r0) (Berkeley.total_probes r1)
 
+(* 8%: mild loss rates no longer degrade the retryless run, because
+   replicates of explored classes re-probe still-unknown slots and so
+   give every lost probe organic second chances. *)
 let test_retries_restore_map_under_loss () =
   let g, _ = Generators.now_c () in
   let mapper = Option.get (Graph.host_by_name g "C-util") in
   let run retries =
     let net =
-      San_simnet.Network.create ~traffic:(0.02, San_util.Prng.create 3) g
+      San_simnet.Network.create ~traffic:(0.08, San_util.Prng.create 3) g
     in
     let policy = { Berkeley.faithful with retries } in
     (Berkeley.run ~policy net ~mapper).Berkeley.map

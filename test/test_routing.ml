@@ -211,6 +211,30 @@ let test_deadlock_detects_cycle () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "cyclic dependency set not detected"
 
+let test_myricom_map_routes_acyclic () =
+  (* Route tables computed over a Myricom-built map must be free of
+     channel-dependence cycles too: the map's port numbering comes from
+     probe orientation, not the actual wiring, so a cycle here would
+     mean the orientation was recorded backwards somewhere. *)
+  let check name g =
+    let mapper = List.hd (Graph.hosts g) in
+    let r = San_myricom.Myricom.run g ~mapper in
+    match r.San_myricom.Myricom.map with
+    | Error e -> Alcotest.failf "%s: myricom map failed: %s" name e
+    | Ok m ->
+      let table = Routes.compute m in
+      (match Deadlock.check_routes table with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: dependence cycle: %s" name e);
+      (match Routes.verify_delivery ~against:g table with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: actual delivery: %s" name e);
+      Alcotest.(check (list (pair int int))) (name ^ " all pairs routed") []
+        (Routes.unreachable_pairs table)
+  in
+  check "C" (fst (Generators.now_c ()));
+  check "torus" (Generators.torus ~rows:3 ~cols:3 ())
+
 let test_dfs_labeling_sound () =
   let g, _ = Generators.now_cab () in
   let table = Routes.compute ~labeling:Updown.Dfs g in
@@ -380,6 +404,8 @@ let () =
           Alcotest.test_case "root congestion" `Quick test_channel_loads_congestion;
           Alcotest.test_case "length bounds" `Quick test_route_lengths_bounded;
           Alcotest.test_case "map drives actual" `Quick test_map_routes_drive_actual;
+          Alcotest.test_case "myricom map acyclic" `Slow
+            test_myricom_map_routes_acyclic;
           Alcotest.test_case "dfs labelling" `Quick test_dfs_labeling_sound;
           qcheck dfs_sound_prop;
         ] );

@@ -185,8 +185,19 @@ let test_generator_port_limits () =
       (fun s ->
         Alcotest.(check bool) "degree within radix" true
           (Graph.degree g s <= Graph.radix g))
-      (Graph.switches g)
+      (Graph.switches g);
+    (* Every wired port index fits the 8-port crossbar. *)
+    List.iter
+      (fun (((a, pa), (b, pb)) : Graph.wire_end * Graph.wire_end) ->
+        ignore a;
+        ignore b;
+        Alcotest.(check bool) "port index within crossbar" true
+          (pa >= 0 && pa < Graph.radix g && pb >= 0 && pb < Graph.radix g))
+      (Graph.wires g)
   in
+  check_g (fst (Generators.subcluster Generators.spec_a));
+  check_g (fst (Generators.subcluster Generators.spec_b));
+  check_g (fst (Generators.subcluster Generators.spec_c));
   check_g (fst (Generators.now_cab ()));
   check_g (Generators.hypercube ~dim:5 ());
   check_g (Generators.torus ~rows:4 ~cols:4 ());
@@ -246,17 +257,23 @@ let test_q_values () =
   Alcotest.(check int) "Q bound" 2 (Core_set.q_bound g ~root:h0);
   Alcotest.(check int) "search depth = Q+D+1" 5 (Core_set.search_depth g ~root:h0)
 
+(* In a hostless *tree* tail even the direction-aware Q stays
+   undefined: a worm into the tail can only come back through the
+   port it would have to leave by again. *)
 let test_q_undefined_in_f () =
   let g = Generators.pendant_branch () in
   let h0 = Option.get (Graph.host_by_name g "h0") in
   let tail1 = List.nth (Graph.nodes g) 6 in
-  Alcotest.(check (option int)) "Q undefined beyond switch-bridge" None
+  Alcotest.(check (option int)) "Q undefined in a hostless tree tail" None
     (Core_set.q_of g ~root:h0 tail1)
 
-(* Lemma 1 as a property: Q(v) is defined iff v is not separated from
-   the hosts by a switch-bridge. *)
+(* Lemma 1 as a property: Q(v) is defined on all of the core, so the
+   search-depth bound covers every vertex the map must contain. (The
+   converse does not hold: a worm may cross a bridge once in each
+   direction, so Q can be finite inside a cyclic F region — which
+   stays unmappable anyway, since no host anchors a deduction there.) *)
 let lemma1_prop =
-  QCheck.Test.make ~name:"lemma1: Q defined iff not in F" ~count:40
+  QCheck.Test.make ~name:"lemma1: Q defined on all of the core" ~count:40
     QCheck.(pair small_int small_int)
     (fun (seed, extra) ->
       let rng = San_util.Prng.create (seed + 1) in
@@ -267,7 +284,7 @@ let lemma1_prop =
       let root = Option.get (Graph.host_by_name g "h0") in
       let f = Core_set.separated_set g in
       List.for_all
-        (fun v -> Core_set.q_of g ~root v <> None = not f.(v))
+        (fun v -> f.(v) || Core_set.q_of g ~root v <> None)
         (Graph.nodes g))
 
 (* ---------- min-cost flow ---------- *)
@@ -368,6 +385,74 @@ let test_iso_respects_exclusion () =
     (Iso.equal ~map:core ~actual:g ~exclude:f ());
   Alcotest.(check bool) "mismatch without exclusion" false
     (Iso.equal ~map:core ~actual:g ())
+
+(* Two independent switch-bridges, one hiding a hostless tail and the
+   other a hostless cycle: [separated_set] must mark the union of both
+   fragments, and [Iso.check ~exclude] must accept a map that carries
+   only the core. *)
+let test_iso_two_bridge_union () =
+  let g = Graph.create () in
+  let s0 = Graph.add_switch g () in
+  let s1 = Graph.add_switch g () in
+  Graph.connect g (s0, 0) (s1, 0);
+  let h0 = Graph.add_host g ~name:"h0" in
+  let h1 = Graph.add_host g ~name:"h1" in
+  Graph.connect g (h0, 0) (s0, 1);
+  Graph.connect g (h1, 0) (s1, 1);
+  (* Bridge 1: hostless two-switch tail off s0. *)
+  let t0 = Graph.add_switch g () in
+  let t1 = Graph.add_switch g () in
+  Graph.connect g (s0, 2) (t0, 0);
+  Graph.connect g (t0, 1) (t1, 0);
+  (* Bridge 2: hostless three-switch cycle off s1. *)
+  let c0 = Graph.add_switch g () in
+  let c1 = Graph.add_switch g () in
+  let c2 = Graph.add_switch g () in
+  Graph.connect g (s1, 2) (c0, 0);
+  Graph.connect g (c0, 1) (c1, 0);
+  Graph.connect g (c1, 1) (c2, 0);
+  Graph.connect g (c2, 1) (c0, 2);
+  let f = Core_set.separated_set g in
+  List.iter
+    (fun v -> Alcotest.(check bool) "fragment node in F" true f.(v))
+    [ t0; t1; c0; c1; c2 ];
+  List.iter
+    (fun v -> Alcotest.(check bool) "core node not in F" false f.(v))
+    [ s0; s1; h0; h1 ];
+  let core = Graph.create () in
+  let m0 = Graph.add_switch core () in
+  let m1 = Graph.add_switch core () in
+  Graph.connect core (m0, 0) (m1, 0);
+  let k0 = Graph.add_host core ~name:"h0" in
+  let k1 = Graph.add_host core ~name:"h1" in
+  Graph.connect core (k0, 0) (m0, 1);
+  Graph.connect core (k1, 0) (m1, 1);
+  Alcotest.(check bool) "core match with two-bridge exclusion" true
+    (Iso.equal ~map:core ~actual:g ~exclude:f ());
+  Alcotest.(check bool) "mismatch without exclusion" false
+    (Iso.equal ~map:core ~actual:g ())
+
+(* The confirming worm may cross a wire once per direction: behind a
+   single host attachment, a triangle's switches are confirmable only
+   by going out one way and back the other over the same host cable —
+   Q must be finite there (a fuzz counterexample pinned the old
+   both-legs-outward flow returning None and starving the depth). *)
+let test_q_direction_reuse () =
+  let g = Graph.create () in
+  let s3 = Graph.add_switch g () in
+  let s0 = Graph.add_switch g () in
+  let s1 = Graph.add_switch g () in
+  let h0 = Graph.add_host g ~name:"h0" in
+  Graph.connect g (h0, 0) (s3, 0);
+  Graph.connect g (s3, 1) (s0, 0);
+  Graph.connect g (s3, 2) (s1, 0);
+  Graph.connect g (s0, 1) (s1, 1);
+  Alcotest.(check (option int)) "Q(s0) via both cable directions"
+    (Some 5) (Core_set.q_of g ~root:h0 s0);
+  Alcotest.(check (option int)) "Q(s1) via both cable directions"
+    (Some 5) (Core_set.q_of g ~root:h0 s1);
+  Alcotest.(check bool) "depth covers the closing probe" true
+    (Core_set.search_depth g ~root:h0 >= 5)
 
 (* ---------- faults ---------- *)
 
@@ -595,6 +680,7 @@ let () =
           Alcotest.test_case "F of chain" `Quick test_f_chain_is_core;
           Alcotest.test_case "Q values" `Quick test_q_values;
           Alcotest.test_case "Q undefined in F" `Quick test_q_undefined_in_f;
+          Alcotest.test_case "Q direction reuse" `Quick test_q_direction_reuse;
           qcheck lemma1_prop;
         ] );
       ( "flow",
@@ -609,6 +695,7 @@ let () =
           Alcotest.test_case "missing edge" `Quick test_iso_detects_missing_edge;
           Alcotest.test_case "renamed host" `Quick test_iso_detects_renamed_host;
           Alcotest.test_case "exclusion" `Quick test_iso_respects_exclusion;
+          Alcotest.test_case "two-bridge union" `Quick test_iso_two_bridge_union;
         ] );
       ( "faults",
         [
