@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-fast bench-smoke fuzz-smoke health-smoke artifacts examples clean
+.PHONY: all build test check bench bench-fast bench-smoke fuzz-smoke health-smoke explain-smoke artifacts examples clean
 
 all: build
 
@@ -16,6 +16,7 @@ check:
 	dune build @all
 	dune runtest
 	$(MAKE) health-smoke
+	$(MAKE) explain-smoke
 	$(MAKE) fuzz-smoke
 
 bench:
@@ -38,6 +39,22 @@ bench-smoke:
 fuzz-smoke:
 	dune exec bin/san_map.exe -- fuzz --cases 200 --seed 42 \
 	  --artifacts fuzz_artifacts
+
+# The provenance ledger end to end: explain a Figure-3 switch and a
+# route (with the evidence DOT), attribute a map diff to the probes
+# that caused it, then drive a small daemon into Degraded and read the
+# flight recording back with `postmortem`.
+explain-smoke:
+	mkdir -p _artifacts
+	dune exec bin/san_map.exe -- explain -t cab --why switch:C-leaf0 \
+	  --dot _artifacts/why-C-leaf0.dot
+	dune exec bin/san_map.exe -- explain -t cab --why 'route:C-h2->C-h9'
+	dune exec bin/san_map.exe -- blame --old star:2 --new star:4
+	dune exec bin/san_map.exe -- daemon -t star:3 --epochs 5 --quiet \
+	  --schedule 2:kill-leader,3:kill-leader,4:kill-leader
+	dune exec bin/san_map.exe -- postmortem \
+	  $$(ls -t _artifacts/flight-*.jsonl | head -1)
+	test -s _artifacts/why-C-leaf0.dot
 
 # The telemetry stack end to end: health dashboard with a link cut,
 # exporting a Chrome trace and a Prometheus exposition file.

@@ -60,10 +60,37 @@ let section name ~when_ f =
     obs_sections := (name, j) :: !obs_sections
   end
 
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "unknown" in
+    (match Unix.close_process_in ic with
+    | Unix.WEXITED 0 -> line
+    | _ -> "unknown")
+  with _ -> "unknown"
+
+let iso8601 t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+(* Versioned envelope so downstream tooling can diff BENCH_obs.json
+   across commits without sniffing its shape. Bump [version] on any
+   section-layout change. *)
 let write_obs () =
+  let module J = San_util.Json in
+  let j =
+    J.Obj
+      [
+        ("version", J.Num 1.0);
+        ("commit", J.Str (git_commit ()));
+        ("timestamp", J.Str (iso8601 (Unix.gettimeofday ())));
+        ("sections", J.Obj (List.rev !obs_sections));
+      ]
+  in
   let oc = open_out "BENCH_obs.json" in
-  output_string oc
-    (San_util.Json.to_string (San_util.Json.Obj (List.rev !obs_sections)));
+  output_string oc (J.to_string j);
   output_char oc '\n';
   close_out oc;
   Printf.printf "(wrote BENCH_obs.json)\n"
@@ -1333,6 +1360,78 @@ let telemetry_section () =
     :: !obs_sections
 
 (* ------------------------------------------------------------------ *)
+(* Provenance-ledger overhead: what does recording every deduction      *)
+(* cost the mapper?  Budget: within 10% of the ledger-off run.          *)
+
+let why_section () =
+  let module J = San_util.Json in
+  let g, _ = Generators.now_cab () in
+  let mapper = mapper_of g "C-util" in
+  let n = if !fast then 5 else 9 in
+  let probes = ref 0 in
+  let map_once () =
+    let net = Network.create g in
+    let r = Berkeley.run net ~mapper in
+    probes := Berkeley.total_probes r
+  in
+  let with_why f =
+    San_why.Why.reset ();
+    San_why.Why.set_enabled true;
+    Fun.protect ~finally:(fun () -> San_why.Why.set_enabled false) f
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  (* One warm-up per side, then the two configurations interleaved
+     pairwise: slow drifts in machine load hit both sides equally, and
+     best-of filters the spikes. *)
+  map_once ();
+  with_why map_once;
+  let off = ref infinity and on = ref infinity in
+  for _ = 1 to n do
+    off := Float.min !off (time map_once);
+    on := Float.min !on (with_why (fun () -> time map_once))
+  done;
+  let off = !off and on = !on in
+  let entries =
+    San_why.Why.set_enabled true;
+    Fun.protect
+      ~finally:(fun () -> San_why.Why.set_enabled false)
+      (fun () ->
+        map_once ();
+        San_why.Why.size (San_why.Why.capture ()))
+  in
+  let pct = if off <= 0.0 then 0.0 else 100.0 *. ((on /. off) -. 1.0) in
+  let rate t = float_of_int !probes /. t in
+  let t = T.create ~header:[ "ledger"; "wall"; "probes/s"; "entries" ] in
+  T.add_row t
+    [ "off"; Printf.sprintf "%.1f ms" (off *. 1e3);
+      Printf.sprintf "%.0f" (rate off); "-" ];
+  T.add_row t
+    [ "on"; Printf.sprintf "%.1f ms" (on *. 1e3);
+      Printf.sprintf "%.0f" (rate on); string_of_int entries ];
+  T.print
+    ~title:
+      (Printf.sprintf
+         "Provenance-ledger overhead — map C+A+B with San_why off vs on \
+          (best of %d): %+.1f%% (budget: within 10%%)"
+         n pct)
+    t;
+  obs_sections :=
+    ( "why_overhead",
+      J.Obj
+        [
+          ("map_off_s", J.Num off);
+          ("map_on_s", J.Num on);
+          ("overhead_pct", J.Num pct);
+          ("ledger_entries", J.Num (float_of_int entries));
+          ("probes", J.Num (float_of_int !probes));
+        ] )
+    :: !obs_sections
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment              *)
 
 let bechamel_section () =
@@ -1485,6 +1584,7 @@ let () =
   section "daemon" ~when_:(wants "daemon") daemon_section;
   section "fuzz" ~when_:(wants "fuzz") fuzz_section;
   section "telemetry" ~when_:(wants "telemetry" || !only = []) telemetry_section;
+  section "why" ~when_:(wants "why" || !only = []) why_section;
   section "bechamel"
     ~when_:(!with_bechamel && (wants "bechamel" || !only = []))
     bechamel_section;

@@ -13,6 +13,12 @@
      daemon  — epoch-driven control-plane loop over a fault schedule
      health  — daemon run with fabric telemetry: sparkline dashboard,
                alerts, hottest links
+     explain — map with the provenance ledger on, then print the
+               minimal justification tree of a switch, link or route
+     blame   — map two fabrics, diff the maps, attribute each change
+               to the first probe whose answer (or loss) explains it
+     postmortem — replay a daemon flight recording (timeline, open
+               alerts, last deductions) from the file alone
      version — print the package version
 
    map, routes, verify and fuzz exit non-zero when any property they
@@ -47,19 +53,21 @@ let build_topology spec seed =
   | [ "ccc"; d ] -> Generators.cube_connected_cycles ~dim:(int_of_string d) ()
   | [ "shuffle"; d ] -> Generators.shuffle_exchange ~dim:(int_of_string d) ()
   | [ "pendant" ] -> Generators.pendant_branch ()
+  | [ "lone" ] -> Generators.lone_host ()
+  | [ "stub" ] -> Generators.stub_switch ()
   | _ ->
     raise
       (Invalid_argument
          (spec
         ^ ": unknown topology (try c, ca, cab, hypercube:D, mesh:R:C, \
            torus:R:C, ring:N, star:N, chain:N, fat-tree:L:H:S, ccc:D, \
-           shuffle:D, random:SW:HOSTS, pendant)"))
+           shuffle:D, random:SW:HOSTS, pendant, lone, stub)"))
 
 let topo_arg =
   let doc =
     "Topology to operate on: c | ca | cab | hypercube:D | mesh:R:C | \
      torus:R:C | ring:N | star:N | chain:N | fat-tree:L:H:S | ccc:D | \
-     shuffle:D | random:SW:H | pendant."
+     shuffle:D | random:SW:H | pendant | lone | stub."
   in
   Arg.(value & opt string "c" & info [ "t"; "topology" ] ~docv:"SPEC" ~doc)
 
@@ -157,6 +165,29 @@ let with_obs ?(force = false) ?(chrome = None) ?(prom = None) ~trace ~metrics f
       Format.eprintf "cannot write observability output: %s@." e;
       1
 
+(* Run [f] with the provenance ledger enabled (explain/blame, or any
+   run that feeds a flight recorder). *)
+let with_why on f =
+  if not on then f ()
+  else begin
+    San_why.Why.set_enabled true;
+    Fun.protect
+      ~finally:(fun () -> San_why.Why.set_enabled false)
+      f
+  end
+
+let out_dir_arg =
+  let doc =
+    "Directory for run artifacts (map JSON/DOT, daemon flight recordings). \
+     An empty string disables artifact writing."
+  in
+  Arg.(value & opt string "_artifacts" & info [ "out-dir" ] ~docv:"DIR" ~doc)
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let spec_stem spec =
+  String.map (fun c -> if c = ':' then '-' else c) spec
+
 let pick_mapper g = function
   | Some name -> (
     match Graph.host_by_name g name with
@@ -229,8 +260,8 @@ let json_arg =
   let doc = "Save the resulting map as JSON (loadable by `diff' and `verify')." in
   Cmdliner.Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
-let run_map spec seed mapper_name algo model depth policy dot json trace
-    metrics chrome prom =
+let run_map spec seed mapper_name algo model depth policy dot json out_dir
+    trace metrics chrome prom =
   with_obs ~chrome ~prom ~trace ~metrics @@ fun () ->
   let g = build_topology spec seed in
   let mapper = pick_mapper g mapper_name in
@@ -243,6 +274,15 @@ let run_map spec seed mapper_name algo model depth policy dot json trace
     | Error e ->
       failed := true;
       Format.printf "verification FAILED: %s@." e
+  in
+  let artifacts map =
+    if out_dir <> "" then begin
+      ensure_dir out_dir;
+      let stem = Filename.concat out_dir ("map-" ^ spec_stem spec) in
+      Serial.save map (stem ^ ".json");
+      Dot.to_file map (stem ^ ".dot");
+      Format.printf "wrote %s.json and %s.dot@." stem stem
+    end
   in
   (match algo with
   | `Berkeley -> (
@@ -266,6 +306,7 @@ let run_map spec seed mapper_name algo model depth policy dot json trace
     | Ok map ->
       Format.printf "map: %a@." Graph.pp_stats map;
       verify map;
+      artifacts map;
       Option.iter (fun f -> Dot.to_file map f; Format.printf "wrote %s@." f) dot;
       Option.iter (fun f -> Serial.save map f; Format.printf "wrote %s@." f) json
     | Error e ->
@@ -286,6 +327,7 @@ let run_map spec seed mapper_name algo model depth policy dot json trace
     | Ok map ->
       Format.printf "map: %a@." Graph.pp_stats map;
       verify map;
+      artifacts map;
       Option.iter (fun f -> Dot.to_file map f; Format.printf "wrote %s@." f) dot;
       Option.iter (fun f -> Serial.save map f; Format.printf "wrote %s@." f) json
     | Error e ->
@@ -567,16 +609,23 @@ let pp_epoch_report (r : San_service.Daemon.epoch_report) =
         d.Delta.dist.San_routing.Distribute.hosts_missed);
   List.iter (fun ev -> Format.printf "           * %s@." ev) r.Daemon.events
 
-let run_daemon spec seed epochs schedule retries quiet trace metrics chrome
-    prom =
-  with_obs ~chrome ~prom ~trace ~metrics @@ fun () ->
+let run_daemon spec seed epochs schedule retries quiet out_dir trace metrics
+    chrome prom =
+  let flight = out_dir <> "" in
+  with_obs ~force:flight ~chrome ~prom ~trace ~metrics @@ fun () ->
+  with_why flight @@ fun () ->
   let open San_service in
   let g = build_topology spec seed in
   match Schedule.parse schedule with
   | Error e -> Format.printf "bad schedule: %s@." e; 1
   | Ok schedule -> (
     let config =
-      { Daemon.default_config with Daemon.dist_retries = retries; seed }
+      {
+        Daemon.default_config with
+        Daemon.dist_retries = retries;
+        seed;
+        flight_dir = (if flight then Some out_dir else None);
+      }
     in
     let on_epoch = if quiet then fun _ -> () else pp_epoch_report in
     match Daemon.run ~config ~schedule ~on_epoch ~epochs g with
@@ -604,6 +653,9 @@ let run_daemon spec seed epochs schedule retries quiet trace metrics chrome
             i.Daemon.detected_epoch i.Daemon.resolved_epoch
             (i.Daemon.converge_ns /. 1e6))
         o.Daemon.incidents;
+      if flight then
+        Format.printf "flight recordings under %s/ (read with `san_map \
+                       postmortem')@." out_dir;
       0)
 
 (* ------------------------------------------------------------------ *)
@@ -686,9 +738,11 @@ let print_dashboard spec schedule (o : San_service.Daemon.outcome) fabric =
       links;
     San_util.Tablefmt.print ~title:"hottest links" t
 
-let run_health spec seed epochs schedule retries dot trace metrics chrome prom
-    =
+let run_health spec seed epochs schedule retries dot out_dir trace metrics
+    chrome prom =
+  let flight = out_dir <> "" in
   with_obs ~force:true ~chrome ~prom ~trace ~metrics @@ fun () ->
+  with_why flight @@ fun () ->
   let open San_service in
   let g = build_topology spec seed in
   match Schedule.parse schedule with
@@ -698,7 +752,12 @@ let run_health spec seed epochs schedule retries dot trace metrics chrome prom
     San_telemetry.Fabric_stats.install fabric;
     Fun.protect ~finally:San_telemetry.Fabric_stats.uninstall @@ fun () ->
     let config =
-      { Daemon.default_config with Daemon.dist_retries = retries; seed }
+      {
+        Daemon.default_config with
+        Daemon.dist_retries = retries;
+        seed;
+        flight_dir = (if flight then Some out_dir else None);
+      }
     in
     match Daemon.run ~config ~schedule:parsed ~epochs g with
     | Error e -> Format.printf "daemon: %s@." e; 1
@@ -716,6 +775,139 @@ let run_health spec seed epochs schedule retries dot trace metrics chrome prom
       0)
 
 (* ------------------------------------------------------------------ *)
+(* explain / blame / postmortem: the provenance ledger surfaced        *)
+
+let why_arg =
+  let doc =
+    "The map fact to explain: $(b,switch:NAME) (map name m<vid> or the \
+     actual switch's name), $(b,link:A.P-B.Q) with each end written \
+     NAME.PORT (e.g. $(b,link:h0.0-m1.0)), or $(b,route:H1->H2)."
+  in
+  Arg.(required & opt (some string) None & info [ "why" ] ~docv:"QUERY" ~doc)
+
+let write_dot_roots snap roots = function
+  | None -> ()
+  | Some f ->
+    let oc = open_out f in
+    output_string oc (San_why.Explain.dot_of_roots snap roots);
+    close_out oc;
+    Format.printf "wrote %s@." f
+
+let run_explain spec seed mapper_name query dot =
+  with_why true @@ fun () ->
+  let g = build_topology spec seed in
+  let mapper = pick_mapper g mapper_name in
+  let net = San_simnet.Network.create g in
+  let r = San_mapper.Berkeley.run net ~mapper in
+  match r.San_mapper.Berkeley.map with
+  | Error e ->
+    Format.printf "mapping failed: %s@." e;
+    1
+  | Ok map -> (
+    (* Computing routes up front records the UP*/DOWN* orientation
+       entries, so link and route explanations can cite them. *)
+    let table = San_routing.Routes.compute map in
+    let snap = San_why.Why.capture () in
+    let replay = San_why.Replay.build snap in
+    match San_why.Explain.parse_query query with
+    | Error e ->
+      Format.eprintf "%s@." e;
+      2
+    | Ok (San_why.Explain.Route (src, dst)) -> (
+      match (Graph.host_by_name map src, Graph.host_by_name map dst) with
+      | None, _ ->
+        Format.printf "%s: no such host in the map@." src;
+        1
+      | _, None ->
+        Format.printf "%s: no such host in the map@." dst;
+        1
+      | Some s, Some d -> (
+        match San_routing.Routes.route table ~src:s ~dst:d with
+        | None ->
+          Format.printf "no route %s -> %s@." src dst;
+          1
+        | Some turns ->
+          let tr = San_simnet.Worm.eval map ~src:s ~turns in
+          let hops = tr.San_simnet.Worm.hops in
+          Format.printf "route %s -> %s: turns [%s], %d hops@." src dst
+            (String.concat ";" (List.map string_of_int turns))
+            (List.length hops);
+          let per_hop = San_why.Explain.route_roots ~map ~snap ~replay ~hops in
+          List.iter
+            (fun (desc, roots) ->
+              Format.printf "%s@." desc;
+              San_why.Explain.pp_roots snap Format.std_formatter roots)
+            per_hop;
+          write_dot_roots snap (List.concat_map snd per_hop) dot;
+          0))
+    | Ok q -> (
+      match San_why.Explain.roots_of ~actual:g ~map ~snap ~replay q with
+      | Error e ->
+        Format.printf "%s@." e;
+        1
+      | Ok (header, roots) ->
+        Format.printf "%s@." header;
+        San_why.Explain.pp_roots snap Format.std_formatter roots;
+        write_dot_roots snap roots dot;
+        0))
+
+let old_spec_arg =
+  let doc = "Topology spec of the $(i,old) run (same grammar as -t)." in
+  Arg.(required & opt (some string) None & info [ "old" ] ~docv:"SPEC" ~doc)
+
+let new_spec_arg =
+  let doc = "Topology spec of the $(i,new) run (same grammar as -t)." in
+  Arg.(required & opt (some string) None & info [ "new" ] ~docv:"SPEC" ~doc)
+
+let run_blame old_spec new_spec seed mapper_name =
+  with_why true @@ fun () ->
+  let run spec =
+    let g = build_topology spec seed in
+    let mapper = pick_mapper g mapper_name in
+    let net = San_simnet.Network.create g in
+    let r = San_mapper.Berkeley.run net ~mapper in
+    match r.San_mapper.Berkeley.map with
+    | Error e -> Error (Printf.sprintf "%s: mapping failed: %s" spec e)
+    | Ok map ->
+      Ok { San_why.Blame.b_map = map; b_snap = San_why.Why.capture () }
+  in
+  match run old_spec with
+  | Error e ->
+    Format.printf "%s@." e;
+    1
+  | Ok old_ -> (
+    match run new_spec with
+    | Error e ->
+      Format.printf "%s@." e;
+      1
+    | Ok new_ -> (
+      match San_why.Blame.run ~old_ ~new_ with
+      | [] ->
+        Format.printf "maps agree: nothing to blame@.";
+        0
+      | attrs ->
+        Format.printf "%d change%s from %s to %s:@." (List.length attrs)
+          (if List.length attrs = 1 then "" else "s")
+          old_spec new_spec;
+        List.iter
+          (fun a -> Format.printf "%a@." San_why.Blame.pp_attribution a)
+          attrs;
+        0))
+
+let flight_file_arg =
+  Arg.(
+    required & pos 0 (some string) None & info [] ~docv:"FLIGHT.jsonl")
+
+let run_postmortem file =
+  match San_why.Postmortem.read file with
+  | Error e ->
+    Format.printf "%s: %s@." file e;
+    1
+  | Ok t ->
+    Format.printf "%a" San_why.Postmortem.pp t;
+    0
+
+(* ------------------------------------------------------------------ *)
 
 let topo_cmd =
   Cmd.v
@@ -727,8 +919,8 @@ let map_cmd =
     (Cmd.info "map" ~doc:"Discover a topology with in-band probes")
     Term.(
       const run_map $ topo_arg $ seed_arg $ mapper_arg $ algo_arg $ model_arg
-      $ depth_arg $ policy_arg $ dot_arg $ json_arg $ trace_arg $ metrics_arg
-      $ chrome_arg $ prom_arg)
+      $ depth_arg $ policy_arg $ dot_arg $ json_arg $ out_dir_arg $ trace_arg
+      $ metrics_arg $ chrome_arg $ prom_arg)
 
 let routes_cmd =
   Cmd.v
@@ -769,8 +961,8 @@ let daemon_cmd =
           fault/repair schedule")
     Term.(
       const run_daemon $ topo_arg $ seed_arg $ epochs_arg $ schedule_arg
-      $ retries_arg $ quiet_arg $ trace_arg $ metrics_arg $ chrome_arg
-      $ prom_arg)
+      $ retries_arg $ quiet_arg $ out_dir_arg $ trace_arg $ metrics_arg
+      $ chrome_arg $ prom_arg)
 
 let health_cmd =
   Cmd.v
@@ -780,8 +972,34 @@ let health_cmd =
           (epoch sparklines, alerts, hottest links)")
     Term.(
       const run_health $ topo_arg $ seed_arg $ epochs_arg $ schedule_arg
-      $ retries_arg $ dot_arg $ trace_arg $ metrics_arg $ chrome_arg
-      $ prom_arg)
+      $ retries_arg $ dot_arg $ out_dir_arg $ trace_arg $ metrics_arg
+      $ chrome_arg $ prom_arg)
+
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Map with the provenance ledger on, then print the minimal \
+          justification tree for a switch, link, or route")
+    Term.(
+      const run_explain $ topo_arg $ seed_arg $ mapper_arg $ why_arg $ dot_arg)
+
+let blame_cmd =
+  Cmd.v
+    (Cmd.info "blame"
+       ~doc:
+         "Map two fabrics and attribute each map difference to the first \
+          probe whose answer explains it")
+    Term.(
+      const run_blame $ old_spec_arg $ new_spec_arg $ seed_arg $ mapper_arg)
+
+let postmortem_cmd =
+  Cmd.v
+    (Cmd.info "postmortem"
+       ~doc:
+         "Reconstruct the epoch story from a daemon flight recording \
+          (flight-*.jsonl)")
+    Term.(const run_postmortem $ flight_file_arg)
 
 let version_cmd =
   Cmd.v
@@ -802,5 +1020,6 @@ let () =
        (Cmd.group info
           [
             topo_cmd; map_cmd; routes_cmd; diff_cmd; verify_cmd; fuzz_cmd;
-            daemon_cmd; health_cmd; version_cmd;
+            daemon_cmd; health_cmd; explain_cmd; blame_cmd; postmortem_cmd;
+            version_cmd;
           ]))

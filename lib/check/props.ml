@@ -323,6 +323,86 @@ let prop_conservation ctx =
          transits st.San_simnet.Event_sim.hops_acquired)
   else Ok ()
 
+(* 7. Provenance: with the ledger on, every entry cites strictly
+   earlier entries (the justification DAG is acyclic by construction,
+   so we check the construction held), probe citations point at probe
+   entries, and every replicate merge resolves to a justification tree
+   with at least one probe that actually ran at its leaves. *)
+let prop_provenance ctx =
+  match ctx.mapper with
+  | None -> Ok ()
+  | Some m ->
+    let module Why = San_why.Why in
+    Why.set_enabled true;
+    let snap =
+      Fun.protect
+        ~finally:(fun () -> Why.set_enabled false)
+        (fun () ->
+          let net =
+            San_simnet.Network.create ~responding:ctx.responding ctx.case.graph
+          in
+          ignore
+            (San_mapper.Berkeley.run
+               ~depth:(San_mapper.Berkeley.Fixed (Lazy.force ctx.depth))
+               net ~mapper:m
+              : San_mapper.Berkeley.result);
+          Why.capture ())
+    in
+    let structural =
+      List.fold_left
+        (fun acc (did, e) ->
+          match (acc, e) with
+          | Error _, _ -> acc
+          | Ok (), Why.Deduced { probes; deps; _ } ->
+            if List.exists (fun p -> p < 0 || p >= did) (probes @ deps) then
+              Error (Printf.sprintf "d%d cites a non-earlier entry" did)
+            else if
+              List.exists
+                (fun p ->
+                  match Why.entry snap p with
+                  | Some (Why.Probe _) -> false
+                  | _ -> true)
+                probes
+            then
+              Error
+                (Printf.sprintf "d%d cites a non-probe as probe evidence" did)
+            else Ok ()
+          | Ok (), _ -> Ok ())
+        (Ok ()) (Why.entries snap)
+    in
+    (match structural with
+    | Error _ as e -> e
+    | Ok () ->
+      let memo = Hashtbl.create 256 in
+      let rec has_probe did =
+        match Hashtbl.find_opt memo did with
+        | Some r -> r
+        | None ->
+          let r =
+            match Why.entry snap did with
+            | Some (Why.Probe _) -> true
+            | Some (Why.Axiom _) | None -> false
+            | Some (Why.Deduced { probes; deps; _ }) ->
+              probes <> [] || List.exists has_probe deps
+          in
+          Hashtbl.add memo did r;
+          r
+      in
+      let bad =
+        List.find_opt
+          (fun (mr : Why.merge_rec) ->
+            mr.Why.m_did < 0 || not (has_probe mr.Why.m_did))
+          (Why.merges snap)
+      in
+      match bad with
+      | None -> Ok ()
+      | Some mr ->
+        Error
+          (Printf.sprintf
+             "merge v%d <- v%d (d%d) has no probe evidence in its \
+              justification tree"
+             mr.Why.kept mr.Why.absorbed mr.Why.m_did))
+
 (* ------------------------------------------------------------------ *)
 
 let all =
@@ -333,6 +413,7 @@ let all =
     ("incremental", prop_incremental);
     ("delta", prop_delta);
     ("conservation", prop_conservation);
+    ("provenance", prop_provenance);
   ]
 
 let names = List.map fst all

@@ -1,5 +1,11 @@
 open San_topology
 open San_simnet
+module Why = San_why.Why
+
+let resp_string = function
+  | Network.Host name -> "host " ^ name
+  | Network.Switch -> "switch"
+  | Network.Nothing -> "silence"
 
 type policy = {
   skip_explored : bool;
@@ -97,6 +103,10 @@ let explore_service ~policy ~depth_used ~record_trace sv model seeds =
     let probe = Model.probe_string model v @ [ turn ] in
     let try_host () =
       let resp = with_retries (fun () -> sv.sv_host_probe ~turns:probe) in
+      if Why.on () then
+        ignore
+          (Why.record_probe ~kind:Why.Host_probe ~turns:probe
+             ~resp:(resp_string resp));
       match resp with
       | Network.Host name ->
         ignore (Model.add_host_vertex model ~parent:v ~turn ~probe ~name);
@@ -105,6 +115,10 @@ let explore_service ~policy ~depth_used ~record_trace sv model seeds =
     in
     let try_switch () =
       let resp = with_retries (fun () -> sv.sv_switch_probe ~turns:probe) in
+      if Why.on () then
+        ignore
+          (Why.record_probe ~kind:Why.Switch_probe ~turns:probe
+             ~resp:(resp_string resp));
       match resp with
       | Network.Switch ->
         let child = Model.add_switch_vertex model ~parent:v ~turn ~probe in
@@ -174,8 +188,27 @@ let explore_service ~policy ~depth_used ~record_trace sv model seeds =
      switch), on an unwired cable it dies (retract the assumption). *)
   let root = Model.root_switch model in
   if Model.is_live model root && Model.degree model root <= 1 then begin
-    match with_retries (fun () -> sv.sv_host_probe ~turns:[ 0 ]) with
-    | Network.Host _ -> ()
+    let resp = with_retries (fun () -> sv.sv_host_probe ~turns:[ 0 ]) in
+    if Why.on () then
+      ignore
+        (Why.record_probe ~kind:Why.Host_probe ~turns:[ 0 ]
+           ~resp:(resp_string resp));
+    match resp with
+    | Network.Host _ ->
+      if Why.on () then begin
+        let did =
+          Why.deduce ~rule:"root_confirmed"
+            ~fact:
+              (lazy
+                (Printf.sprintf
+                   "assumed root switch v%d confirmed: the turn-0 \
+                    self-probe bounced back off it"
+                   root))
+            ~probes:(Option.to_list (Why.last_probe ()))
+            ()
+        in
+        Why.note_root_confirmation ~vid:root ~did
+      end
     | Network.Switch | Network.Nothing -> Model.kill_root_switch model
   end;
   (!explorations, !elapsed, List.rev !trace)

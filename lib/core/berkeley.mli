@@ -33,6 +33,10 @@ type policy = {
           standard defence once cross-traffic can eat probes (§6) *)
 }
 
+val resp_string : San_simnet.Network.response -> string
+(** Canonical rendering of a probe response for the provenance ledger
+    (["host h3"], ["switch"], ["silence"]). *)
+
 val faithful : policy
 (** The paper's production configuration: skip explored classes and
     known slots, prune provably illegal turns, send the switch-probe

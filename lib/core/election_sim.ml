@@ -4,6 +4,7 @@ open Effect
 open Effect.Deep
 
 type defer = { loser : Graph.node; at_ns : float; silenced_by : Graph.node }
+type outcome = Completed | Stuck of { at_ns : float; pending : int }
 
 type result = {
   winner : Graph.node;
@@ -13,6 +14,7 @@ type result = {
   total_probes : int;
   defers : defer list;
   contenders : int;
+  outcome : outcome;
 }
 
 type probe_kind = PHost | PSwitch
@@ -241,7 +243,8 @@ let run ?(policy = Berkeley.faithful) ?(depth = Berkeley.Oracle)
   in
   (* Co-simulation: always take the earliest of (fiber start, hardware
      event, probe deadline). *)
-  while not (finished !winner_idx) do
+  let stuck = ref None in
+  while !stuck = None && not (finished !winner_idx) do
     let next_start =
       Array.fold_left
         (fun acc m ->
@@ -287,16 +290,44 @@ let run ?(policy = Berkeley.faithful) ?(depth = Berkeley.Oracle)
         match mappers.(idx).m_state with
         | Blocked p -> resolve p Network.Nothing miss_cost
         | _ -> assert false)
-      | None -> failwith "Election_sim: stuck with no runnable work"
+      | None ->
+        (* Nothing can run: no fiber to start, no hardware event, no
+           probe deadline, yet the winner has not finished. This is a
+           scheduler invariant violation; record it instead of dying,
+           so the flight recording explains what was in flight. *)
+        let at_ns = Event_sim.now_ns sim in
+        let pending =
+          Array.fold_left
+            (fun acc m ->
+              match m.m_state with Finished _ -> acc | _ -> acc + 1)
+            0 mappers
+        in
+        San_obs.Obs.emit (San_obs.Trace.Mapper_stuck { at_ns; pending });
+        San_why.Flight.fatal
+          ~note:
+            (Printf.sprintf
+               "election co-simulation stuck at %.0f ns with %d mappers \
+                pending"
+               at_ns pending);
+        stuck := Some (Stuck { at_ns; pending })
     end
   done;
   let w = mappers.(!winner_idx) in
   {
     winner = w.m_host;
-    map = (match w.m_state with Finished m -> m | _ -> assert false);
+    map =
+      (match (w.m_state, !stuck) with
+      | Finished m, _ -> m
+      | _, Some (Stuck { at_ns; pending }) ->
+        Error
+          (Printf.sprintf
+             "election co-simulation stuck at %.0f ns with %d mappers pending"
+             at_ns pending)
+      | _ -> assert false);
     finished_at_ns = w.m_clock;
     winner_probes = w.m_probes;
     total_probes = !total_probes;
     defers = List.rev !defers;
     contenders = Array.length mappers;
+    outcome = Option.value !stuck ~default:Completed;
   }

@@ -21,6 +21,16 @@ open San_topology
 
 type defer = { loser : Graph.node; at_ns : float; silenced_by : Graph.node }
 
+type outcome =
+  | Completed
+  | Stuck of { at_ns : float; pending : int }
+      (** the co-simulation found no runnable work — no fiber to start,
+          no hardware event, no probe deadline — with mappers still
+          unfinished. A scheduler invariant violation: reported as data
+          (plus a {!San_obs.Trace.Mapper_stuck} event and a flight
+          recording via {!San_why.Flight.fatal}) rather than an
+          exception, so the run's evidence survives for post-mortem. *)
+
 type result = {
   winner : Graph.node;
   map : (Graph.t, string) Stdlib.result;  (** the winner's map *)
@@ -31,6 +41,8 @@ type result = {
   total_probes : int;  (** across all contenders, including losers *)
   defers : defer list;  (** chronological *)
   contenders : int;
+  outcome : outcome;
+      (** [Completed] normally; on [Stuck], [map] is an [Error]. *)
 }
 
 val run :

@@ -101,6 +101,10 @@ let run ?(depth = Berkeley.Oracle) net ~mapper =
         (fun turn ->
           let probe = v.probe @ [ turn ] in
           let sresp, _ = Network.switch_probe net ~src:mapper ~turns:probe in
+          if San_why.Why.on () then
+            ignore
+              (San_why.Why.record_probe ~kind:San_why.Why.Switch_probe
+                 ~turns:probe ~resp:(Berkeley.resp_string sresp));
           match sresp with
           | Network.Switch ->
             let child = mk `Switch probe (fresh_label ()) in
@@ -108,6 +112,10 @@ let run ?(depth = Berkeley.Oracle) net ~mapper =
             Queue.add child frontier
           | Network.Host _ | Network.Nothing -> (
             let hresp, _ = Network.host_probe net ~src:mapper ~turns:probe in
+            if San_why.Why.on () then
+              ignore
+                (San_why.Why.record_probe ~kind:San_why.Why.Host_probe
+                   ~turns:probe ~resp:(Berkeley.resp_string hresp));
             match hresp with
             | Network.Host name ->
               let child = mk (`Host name) probe (label_of_host name) in
@@ -175,6 +183,15 @@ let run ?(depth = Berkeley.Oracle) net ~mapper =
     in
     match deduce () with
     | Some (n1, j, n2, k) ->
+      if San_why.Why.on () then
+        ignore
+          (San_why.Why.deduce ~rule:"label_merge"
+             ~fact:
+               (lazy (Printf.sprintf
+                  "label %d = label %d (shift %d): equal-labelled parents \
+                   disagree at a shared slot"
+                  n1.label n2.label (j - k)))
+             ());
       merge_labels n1 j n2 k;
       stabilised := false
     | None -> ()

@@ -1,4 +1,5 @@
 open San_topology
+module Why = San_why.Why
 
 exception Inconsistent of string
 
@@ -134,8 +135,9 @@ let add_edge t (va, ia) (vb, ib) =
   if List.length (live_slot_edges lb) > 1 then Queue.add vb t.mergelist
 
 (* Merge canonical [absorb] into canonical [keep]; [shift] converts
-   absorb-frame slots into keep-frame slots. *)
-let do_merge t ~keep ~absorb ~shift =
+   absorb-frame slots into keep-frame slots. [why], when provenance is
+   on, produces the ledger entry justifying the identification. *)
+let do_merge ?why t ~keep ~absorb ~shift =
   if keep = absorb then begin
     if shift <> 0 then
       fail "vertex %d deduced equal to itself at shift %d" keep shift
@@ -186,6 +188,18 @@ let do_merge t ~keep ~absorb ~shift =
     xa.parent <- keep;
     xa.pshift <- shift;
     t.n_verts_live <- t.n_verts_live - 1;
+    if Why.on () then begin
+      let did =
+        match why with
+        | Some f -> f ()
+        | None ->
+          Why.deduce ~rule:"merge"
+            ~fact:
+              (lazy (Printf.sprintf "v%d = v%d (shift %d)" keep absorb shift))
+            ()
+      in
+      Why.note_merge ~kept:keep ~absorbed:absorb ~shift ~did
+    end;
     if San_obs.Obs.on () then begin
       San_obs.Obs.count "mapper.merges";
       San_obs.Obs.emit
@@ -197,7 +211,8 @@ let do_merge t ~keep ~absorb ~shift =
 let kill_edge t e =
   if not e.e_dead then begin
     e.e_dead <- true;
-    t.n_edges_live <- t.n_edges_live - 1
+    t.n_edges_live <- t.n_edges_live - 1;
+    Why.note_edge_dead ~eid:e.eid
   end
 
 let endpoints_key e =
@@ -245,7 +260,23 @@ let process_vertex t c =
         let w1, j1 = other e1 and w2, j2 = other e2 in
         (* An actual port has a single cable: the two far ends are
            replicates, aligned so that slot j2 becomes slot j1. *)
-        do_merge t ~keep:w1 ~absorb:w2 ~shift:(j1 - j2);
+        let why =
+          if Why.on () then
+            Some
+              (fun () ->
+                Why.deduce ~rule:"d1_slot_conflict"
+                  ~fact:
+                    (lazy (Printf.sprintf
+                       "v%d = v%d (shift %d): slot (%d,%d) carries both cables"
+                       w1 w2 (j1 - j2) c i))
+                  ~deps:
+                    (List.filter_map
+                       (fun e -> Why.edge_did ~eid:e.eid)
+                       [ e1; e2 ])
+                  ())
+          else None
+        in
+        do_merge ?why t ~keep:w1 ~absorb:w2 ~shift:(j1 - j2);
         fired := true
       | [ _ ] | [] -> ());
       if not !fired then loop rest
@@ -286,12 +317,49 @@ let create ~mapper_name ~radix =
   (* The mapper's single cable necessarily leads to a switch; the
      probe enters that switch at its frame's slot 0. *)
   add_edge t (s, 0) (h, 0);
+  if Why.on () then begin
+    Why.reset ();
+    let dh =
+      Why.record_axiom
+        ~fact:
+          (lazy (Printf.sprintf "v%d is the mapper host %s itself" h mapper_name))
+    in
+    Why.note_vertex ~vid:h ~kind:(`Host mapper_name) ~did:dh;
+    let ds =
+      Why.record_axiom
+        ~fact:
+          (lazy (Printf.sprintf
+             "v%d: a switch assumed behind the mapper's single cable" s))
+    in
+    Why.note_vertex ~vid:s ~kind:`Switch ~did:ds;
+    let de =
+      Why.record_axiom
+        ~fact:
+          (lazy (Printf.sprintf "cable %s.0 -- v%d slot 0 (the mapper's own cable)"
+             mapper_name s))
+    in
+    Why.note_edge ~eid:0 ~a:s ~sa:0 ~b:h ~sb:0 ~did:de
+  end;
   t
 
 let add_switch_vertex t ~parent ~turn ~probe =
   let p, s = find t parent in
   let child = alloc t Vswitch probe in
   add_edge t (p, turn + s) (child, 0);
+  if Why.on () then begin
+    let did =
+      Why.deduce ~rule:"switch_reached"
+        ~fact:
+          (lazy (Printf.sprintf "a switch (v%d) answers behind turn %d of v%d" child
+             turn p))
+        ~probes:(Option.to_list (Why.last_probe ()))
+        ()
+    in
+    Why.note_vertex ~vid:child ~kind:`Switch ~did;
+    Why.note_edge
+      ~eid:(t.n_edges_created - 1)
+      ~a:p ~sa:(turn + s) ~b:child ~sb:0 ~did
+  end;
   run_merge_loop t;
   child
 
@@ -299,12 +367,40 @@ let add_host_vertex t ~parent ~turn ~probe ~name =
   let p, s = find t parent in
   let child = alloc t (Vhost name) probe in
   add_edge t (p, turn + s) (child, 0);
+  if Why.on () then begin
+    let did =
+      Why.deduce ~rule:"host_reached"
+        ~fact:
+          (lazy (Printf.sprintf "host %s (v%d) answers behind turn %d of v%d" name
+             child turn p))
+        ~probes:(Option.to_list (Why.last_probe ()))
+        ()
+    in
+    Why.note_vertex ~vid:child ~kind:(`Host name) ~did;
+    Why.note_edge
+      ~eid:(t.n_edges_created - 1)
+      ~a:p ~sa:(turn + s) ~b:child ~sb:0 ~did
+  end;
   (match Hashtbl.find_opt t.host_names name with
   | None -> Hashtbl.replace t.host_names name child
   | Some old ->
     let oc, _ = find t old in
     let cc, _ = find t child in
-    if oc <> cc then do_merge t ~keep:oc ~absorb:cc ~shift:0);
+    if oc <> cc then begin
+      let why =
+        if Why.on () then
+          Some
+            (fun () ->
+              Why.deduce ~rule:"d2_same_host"
+                ~fact:
+                  (lazy (Printf.sprintf "v%d = v%d: both are host %s" oc cc name))
+                ~deps:
+                  (List.filter_map (fun v -> Why.birth_of ~vid:v) [ old; child ])
+                ())
+        else None
+      in
+      do_merge ?why t ~keep:oc ~absorb:cc ~shift:0
+    end);
   run_merge_loop t;
   child
 
@@ -365,7 +461,20 @@ let kill_root_switch t =
   if not xc.dead then begin
     List.iter (kill_edge t) (incident_edges t c);
     xc.dead <- true;
-    t.n_verts_live <- t.n_verts_live - 1
+    t.n_verts_live <- t.n_verts_live - 1;
+    if Why.on () then begin
+      let did =
+        Why.deduce ~rule:"root_retraction"
+          ~fact:
+            (lazy (Printf.sprintf
+               "assumed root switch v%d retracted: the turn-0 self-probe \
+                found no switch on the mapper's cable" c))
+          ~probes:(Option.to_list (Why.last_probe ()))
+          ()
+      in
+      Why.note_prune ~vid:c ~did;
+      Why.note_root_retraction ~did
+    end
   end
 
 (* PRUNE removes Theorem 1's F: every region that one switch-switch
@@ -403,14 +512,15 @@ let prune t =
         && match (vertex t v).v_kind with Vhost _ -> false | Vswitch -> true)
       seen true
   in
-  let kill_side seen =
+  let kill_side ~did seen =
     Hashtbl.iter
       (fun v () ->
         let xv = vertex t v in
         if not xv.dead then begin
           List.iter (kill_edge t) (incident_edges t v);
           xv.dead <- true;
-          t.n_verts_live <- t.n_verts_live - 1
+          t.n_verts_live <- t.n_verts_live - 1;
+          Why.note_prune ~vid:v ~did
         end)
       seen
   in
@@ -426,7 +536,26 @@ let prune t =
         if a <> b then begin
           let try_side start =
             let seen = bfs ~avoid:e.eid start in
-            if hostless seen then kill_side seen
+            if hostless seen then begin
+              let did =
+                if Why.on () then
+                  let vids =
+                    List.sort compare
+                      (Hashtbl.fold (fun v () acc -> v :: acc) seen [])
+                  in
+                  Why.deduce ~rule:"prune"
+                    ~fact:
+                      (lazy (Printf.sprintf
+                         "region {%s} hangs off one switch-switch cable with \
+                          no host inside: separated from N-F (Theorem 1)"
+                         (String.concat ","
+                            (List.map (Printf.sprintf "v%d") vids))))
+                    ~deps:(Option.to_list (Why.edge_did ~eid:e.eid))
+                    ()
+                else -1
+              in
+              kill_side ~did seen
+            end
           in
           try_side a;
           if not e.e_dead then try_side b

@@ -15,6 +15,11 @@ type event =
   | Daemon_transition of { epoch : int; from_ : string; to_ : string }
   | Alert_raised of { name : string; epoch : int }
   | Alert_cleared of { name : string; epoch : int }
+  | Deduction of { did : int; rule : string; fact : string }
+  | Daemon_epoch of
+      { epoch : int; verdict : string; leader : string; covered : int;
+        total : int }
+  | Mapper_stuck of { at_ns : float; pending : int }
   | Span_begin of { name : string }
   | Span_end of { name : string; elapsed_ns : float }
   | Mark of { name : string; note : string }
@@ -46,7 +51,14 @@ let all_events =
     | Some (Daemon_transition _) ->
       Some (Alert_raised { name = "coverage"; epoch = 4 })
     | Some (Alert_raised _) -> Some (Alert_cleared { name = "coverage"; epoch = 5 })
-    | Some (Alert_cleared _) -> Some (Span_begin { name = "map" })
+    | Some (Alert_cleared _) ->
+      Some (Deduction { did = 6; rule = "d1_slot_conflict"; fact = "merge 4<-2" })
+    | Some (Deduction _) ->
+      Some
+        (Daemon_epoch
+           { epoch = 2; verdict = "verified"; leader = "h9"; covered = 9; total = 9 })
+    | Some (Daemon_epoch _) -> Some (Mapper_stuck { at_ns = 7.0; pending = 2 })
+    | Some (Mapper_stuck _) -> Some (Span_begin { name = "map" })
     | Some (Span_begin _) -> Some (Span_end { name = "map"; elapsed_ns = 42.0 })
     | Some (Span_end _) -> Some (Mark { name = "note"; note = "hello" })
     | Some (Mark _) -> None
@@ -83,6 +95,7 @@ let clear t =
 
 let add_sink t sink = t.sinks <- t.sinks @ [ sink ]
 let clear_sinks t = t.sinks <- []
+let has_sinks t = t.sinks <> []
 
 let emit t event =
   let r = { seq = t.next; wall_ns = Unix.gettimeofday () *. 1e9; event } in
@@ -181,6 +194,28 @@ let event_to_json event =
       [ ("ev", J.Str "alert_raised"); ("name", J.Str name); ("epoch", J.int epoch) ]
     | Alert_cleared { name; epoch } ->
       [ ("ev", J.Str "alert_cleared"); ("name", J.Str name); ("epoch", J.int epoch) ]
+    | Deduction { did; rule; fact } ->
+      [
+        ("ev", J.Str "deduction");
+        ("did", J.int did);
+        ("rule", J.Str rule);
+        ("fact", J.Str fact);
+      ]
+    | Daemon_epoch { epoch; verdict; leader; covered; total } ->
+      [
+        ("ev", J.Str "daemon_epoch");
+        ("epoch", J.int epoch);
+        ("verdict", J.Str verdict);
+        ("leader", J.Str leader);
+        ("covered", J.int covered);
+        ("total", J.int total);
+      ]
+    | Mapper_stuck { at_ns; pending } ->
+      [
+        ("ev", J.Str "mapper_stuck");
+        ("at_ns", J.Num at_ns);
+        ("pending", J.int pending);
+      ]
     | Span_begin { name } -> [ ("ev", J.Str "span_begin"); ("name", J.Str name) ]
     | Span_end { name; elapsed_ns } ->
       [
@@ -259,6 +294,21 @@ let event_of_json j =
     match (str "name", int "epoch") with
     | Some name, Some epoch -> Some (Alert_cleared { name; epoch })
     | _ -> None)
+  | Some "deduction" -> (
+    match (int "did", str "rule", str "fact") with
+    | Some did, Some rule, Some fact -> Some (Deduction { did; rule; fact })
+    | _ -> None)
+  | Some "daemon_epoch" -> (
+    match
+      (int "epoch", str "verdict", str "leader", int "covered", int "total")
+    with
+    | Some epoch, Some verdict, Some leader, Some covered, Some total ->
+      Some (Daemon_epoch { epoch; verdict; leader; covered; total })
+    | _ -> None)
+  | Some "mapper_stuck" -> (
+    match (num "at_ns", int "pending") with
+    | Some at_ns, Some pending -> Some (Mapper_stuck { at_ns; pending })
+    | _ -> None)
   | Some "span_begin" ->
     Option.map (fun name -> Span_begin { name }) (str "name")
   | Some "span_end" -> (
@@ -312,6 +362,14 @@ let pp_event ppf = function
     Format.fprintf ppf "ALERT %s raised at epoch %d" name epoch
   | Alert_cleared { name; epoch } ->
     Format.fprintf ppf "alert %s cleared at epoch %d" name epoch
+  | Deduction { did; rule; fact } ->
+    Format.fprintf ppf "deduction d%d [%s] %s" did rule fact
+  | Daemon_epoch { epoch; verdict; leader; covered; total } ->
+    Format.fprintf ppf "epoch %d closed: %s under %s, coverage %d/%d" epoch
+      verdict leader covered total
+  | Mapper_stuck { at_ns; pending } ->
+    Format.fprintf ppf "election stuck at %.0f ns (%d mappers pending)" at_ns
+      pending
   | Span_begin { name } -> Format.fprintf ppf "span %s begin" name
   | Span_end { name; elapsed_ns } ->
     Format.fprintf ppf "span %s end (%.0f ns)" name elapsed_ns

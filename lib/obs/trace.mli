@@ -22,6 +22,14 @@ type event =
   | Alert_raised of { name : string; epoch : int }
       (** a health rule breached its threshold for long enough *)
   | Alert_cleared of { name : string; epoch : int }
+  | Deduction of { did : int; rule : string; fact : string }
+      (** a provenance-ledger entry (San_why) was recorded *)
+  | Daemon_epoch of
+      { epoch : int; verdict : string; leader : string; covered : int;
+        total : int }
+      (** one closed control-plane epoch, as the daemon scored it *)
+  | Mapper_stuck of { at_ns : float; pending : int }
+      (** the election co-simulation found no runnable work *)
   | Span_begin of { name : string }
   | Span_end of { name : string; elapsed_ns : float }
   | Mark of { name : string; note : string }
@@ -55,6 +63,10 @@ val clear : t -> unit
 
 val add_sink : t -> sink -> unit
 val clear_sinks : t -> unit
+
+val has_sinks : t -> bool
+(** High-rate emitters (the provenance ledger) use this to skip
+    formatting events nobody is streaming. *)
 
 val jsonl_sink : out_channel -> sink
 (** One compact JSON object per line, [record_to_json] encoding. *)

@@ -76,7 +76,40 @@ let build ?root ?(ignore_hosts = []) ?(labeling = Bfs) g =
       in
       labels.(s) <- m - 1)
     dominant;
-  { t with ud_relabeled = dominant }
+  let t = { t with ud_relabeled = dominant } in
+  if San_why.Why.on () then begin
+    let root_did =
+      San_why.Why.deduce ~rule:"updown_root"
+        ~fact:
+          (lazy (Printf.sprintf "up*/down* root: %s (%s labeling%s)"
+             (Graph.name g root)
+             (match labeling with Bfs -> "BFS" | Dfs -> "DFS")
+             (match dominant with
+             | [] -> ""
+             | l ->
+               Printf.sprintf ", %d dominant switch%s relabeled"
+                 (List.length l)
+                 (if List.length l = 1 then "" else "es"))))
+        ()
+    in
+    List.iter
+      (fun ((a, pa), (b, pb)) ->
+        let from_, to_ =
+          if is_up t a b then ((a, pa), (b, pb)) else ((b, pb), (a, pa))
+        in
+        let key = San_why.Explain.orientation_key g ~from_ ~to_ in
+        let did =
+          San_why.Why.deduce ~rule:"updown_orient"
+            ~fact:
+              (lazy (Printf.sprintf "%s is UP (order %d vs %d from the root)" key
+                 t.labels.(fst from_)
+                 t.labels.(fst to_)))
+            ~deps:[ root_did ] ()
+        in
+        San_why.Why.note_orientation ~key ~did)
+      (Graph.wires g)
+  end;
+  t
 
 let legal_turn t a b c =
   (* Arrived at b from a; continuing to c must not turn down->up. *)

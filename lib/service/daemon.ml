@@ -14,6 +14,13 @@ let phase_to_string = function
 
 type verdict = Cold_start | Verified | Changed of int | Backing_off | Halted
 
+let verdict_to_string = function
+  | Cold_start -> "cold-start"
+  | Verified -> "verified"
+  | Changed d -> Printf.sprintf "changed(%d)" d
+  | Backing_off -> "backing-off"
+  | Halted -> "halted"
+
 type incident = {
   detected_epoch : int;
   resolved_epoch : int;
@@ -59,6 +66,7 @@ type config = {
   params : Params.t;
   policy : Berkeley.policy;
   seed : int;
+  flight_dir : string option;
 }
 
 let default_config =
@@ -69,6 +77,7 @@ let default_config =
     params = Params.default;
     policy = Berkeley.faithful;
     seed = 1;
+    flight_dir = None;
   }
 
 (* The daemon's whole memory between epochs. *)
@@ -113,6 +122,23 @@ let run ?(config = default_config) ?(schedule = Schedule.empty)
     let total_probes = ref 0 in
     let delta_bytes = ref 0 in
     let full_bytes = ref 0 in
+    (* Flight recorder plumbing: a bounded recording on every
+       transition into Degraded, one more at end of run, and the
+       process-wide fatal hook pointed at the same directory. *)
+    let flight ~name ~note ?epoch () =
+      match config.flight_dir with
+      | None -> ()
+      | Some dir ->
+        (try
+           if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+         with Unix.Unix_error _ | Sys_error _ -> ());
+        ignore
+          (San_why.Flight.write ~path:(Filename.concat dir name) ~note ?epoch
+             ())
+    in
+    if config.flight_dir <> None then
+      San_why.Flight.install_fatal (fun ~note ->
+          flight ~name:"flight-fatal.jsonl" ~note ());
     for e = 0 to epochs - 1 do
       let phases = ref [] in
       let goto p =
@@ -124,6 +150,13 @@ let run ?(config = default_config) ?(schedule = Schedule.empty)
                  from_ = phase_to_string st.phase;
                  to_ = phase_to_string p;
                });
+          if p = Degraded then
+            flight
+              ~name:(Printf.sprintf "flight-%d.jsonl" e)
+              ~note:
+                (Printf.sprintf "entered degraded from %s"
+                   (phase_to_string st.phase))
+              ~epoch:e ();
           st.phase <- p
         end;
         phases := p :: !phases
@@ -374,9 +407,24 @@ let run ?(config = default_config) ?(schedule = Schedule.empty)
           alerts_cleared;
         }
       in
+      San_obs.Obs.emit
+        (San_obs.Trace.Daemon_epoch
+           {
+             epoch = e;
+             verdict = verdict_to_string !verdict;
+             leader = Option.value ~default:"(none)" st.leader;
+             covered = hosts_covered;
+             total = hosts_total;
+           });
       on_epoch report;
       reports := report :: !reports
     done;
+    flight ~name:"flight-final.jsonl"
+      ~note:
+        (Printf.sprintf "end of run after %d epochs, final phase %s" epochs
+           (phase_to_string st.phase))
+      ~epoch:(epochs - 1) ();
+    if config.flight_dir <> None then San_why.Flight.clear_fatal ();
     Ok
       {
         reports = List.rev !reports;

@@ -43,6 +43,8 @@ type verdict =
   | Backing_off  (** degraded, waiting out the backoff window *)
   | Halted  (** no responding host to lead this epoch *)
 
+val verdict_to_string : verdict -> string
+
 type incident = {
   detected_epoch : int;
   resolved_epoch : int;
@@ -95,11 +97,17 @@ type config = {
   params : San_simnet.Params.t;
   policy : San_mapper.Berkeley.policy;
   seed : int;  (** drives the schedule's random choices *)
+  flight_dir : string option;
+      (** when set, a bounded flight recording ([flight-<epoch>.jsonl]:
+          the trace ring plus the provenance ledger tail) is written to
+          this directory on every transition into [Degraded], at end of
+          run ([flight-final.jsonl]), and on fatal errors via the
+          {!San_why.Flight} hook ([flight-fatal.jsonl]) *)
 }
 
 val default_config : config
 (** 2 retries, backoff 1 doubling to 8 epochs, default simulation
-    parameters, the faithful probe policy, seed 1. *)
+    parameters, the faithful probe policy, seed 1, no flight dir. *)
 
 val run :
   ?config:config ->

@@ -84,7 +84,8 @@ let of_records records =
     | Trace.Replicate_merged _ | Trace.Route_computed _
     | Trace.Routes_distributed _ | Trace.Epoch_started _
     | Trace.Daemon_transition _ | Trace.Alert_raised _
-    | Trace.Alert_cleared _ | Trace.Mark _ ->
+    | Trace.Alert_cleared _ | Trace.Deduction _ | Trace.Daemon_epoch _
+    | Trace.Mapper_stuck _ | Trace.Mark _ ->
       (* Control-plane happenings as instants carrying their full JSON
          encoding, so Perfetto's args pane shows every field. *)
       let name = Format.asprintf "%a" Trace.pp_event r.Trace.event in

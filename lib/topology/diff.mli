@@ -22,6 +22,16 @@ type change =
 
 val pp_change : Format.formatter -> change -> unit
 
+val correspond :
+  old_map:Graph.t ->
+  new_map:Graph.t ->
+  (Graph.node * int) option array * (Graph.node, Graph.node) Hashtbl.t
+(** The evidence-ordered alignment {!diff} is built on, for tooling
+    that needs the node mapping itself (e.g. provenance blame): for
+    each old node, its new counterpart and the per-node port shift;
+    plus the reverse binding. Anchored at shared host names, grown
+    across wires whose endpoint kinds agree, first binding wins. *)
+
 val diff : old_map:Graph.t -> new_map:Graph.t -> change list
 (** Structural changes from [old_map] to [new_map]. Switches reachable
     through unchanged wiring are identified across the two maps;

@@ -322,6 +322,22 @@ let pendant_branch () =
   wire g t0 t1;
   g
 
+(* The two degenerate single-interface fabrics of the turn-0
+   self-probe ambiguity (fuzz-campaign bug 3): an exploration that
+   confirms nothing behind the mapper's cable looks identical in both
+   until the self-probe either bounces off the stub switch or dies on
+   the unwired cable. *)
+let lone_host () =
+  let g = Graph.create () in
+  ignore (Graph.add_host g ~name:"h0");
+  g
+
+let stub_switch () =
+  let g = Graph.create () in
+  let s = Graph.add_switch g ~name:"s0" () in
+  ignore (attach_host g s ~name:"h0");
+  g
+
 let random_connected ~rng ~switches ~hosts ~extra_links ?radix () =
   if switches < 1 then invalid_arg "Generators.random_connected: need a switch";
   if hosts < 2 then invalid_arg "Generators.random_connected: need two hosts";

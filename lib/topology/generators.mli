@@ -96,6 +96,14 @@ val pendant_branch : unit -> Graph.t
 (** A network with a non-empty [F]: a hostless switch tail hanging off
     a switch-bridge. Used to test the [N - F] theorem statement. *)
 
+val lone_host : unit -> Graph.t
+(** A single host whose cable is unwired: the mapper's assumed root
+    switch must be retracted (the turn-0 self-probe dies). *)
+
+val stub_switch : unit -> Graph.t
+(** A single host behind a single otherwise-empty switch: the turn-0
+    self-probe bounces back, confirming the assumed root is real. *)
+
 val random_connected :
   rng:San_util.Prng.t ->
   switches:int ->

@@ -1,0 +1,202 @@
+open San_topology
+
+type side = { b_map : Graph.t; b_snap : Why.snapshot }
+
+type attribution = {
+  a_change : string;
+  a_probe_did : int option;
+  a_note : string;
+}
+
+let turns_to_string turns =
+  Printf.sprintf "[%s]" (String.concat ";" (List.map string_of_int turns))
+
+let probe_entries snap roots =
+  List.sort_uniq compare
+    (List.filter
+       (fun (_, e) -> match e with Why.Probe _ -> true | _ -> false)
+       (List.concat_map (Explain.leaves snap) roots))
+
+(* The first probe among [roots]'s leaves whose counterpart in the
+   [other] run is missing or answered differently; falling back to the
+   first probe leaf when every probe agrees. *)
+let attribute ~snap ~other roots =
+  let probes = probe_entries snap roots in
+  let differing =
+    List.filter_map
+      (fun (did, e) ->
+        match e with
+        | Why.Probe { kind; turns; resp } -> (
+          let kind_s =
+            match kind with
+            | Why.Host_probe -> "host-probe"
+            | Why.Switch_probe -> "switch-probe"
+          in
+          match Why.probe_by_turns other ~kind ~turns with
+          | None ->
+            Some
+              ( did,
+                Printf.sprintf
+                  "%s %s answered %s (d%d); never sent in the other run"
+                  kind_s (turns_to_string turns) resp did )
+          | Some odid -> (
+            match Why.entry other odid with
+            | Some (Why.Probe { resp = oresp; _ }) when oresp <> resp ->
+              Some
+                ( did,
+                  Printf.sprintf
+                    "%s %s answered %s (d%d) vs %s in the other run (d%d)"
+                    kind_s (turns_to_string turns) resp did oresp odid )
+            | _ -> None))
+        | _ -> None)
+      probes
+  in
+  match (differing, probes) with
+  | (did, note) :: _, _ -> (Some did, note)
+  | [], (did, Why.Probe { kind; turns; resp }) :: _ ->
+    ( Some did,
+      Printf.sprintf
+        "%s %s answered %s (d%d) in both runs; the change came from \
+         surrounding evidence"
+        (match kind with
+        | Why.Host_probe -> "host-probe"
+        | Why.Switch_probe -> "switch-probe")
+        (turns_to_string turns) resp did )
+  | [], _ -> (None, "no probe evidence recorded")
+
+let end_name g (n, p) =
+  if Graph.is_host g n then (Graph.name g n, 0)
+  else (Graph.name g n, p)
+
+let switch_roots side replay node =
+  match Replay.vid_of_map_switch (Graph.name side.b_map node) with
+  | None -> []
+  | Some vid ->
+    let vid = fst (Replay.find replay vid) in
+    Explain.roots_for_switch side.b_snap replay ~vid
+
+let host_roots side replay name =
+  match Explain.host_vid side.b_snap replay ~name with
+  | None -> []
+  | Some vid ->
+    List.filter_map
+      (fun v -> Why.vertex_birth side.b_snap ~vid:v)
+      (Replay.members replay vid)
+
+let link_roots side replay (na, pa) (nb, pb) =
+  let a = end_name side.b_map (na, pa) and b = end_name side.b_map (nb, pb) in
+  match
+    Explain.roots_of ~map:side.b_map ~snap:side.b_snap ~replay
+      (Explain.Link (a, b))
+  with
+  | Ok (_, roots) -> roots
+  | Error _ -> []
+
+let describe_end g (n, p) =
+  if Graph.is_host g n then Graph.name g n
+  else Printf.sprintf "%s.%d" (Graph.name g n) p
+
+let run ~old_ ~new_ =
+  let old_replay = Replay.build old_.b_snap in
+  let new_replay = Replay.build new_.b_snap in
+  let acc = ref [] in
+  let add ~change ~side ~other roots =
+    let did, note = attribute ~snap:side.b_snap ~other:other.b_snap roots in
+    acc := { a_change = change; a_probe_did = did; a_note = note } :: !acc
+  in
+  (* Hosts, by name. *)
+  let host_names g = List.map (Graph.name g) (Graph.hosts g) in
+  let old_hosts = host_names old_.b_map and new_hosts = host_names new_.b_map in
+  List.iter
+    (fun n ->
+      if not (List.mem n new_hosts) then
+        add ~change:(Printf.sprintf "host %s vanished" n) ~side:old_ ~other:new_
+          (host_roots old_ old_replay n))
+    old_hosts;
+  List.iter
+    (fun n ->
+      if not (List.mem n old_hosts) then
+        add ~change:(Printf.sprintf "host %s appeared" n) ~side:new_ ~other:old_
+          (host_roots new_ new_replay n))
+    new_hosts;
+  (* Switches, through the evidence-anchored correspondence. *)
+  let fwd, bwd = Diff.correspond ~old_map:old_.b_map ~new_map:new_.b_map in
+  List.iter
+    (fun s ->
+      if fwd.(s) = None then
+        add
+          ~change:
+            (Printf.sprintf "switch %s vanished" (Graph.name old_.b_map s))
+          ~side:old_ ~other:new_
+          (switch_roots old_ old_replay s))
+    (Graph.switches old_.b_map);
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem bwd s) then
+        add
+          ~change:
+            (Printf.sprintf "switch %s appeared" (Graph.name new_.b_map s))
+          ~side:new_ ~other:old_
+          (switch_roots new_ new_replay s))
+    (Graph.switches new_.b_map);
+  (* Links between matched nodes, as Diff.diff walks them, but kept
+     structural so each one resolves through the ledger. *)
+  let matched_old o = fwd.(o) <> None in
+  List.iter
+    (fun ((a, pa), (b, pb)) ->
+      if matched_old a && matched_old b then begin
+        let a', sa = Option.get fwd.(a) in
+        let b', sb = Option.get fwd.(b) in
+        let still_there =
+          match
+            try Graph.neighbor new_.b_map (a', pa + sa)
+            with Invalid_argument _ -> None
+          with
+          | Some (x, q) -> x = b' && q = pb + sb
+          | None -> false
+        in
+        if not still_there then
+          add
+            ~change:
+              (Printf.sprintf "link %s -- %s lost"
+                 (describe_end old_.b_map (a, pa))
+                 (describe_end old_.b_map (b, pb)))
+            ~side:old_ ~other:new_
+            (link_roots old_ old_replay (a, pa) (b, pb))
+      end)
+    (Graph.wires old_.b_map);
+  List.iter
+    (fun ((a', pa'), (b', pb')) ->
+      if Hashtbl.mem bwd a' && Hashtbl.mem bwd b' then begin
+        let a = Hashtbl.find bwd a' and b = Hashtbl.find bwd b' in
+        let _, sa = Option.get fwd.(a) in
+        let _, sb = Option.get fwd.(b) in
+        let was_there =
+          match
+            try Graph.neighbor old_.b_map (a, pa' - sa)
+            with Invalid_argument _ -> None
+          with
+          | Some (x, q) -> x = b && q = pb' - sb
+          | None -> false
+        in
+        if not was_there then
+          add
+            ~change:
+              (Printf.sprintf "link %s -- %s appeared"
+                 (describe_end new_.b_map (a', pa'))
+                 (describe_end new_.b_map (b', pb')))
+            ~side:new_ ~other:old_
+            (link_roots new_ new_replay (a', pa') (b', pb'))
+      end)
+    (Graph.wires new_.b_map);
+  List.stable_sort
+    (fun x y ->
+      match (x.a_probe_did, y.a_probe_did) with
+      | Some a, Some b -> compare a b
+      | Some _, None -> -1
+      | None, Some _ -> 1
+      | None, None -> 0)
+    (List.rev !acc)
+
+let pp_attribution ppf a =
+  Format.fprintf ppf "%s@.    %s" a.a_change a.a_note

@@ -1,0 +1,267 @@
+open San_topology
+
+type query =
+  | Switch of string
+  | Link of (string * int) * (string * int)
+  | Route of string * string
+
+(* "NAME.PORT" with the port after the last dot. *)
+let parse_end s =
+  match String.rindex_opt s '.' with
+  | None -> Error (s ^ ": expected NAME.PORT")
+  | Some i -> (
+    let name = String.sub s 0 i in
+    match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+    | Some p when name <> "" -> Ok (name, p)
+    | _ -> Error (s ^ ": expected NAME.PORT"))
+
+let parse_query q =
+  match String.index_opt q ':' with
+  | None -> Error (q ^ ": expected switch:NAME, link:A.P-B.Q or route:H1->H2")
+  | Some i -> (
+    let kind = String.sub q 0 i in
+    let rest = String.sub q (i + 1) (String.length q - i - 1) in
+    match kind with
+    | "switch" when rest <> "" -> Ok (Switch rest)
+    | "link" ->
+      (* Node names may themselves contain '-' (e.g. C-leaf0), so try
+         every '-' as the separator and keep the split where both
+         sides parse as NAME.PORT. *)
+      let n = String.length rest in
+      let rec split j =
+        if j >= n then Error (rest ^ ": expected A.P-B.Q")
+        else if rest.[j] <> '-' then split (j + 1)
+        else
+          let a = String.sub rest 0 j in
+          let b = String.sub rest (j + 1) (n - j - 1) in
+          match (parse_end a, parse_end b) with
+          | Ok ea, Ok eb -> Ok (Link (ea, eb))
+          | _ -> split (j + 1)
+      in
+      split 0
+    | "route" -> (
+      let cut s =
+        let n = String.length s in
+        let rec go i =
+          if i + 1 >= n then None
+          else if s.[i] = '-' && s.[i + 1] = '>' then
+            Some (String.sub s 0 i, String.sub s (i + 2) (n - i - 2))
+          else go (i + 1)
+        in
+        go 0
+      in
+      match cut rest with
+      | Some (src, dst) when src <> "" && dst <> "" -> Ok (Route (src, dst))
+      | _ -> Error (rest ^ ": expected H1->H2"))
+    | _ -> Error (q ^ ": expected switch:NAME, link:A.P-B.Q or route:H1->H2"))
+
+let node_by_name g name =
+  if name = "" then None
+  else
+    match Graph.host_by_name g name with
+    | Some h -> Some h
+    | None -> List.find_opt (fun s -> Graph.name g s = name) (Graph.switches g)
+
+let resolve_name ?actual ~map name =
+  match node_by_name map name with
+  | Some n -> Ok n
+  | None -> (
+    match actual with
+    | None -> Error (name ^ ": no such node in the map")
+    | Some g -> (
+      match node_by_name g name with
+      | None -> Error (name ^ ": no such node in the map or the actual fabric")
+      | Some n -> (
+        let fwd, _ = Diff.correspond ~old_map:g ~new_map:map in
+        match fwd.(n) with
+        | Some (n', _) -> Ok n'
+        | None -> Error (name ^ ": actual node has no counterpart in the map"))))
+
+let host_vid snap replay ~name =
+  List.find_map
+    (fun vid ->
+      match Why.vertex_kind snap ~vid with
+      | Some (`Host n) when n = name -> Some (fst (Replay.find replay vid))
+      | _ -> None)
+    (Why.vertices snap)
+
+(* Canonical vid of a map node: switches carry it in their name,
+   hosts resolve through their recorded host vertex. *)
+let vid_of_map_node snap replay map n =
+  let name = Graph.name map n in
+  if Graph.is_host map n then host_vid snap replay ~name
+  else Replay.vid_of_map_switch name
+
+let merge_roots snap replay ~vid =
+  List.filter_map
+    (fun (m : Why.merge_rec) ->
+      if fst (Replay.find replay m.Why.kept) = vid then Some m.Why.m_did
+      else None)
+    (Why.merges snap)
+
+let roots_for_switch snap replay ~vid =
+  let members = Replay.members replay vid in
+  let births =
+    List.filter_map (fun v -> Why.vertex_birth snap ~vid:v) members
+  in
+  (* If the class holds the mapper's assumed root and the turn-0
+     self-probe confirmed it, that probe is part of its evidence. *)
+  let confirm =
+    match Why.root_confirmation snap with
+    | Some (rv, did) when List.mem rv members -> [ did ]
+    | _ -> []
+  in
+  List.sort_uniq compare (births @ confirm @ merge_roots snap replay ~vid)
+
+let map_end_name map (n, p) =
+  if Graph.is_host map n then Graph.name map n
+  else Printf.sprintf "%s.%d" (Graph.name map n) p
+
+let orientation_key map ~from_ ~to_ =
+  Printf.sprintf "%s>%s" (map_end_name map from_) (map_end_name map to_)
+
+let link_roots snap replay map (na, pa) (nb, pb) =
+  match
+    ( vid_of_map_node snap replay map na,
+      vid_of_map_node snap replay map nb )
+  with
+  | Some va, Some vb -> (
+    match Replay.edge_at replay ~a:va ~pa ~b:vb ~pb with
+    | None -> Error "the map has no such link"
+    | Some e ->
+      let orient =
+        List.filter_map
+          (fun (f, t) -> Why.orientation snap ~key:(orientation_key map ~from_:f ~to_:t))
+          [ ((na, pa), (nb, pb)); ((nb, pb), (na, pa)) ]
+      in
+      Ok (List.sort_uniq compare (e.Replay.ev_did :: orient)))
+  | _ -> Error "link endpoint has no recorded model vertex"
+
+let roots_of ?actual ~map ~snap ~replay = function
+  | Route _ -> Error "route queries resolve through route_roots"
+  | Switch name -> (
+    match resolve_name ?actual ~map name with
+    | Error e -> Error e
+    | Ok n ->
+      if Graph.is_host map n then Error (name ^ ": is a host, not a switch")
+      else (
+        match vid_of_map_node snap replay map n with
+        | None -> Error (name ^ ": map switch has no recorded class")
+        | Some vid ->
+          let members = Replay.members replay vid in
+          let header =
+            Printf.sprintf "switch %s%s: class {%s}, %d merge%s"
+              (Graph.name map n)
+              (if name <> Graph.name map n then Printf.sprintf " (= %s)" name
+               else "")
+              (String.concat "," (List.map string_of_int members))
+              (List.length members - 1)
+              (if List.length members = 2 then "" else "s")
+          in
+          Ok (header, roots_for_switch snap replay ~vid)))
+  | Link ((a, pa), (b, pb)) -> (
+    match (resolve_name ?actual ~map a, resolve_name ?actual ~map b) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok na, Ok nb -> (
+      match link_roots snap replay map (na, pa) (nb, pb) with
+      | Error e -> Error (Printf.sprintf "link %s.%d-%s.%d: %s" a pa b pb e)
+      | Ok roots ->
+        Ok
+          ( Printf.sprintf "link %s-%s" (map_end_name map (na, pa))
+              (map_end_name map (nb, pb)),
+            roots )))
+
+let route_roots ~map ~snap ~replay ~hops =
+  List.map
+    (fun (h : San_simnet.Worm.hop) ->
+      let (na, pa) = h.San_simnet.Worm.exit_end
+      and (nb, pb) = h.San_simnet.Worm.entry_end in
+      let desc =
+        Printf.sprintf "hop %s -> %s" (map_end_name map (na, pa))
+          (map_end_name map (nb, pb))
+      in
+      let roots =
+        match link_roots snap replay map (na, pa) (nb, pb) with
+        | Ok roots -> roots
+        | Error _ -> []
+      in
+      (desc, roots))
+    hops
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let evidence = function
+  | Why.Probe _ | Why.Axiom _ -> []
+  | Why.Deduced { probes; deps; _ } -> List.sort_uniq compare (deps @ probes)
+
+let leaves snap did =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec go did =
+    if not (Hashtbl.mem seen did) then begin
+      Hashtbl.replace seen did ();
+      match Why.entry snap did with
+      | None -> ()
+      | Some e -> (
+        match evidence e with
+        | [] -> acc := (did, e) :: !acc
+        | deps -> List.iter go deps)
+    end
+  in
+  go did;
+  List.sort compare !acc
+
+let pp_roots snap ppf roots =
+  let printed = Hashtbl.create 64 in
+  let rec render prefix last did =
+    let branch = if last then "`- " else "|- " in
+    let cont = if last then "   " else "|  " in
+    match Why.entry snap did with
+    | None -> Format.fprintf ppf "%s%sd%d (missing)@." prefix branch did
+    | Some e ->
+      if Hashtbl.mem printed did && evidence e <> [] then
+        Format.fprintf ppf "%s%s(see d%d above)@." prefix branch did
+      else begin
+        Hashtbl.replace printed did ();
+        Format.fprintf ppf "%s%s%a@." prefix branch Why.pp_entry (did, e);
+        let deps = evidence e in
+        let n = List.length deps in
+        List.iteri
+          (fun i d -> render (prefix ^ cont) (i = n - 1) d)
+          deps
+      end
+  in
+  let n = List.length roots in
+  List.iteri (fun i d -> render "" (i = n - 1) d) roots
+
+let dot_of_roots snap roots =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph why {\n  rankdir=BT;\n";
+  let seen = Hashtbl.create 64 in
+  let esc s = String.concat "\\\"" (String.split_on_char '"' s) in
+  let rec visit did =
+    if not (Hashtbl.mem seen did) then begin
+      Hashtbl.replace seen did ();
+      match Why.entry snap did with
+      | None -> ()
+      | Some e ->
+        let label = esc (Format.asprintf "%a" Why.pp_entry (did, e)) in
+        let shape =
+          match e with
+          | Why.Probe _ -> "box"
+          | Why.Axiom _ -> "diamond"
+          | Why.Deduced _ -> "ellipse"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  d%d [shape=%s, label=\"%s\"];\n" did shape label);
+        List.iter
+          (fun dep ->
+            Buffer.add_string buf (Printf.sprintf "  d%d -> d%d;\n" did dep);
+            visit dep)
+          (evidence e)
+    end
+  in
+  List.iter visit roots;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

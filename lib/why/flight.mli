@@ -1,0 +1,33 @@
+(** Bounded, crash-safe flight recorder.
+
+    One call serializes the last trace events (the {!San_obs.Obs}
+    ring) plus the tail of the provenance ledger to a JSON-lines file:
+    a header record, then one ["trace"] record per surviving trace
+    event, then one ["why"] record per ledger entry. The file is
+    written to a temporary name, flushed and fsynced, then renamed
+    into place, so a crash mid-write never truncates an existing
+    recording.
+
+    The daemon writes one on every transition into Degraded and at end
+    of run; fatal paths (e.g. {!San_mapper.Election_sim} finding no
+    runnable work) fire the process-wide hook installed here. *)
+
+val write :
+  ?ledger_tail:int ->
+  path:string ->
+  note:string ->
+  ?epoch:int ->
+  unit ->
+  (unit, string) result
+(** Serialize the current trace ring and ledger tail (default last 512
+    entries) to [path]. *)
+
+val install_fatal : (note:string -> unit) -> unit
+(** Register the process-wide fatal hook (the daemon and the CLI point
+    it at {!write} with their output directory). Replaces any previous
+    hook. *)
+
+val clear_fatal : unit -> unit
+
+val fatal : note:string -> unit
+(** Fire the hook, if any; never raises. *)

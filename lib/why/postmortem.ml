@@ -1,0 +1,136 @@
+module J = San_util.Json
+module Trace = San_obs.Trace
+
+type t = {
+  note : string;
+  epoch : int option;
+  records : Trace.record list;
+  entries : (int * Why.entry) list;
+}
+
+let read path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let note = ref "" and epoch = ref None in
+        let records = ref [] and entries = ref [] in
+        let ok = ref (Ok ()) in
+        (try
+           let lineno = ref 0 in
+           while !ok = Ok () do
+             let line = input_line ic in
+             incr lineno;
+             if String.trim line <> "" then
+               match J.of_string line with
+               | Error e ->
+                 ok := Error (Printf.sprintf "line %d: %s" !lineno e)
+               | Ok j -> (
+                 match Option.bind (J.member "rec" j) J.to_str with
+                 | Some "flight" ->
+                   note :=
+                     Option.value ~default:""
+                       (Option.bind (J.member "note" j) J.to_str);
+                   epoch := Option.bind (J.member "epoch" j) J.to_int
+                 | Some "trace" -> (
+                   match
+                     Option.bind (J.member "record" j) Trace.record_of_json
+                   with
+                   | Some r -> records := r :: !records
+                   | None ->
+                     ok :=
+                       Error
+                         (Printf.sprintf "line %d: bad trace record" !lineno))
+                 | Some "why" -> (
+                   match
+                     Option.bind (J.member "entry" j) Why.entry_of_json
+                   with
+                   | Some e -> entries := e :: !entries
+                   | None ->
+                     ok :=
+                       Error
+                         (Printf.sprintf "line %d: bad ledger entry" !lineno))
+                 | _ ->
+                   ok :=
+                     Error (Printf.sprintf "line %d: unknown record" !lineno))
+           done
+         with End_of_file -> ());
+        match !ok with
+        | Error _ as e -> e
+        | Ok () ->
+          Ok
+            {
+              note = !note;
+              epoch = !epoch;
+              records = List.rev !records;
+              entries = List.rev !entries;
+            })
+  with Sys_error e -> Error e
+
+let open_alerts t =
+  let open_ = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Trace.record) ->
+      match r.Trace.event with
+      | Trace.Alert_raised { name; epoch } -> Hashtbl.replace open_ name epoch
+      | Trace.Alert_cleared { name; _ } -> Hashtbl.remove open_ name
+      | _ -> ())
+    t.records;
+  List.sort compare (Hashtbl.fold (fun n e acc -> (n, e) :: acc) open_ [])
+
+let timeline t =
+  List.filter_map
+    (fun (r : Trace.record) ->
+      let line fmt = Printf.ksprintf Option.some fmt in
+      match r.Trace.event with
+      | Trace.Epoch_started { name; discrepancies } ->
+        line "verify sweep: %s (%d discrepancies)" name discrepancies
+      | Trace.Daemon_transition { epoch; from_; to_ } ->
+        line "epoch %d: %s -> %s" epoch from_ to_
+      | Trace.Daemon_epoch { epoch; verdict; leader; covered; total } ->
+        line "epoch %d closed: %s under %s, coverage %d/%d" epoch verdict
+          leader covered total
+      | Trace.Alert_raised { name; epoch } ->
+        line "epoch %d: alert %s RAISED" epoch name
+      | Trace.Alert_cleared { name; epoch } ->
+        line "epoch %d: alert %s cleared" epoch name
+      | Trace.Mapper_stuck { at_ns; pending } ->
+        line "FATAL: election co-simulation stuck at %.0f ns (%d mappers \
+              pending)" at_ns pending
+      | Trace.Mark { name; note } -> line "mark %s: %s" name note
+      | _ -> None)
+    t.records
+
+let pp ppf t =
+  Format.fprintf ppf "flight recording: %s%s@."
+    (if t.note = "" then "(no note)" else t.note)
+    (match t.epoch with
+    | Some e -> Printf.sprintf " (epoch %d)" e
+    | None -> "");
+  Format.fprintf ppf "%d trace events, %d ledger entries@."
+    (List.length t.records) (List.length t.entries);
+  (match timeline t with
+  | [] -> Format.fprintf ppf "timeline: empty@."
+  | lines ->
+    Format.fprintf ppf "timeline:@.";
+    List.iter (fun l -> Format.fprintf ppf "  %s@." l) lines);
+  (match open_alerts t with
+  | [] -> Format.fprintf ppf "open alerts: none@."
+  | alerts ->
+    Format.fprintf ppf "open alerts:@.";
+    List.iter
+      (fun (n, e) -> Format.fprintf ppf "  %s (raised epoch %d)@." n e)
+      alerts);
+  let deductions =
+    List.filter
+      (fun (_, e) -> match e with Why.Deduced _ -> true | _ -> false)
+      t.entries
+  in
+  match deductions with
+  | [] -> Format.fprintf ppf "last deductions: none recorded@."
+  | l ->
+    let n = List.length l in
+    let last = if n > 8 then List.filteri (fun i _ -> i >= n - 8) l else l in
+    Format.fprintf ppf "last deductions (%d of %d):@." (List.length last) n;
+    List.iter (fun e -> Format.fprintf ppf "  %a@." Why.pp_entry e) last
