@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-fast bench-smoke fuzz-smoke health-smoke explain-smoke artifacts examples clean
+.PHONY: all build test check bench bench-fast bench-smoke scale-smoke fuzz-smoke health-smoke explain-smoke artifacts examples clean
 
 all: build
 
@@ -18,6 +18,7 @@ check:
 	$(MAKE) health-smoke
 	$(MAKE) explain-smoke
 	$(MAKE) fuzz-smoke
+	$(MAKE) scale-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -31,6 +32,15 @@ bench-fast:
 bench-smoke:
 	dune exec bin/san_map.exe -- daemon -t star:3 --epochs 2 --schedule 1:cut
 	dune exec bench/main.exe -- --only daemon --fast --no-bechamel
+
+# Scaling at CI size: map a seeded 1k-host fat-tree end to end under a
+# wall-time budget, then run the fast scaling bench rung so the
+# ft-100 probes/sec regression gate (bench/scaling_baseline.json) is
+# exercised on every check.
+scale-smoke:
+	timeout 120 dune exec bin/san_map.exe -- map -t fabric:ft-1k --seed 1 \
+	  --out-dir ""
+	dune exec bench/main.exe -- --only scaling --fast --no-bechamel
 
 # The property fuzzer at CI size: a fixed seed so the run is
 # reproducible, 200 random fabrics through the full suite. On a

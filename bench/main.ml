@@ -1432,6 +1432,152 @@ let why_section () =
     :: !obs_sections
 
 (* ------------------------------------------------------------------ *)
+(* Scaling to data-center fabrics: the San_fabric fat-tree ladder,      *)
+(* 100 -> 1k -> 10k hosts (100k behind --scale-100k), each rung mapped  *)
+(* at the generator's suggested depth and verified against N - F. The   *)
+(* 100-host rung doubles as a perf regression gate against the recorded *)
+(* baseline in bench/scaling_baseline.json.                             *)
+
+let scale_100k = ref false
+let gate_failed = ref false
+let scaling_baseline = "bench/scaling_baseline.json"
+
+let scaling_section () =
+  let module J = San_util.Json in
+  let module Fabric = San_fabric.Fabric in
+  let rungs =
+    [ "ft-100"; "ft-1k" ]
+    @ (if !fast then [] else [ "ft-10k" ])
+    @ if !scale_100k then [ "ft-100k" ] else []
+  in
+  let t =
+    T.create
+      ~header:
+        [ "fabric"; "hosts"; "links"; "depth"; "probes"; "wall (s)";
+          "probes/s"; "merges/s"; "verified" ]
+  in
+  let entries = ref [] in
+  List.iter
+    (fun name ->
+      let p = Option.get (Fabric.find_preset name) in
+      let g = p.Fabric.p_build ~seed:1 in
+      let mapper = List.hd (Graph.hosts g) in
+      let depth = Option.get p.Fabric.p_depth in
+      let run_once () =
+        San_obs.Obs.reset ();
+        let t0 = Unix.gettimeofday () in
+        let net = Network.create g in
+        let r = Berkeley.run ~depth:(Berkeley.Fixed depth) net ~mapper in
+        let wall = Unix.gettimeofday () -. t0 in
+        let merges =
+          San_obs.Metrics.counter_value
+            (San_obs.Metrics.counter San_obs.Obs.registry "mapper.merges")
+        in
+        (wall, r, merges)
+      in
+      (* The small rungs finish in milliseconds, where a scheduler
+         hiccup swamps the rate; best-of keeps the gate honest. *)
+      let reps = if Graph.num_hosts g <= 1000 then 5 else 1 in
+      let best = ref (run_once ()) in
+      for _ = 2 to reps do
+        let (w, _, _) as m = run_once () in
+        let bw, _, _ = !best in
+        if w < bw then best := m
+      done;
+      let wall, r, merges = !best in
+      let probes = Berkeley.total_probes r in
+      let verified =
+        match r.Berkeley.map with
+        | Error _ -> false
+        | Ok map ->
+          Result.is_ok
+            (Iso.check ~map ~actual:g ~exclude:(Core_set.separated_set g) ())
+      in
+      if not verified then gate_failed := true;
+      let pps = float_of_int probes /. wall in
+      let mps = float_of_int merges /. wall in
+      T.add_row t
+        [ name; string_of_int (Graph.num_hosts g);
+          string_of_int (Graph.num_wires g); string_of_int depth;
+          string_of_int probes; Printf.sprintf "%.2f" wall;
+          Printf.sprintf "%.0f" pps; Printf.sprintf "%.0f" mps;
+          (if verified then "yes" else "NO") ];
+      entries :=
+        ( name,
+          J.Obj
+            [
+              ("hosts", J.int (Graph.num_hosts g));
+              ("switches", J.int (Graph.num_switches g));
+              ("links", J.int (Graph.num_wires g));
+              ("depth", J.int depth);
+              ("probes", J.int probes);
+              ("merges", J.int merges);
+              ("wall_s", J.Num wall);
+              ("probes_per_s", J.Num pps);
+              ("merges_per_s", J.Num mps);
+              ("verified", J.Bool verified);
+            ] )
+        :: !entries)
+    rungs;
+  T.print
+    ~title:
+      "Scaling — San_fabric fat-tree ladder, seed 1, suggested depth \
+       (verified = map isomorphic to N - F)"
+    t;
+  write_csv "scaling"
+    [ "fabric"; "hosts"; "probes"; "wall_s"; "probes_per_s"; "merges_per_s" ]
+    (List.rev_map
+       (fun (name, j) ->
+         let num k =
+           match J.member k j with
+           | Some (J.Num f) -> Printf.sprintf "%.1f" f
+           | _ -> ""
+         in
+         [ name; num "hosts"; num "probes"; num "wall_s"; num "probes_per_s";
+           num "merges_per_s" ])
+       !entries);
+  (* Regression gate: the 100-host rung's probe rate must stay within
+     4x of the recorded baseline — generous enough for machine-to-
+     machine variance, tight enough to catch a complexity slip. *)
+  (let current =
+     match List.assoc_opt "ft-100" !entries with
+     | Some j -> (
+       match J.member "probes_per_s" j with Some (J.Num f) -> Some f | _ -> None)
+     | None -> None
+   in
+   let baseline =
+     if Sys.file_exists scaling_baseline then begin
+       let ic = open_in scaling_baseline in
+       let s = really_input_string ic (in_channel_length ic) in
+       close_in ic;
+       match J.of_string s with
+       | Ok j -> (
+         match Option.bind (J.member "ft-100" j) (J.member "probes_per_s") with
+         | Some (J.Num f) -> Some f
+         | _ -> None)
+       | Error _ -> None
+     end
+     else None
+   in
+   match (current, baseline) with
+   | Some cur, Some base ->
+     if cur < base /. 4.0 then begin
+       Printf.printf
+         "scaling gate FAILED: ft-100 at %.0f probes/s, under a quarter of \
+          the %.0f probes/s baseline\n"
+         cur base;
+       gate_failed := true
+     end
+     else
+       Printf.printf "scaling gate ok: ft-100 at %.0f probes/s (baseline %.0f)\n"
+         cur base
+   | Some _, None ->
+     Printf.printf "(no baseline at %s; scaling gate skipped)\n"
+       scaling_baseline
+   | None, _ -> ());
+  obs_sections := ("scaling", J.Obj (List.rev !entries)) :: !obs_sections
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment              *)
 
 let bechamel_section () =
@@ -1539,6 +1685,9 @@ let () =
     | "--no-bechamel" :: rest ->
       with_bechamel := false;
       parse rest
+    | "--scale-100k" :: rest ->
+      scale_100k := true;
+      parse rest
     | "--only" :: l :: rest ->
       only := String.split_on_char ',' l;
       parse rest
@@ -1585,7 +1734,11 @@ let () =
   section "fuzz" ~when_:(wants "fuzz") fuzz_section;
   section "telemetry" ~when_:(wants "telemetry" || !only = []) telemetry_section;
   section "why" ~when_:(wants "why" || !only = []) why_section;
+  (* scaling pushes its own structured obs entry (per-rung curves),
+     so it runs outside the generic [section] wrapper. *)
+  if wants "scaling" then scaling_section ();
   section "bechamel"
     ~when_:(!with_bechamel && (wants "bechamel" || !only = []))
     bechamel_section;
-  write_obs ()
+  write_obs ();
+  if !gate_failed then exit 1

@@ -30,8 +30,7 @@ open San_topology
 (* ------------------------------------------------------------------ *)
 (* Topology selection                                                  *)
 
-let build_topology spec seed =
-  let rng = San_util.Prng.create seed in
+let build_topology_classic spec rng =
   match String.split_on_char ':' spec with
   | [ "c" ] -> fst (Generators.now_c ())
   | [ "ca" ] -> fst (Generators.now_ca ())
@@ -59,15 +58,32 @@ let build_topology spec seed =
     raise
       (Invalid_argument
          (spec
-        ^ ": unknown topology (try c, ca, cab, hypercube:D, mesh:R:C, \
-           torus:R:C, ring:N, star:N, chain:N, fat-tree:L:H:S, ccc:D, \
-           shuffle:D, random:SW:HOSTS, pendant, lone, stub)"))
+        ^ ": unknown topology (try c, ca, cab, fabric:PRESET, \
+           fabric:key=value,..., hypercube:D, mesh:R:C, torus:R:C, ring:N, \
+           star:N, chain:N, fat-tree:L:H:S, ccc:D, shuffle:D, \
+           random:SW:HOSTS, pendant, lone, stub)"))
+
+(* Returns the graph plus a suggested fixed exploration depth when the
+   spec is a generated fabric: at data-center scale the oracle bound's
+   per-node min-cost flow is infeasible, and the generator knows a safe
+   depth analytically. *)
+let build_topology_ex spec seed =
+  match String.split_on_char ':' spec with
+  | "fabric" :: rest when rest <> [] -> (
+    let arg = String.concat ":" rest in
+    match San_fabric.Fabric.parse arg with
+    | Ok p -> (p.San_fabric.Fabric.p_build ~seed, p.San_fabric.Fabric.p_depth)
+    | Error e -> raise (Invalid_argument e))
+  | _ -> (build_topology_classic spec (San_util.Prng.create seed), None)
+
+let build_topology spec seed = fst (build_topology_ex spec seed)
 
 let topo_arg =
   let doc =
-    "Topology to operate on: c | ca | cab | hypercube:D | mesh:R:C | \
-     torus:R:C | ring:N | star:N | chain:N | fat-tree:L:H:S | ccc:D | \
-     shuffle:D | random:SW:H | pendant | lone | stub."
+    "Topology to operate on: c | ca | cab | fabric:PRESET | \
+     fabric:key=value,... | hypercube:D | mesh:R:C | torus:R:C | ring:N | \
+     star:N | chain:N | fat-tree:L:H:S | ccc:D | shuffle:D | random:SW:H | \
+     pendant | lone | stub. See `san_map gen` for fabric presets."
   in
   Arg.(value & opt string "c" & info [ "t"; "topology" ] ~docv:"SPEC" ~doc)
 
@@ -201,22 +217,36 @@ let pick_mapper g = function
 (* ------------------------------------------------------------------ *)
 (* topo                                                                *)
 
+(* Above this size the all-pairs diameter and the oracle's per-node
+   flow computation stop being interactive; the fabric generator's
+   suggested depth replaces them. *)
+let oracle_feasible g = Graph.num_nodes g <= 2000
+
 let run_topo spec seed dot =
-  let g = build_topology spec seed in
+  let g, depth_hint = build_topology_ex spec seed in
   Format.printf "%s: %a@." spec Graph.pp_stats g;
-  Format.printf "diameter %d, connected %b, switch bridges %d, |F| %d@."
-    (Analysis.diameter g) (Analysis.is_connected g)
+  Format.printf "connected %b, switch bridges %d, |F| %d@."
+    (Analysis.is_connected g)
     (List.length (Core_set.switch_bridges g))
     (Array.fold_left
        (fun a b -> if b then a + 1 else a)
        0
        (Core_set.separated_set g));
-  (match Graph.hosts g with
-  | root :: _ ->
-    Format.printf "Q = %d, oracle search depth Q+D+1 = %d@."
-      (Core_set.q_bound g ~root)
-      (Core_set.search_depth g ~root)
-  | [] -> ());
+  if oracle_feasible g then begin
+    Format.printf "diameter %d@." (Analysis.diameter g);
+    match Graph.hosts g with
+    | root :: _ ->
+      Format.printf "Q = %d, oracle search depth Q+D+1 = %d@."
+        (Core_set.q_bound g ~root)
+        (Core_set.search_depth g ~root)
+    | [] -> ()
+  end
+  else
+    Format.printf
+      "large fabric: diameter/oracle bounds skipped%s@."
+      (match depth_hint with
+      | Some d -> Printf.sprintf " (suggested exploration depth %d)" d
+      | None -> "");
   Option.iter
     (fun f ->
       Dot.to_file ~graph_name:spec g f;
@@ -263,7 +293,7 @@ let json_arg =
 let run_map spec seed mapper_name algo model depth policy dot json out_dir
     trace metrics chrome prom =
   with_obs ~chrome ~prom ~trace ~metrics @@ fun () ->
-  let g = build_topology spec seed in
+  let g, depth_hint = build_topology_ex spec seed in
   let mapper = pick_mapper g mapper_name in
   let failed = ref false in
   let verify map =
@@ -288,9 +318,16 @@ let run_map spec seed mapper_name algo model depth policy dot json out_dir
   | `Berkeley -> (
     let net = San_simnet.Network.create ~model g in
     let depth =
-      match depth with
-      | Some d -> San_mapper.Berkeley.Fixed d
-      | None -> San_mapper.Berkeley.Oracle
+      (* The exact oracle bound beats the generator's hint whenever the
+         flow computation is affordable: surplus depth multiplies
+         replicates on multipath fabrics, it is never free. *)
+      match (depth, depth_hint) with
+      | Some d, _ -> San_mapper.Berkeley.Fixed d
+      | None, _ when oracle_feasible g -> San_mapper.Berkeley.Oracle
+      | None, Some d ->
+        Format.printf "using the fabric generator's suggested depth %d@." d;
+        San_mapper.Berkeley.Fixed d
+      | None, None -> San_mapper.Berkeley.Oracle
     in
     let r = San_mapper.Berkeley.run ~policy ~depth net ~mapper in
     Format.printf
@@ -334,6 +371,60 @@ let run_map spec seed mapper_name algo model depth policy dot json out_dir
       failed := true;
       Format.printf "export failed: %s@." e));
   if !failed then 1 else 0
+
+(* ------------------------------------------------------------------ *)
+(* gen: emit a generated fabric as a replayable artifact              *)
+
+let run_gen spec seed out_dir dot json =
+  match String.split_on_char ':' spec with
+  | "fabric" :: rest when rest <> [] -> (
+    let arg = String.concat ":" rest in
+    match San_fabric.Fabric.parse arg with
+    | Error e ->
+      Format.eprintf "%s@." e;
+      2
+    | Ok p ->
+      let g = p.San_fabric.Fabric.p_build ~seed in
+      let header = San_fabric.Fabric.header_lines p ~seed g in
+      List.iter (fun l -> Format.printf "# %s@." l) header;
+      let dot_text =
+        String.concat "" (List.map (fun l -> "// " ^ l ^ "\n") header)
+        ^ Dot.to_string ~graph_name:p.San_fabric.Fabric.p_name g
+      in
+      let write_text file text =
+        let oc = open_out file in
+        output_string oc text;
+        close_out oc;
+        Format.printf "wrote %s@." file
+      in
+      if out_dir <> "" then begin
+        ensure_dir out_dir;
+        let stem =
+          Filename.concat out_dir
+            (Printf.sprintf "fabric-%s-seed%d"
+               (spec_stem p.San_fabric.Fabric.p_name)
+               seed)
+        in
+        write_text (stem ^ ".spec")
+          (String.concat "" (List.map (fun l -> "# " ^ l ^ "\n") header));
+        write_text (stem ^ ".dot") dot_text
+      end;
+      Option.iter (fun f -> write_text f dot_text) dot;
+      Option.iter
+        (fun f ->
+          Serial.save g f;
+          Format.printf "wrote %s@." f)
+        json;
+      0)
+  | _ ->
+    Format.eprintf
+      "gen needs a generated-fabric spec: -t fabric:PRESET or -t \
+       fabric:key=value,... (presets: %s)@."
+      (String.concat ", "
+         (List.map
+            (fun p -> p.San_fabric.Fabric.p_name)
+            San_fabric.Fabric.presets));
+    2
 
 (* ------------------------------------------------------------------ *)
 (* routes                                                              *)
@@ -914,6 +1005,15 @@ let topo_cmd =
     (Cmd.info "topo" ~doc:"Generate a topology and print its statistics")
     Term.(const run_topo $ topo_arg $ seed_arg $ dot_arg)
 
+let gen_cmd =
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate a parametric fabric and emit it as replayable artifacts \
+          (spec header + DOT, optional JSON)")
+    Term.(
+      const run_gen $ topo_arg $ seed_arg $ out_dir_arg $ dot_arg $ json_arg)
+
 let map_cmd =
   Cmd.v
     (Cmd.info "map" ~doc:"Discover a topology with in-band probes")
@@ -1019,7 +1119,7 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            topo_cmd; map_cmd; routes_cmd; diff_cmd; verify_cmd; fuzz_cmd;
-            daemon_cmd; health_cmd; explain_cmd; blame_cmd; postmortem_cmd;
-            version_cmd;
+            topo_cmd; gen_cmd; map_cmd; routes_cmd; diff_cmd; verify_cmd;
+            fuzz_cmd; daemon_cmd; health_cmd; explain_cmd; blame_cmd;
+            postmortem_cmd; version_cmd;
           ]))

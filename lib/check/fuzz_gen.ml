@@ -61,7 +61,52 @@ let roomy rng g sw =
 
 type shape = Line | Ring | Tree | Dense
 
-let gen ~seed =
+(* Silent hosts: attached but not running a mapper daemon. Keep at
+   least two responding so the mapper has someone to talk to. *)
+let pick_silent rng host_names =
+  match host_names with
+  | _ :: _ :: rest when rest <> [] && Prng.int rng 3 = 0 ->
+    List.filter (fun _ -> Prng.int rng 3 = 0) rest
+  | _ -> []
+
+(* Every fourth raw seed exercises the San_fabric generator instead of
+   the decorated skeletons below, so the San_check properties also run
+   against data-center-shaped multipath fabrics — tiny fat-trees with
+   the irregularity knobs on. The branch is decided on the seed before
+   any draw, leaving the other three quarters of the case streams
+   bit-identical to what they generated before fabrics existed. *)
+let gen_fabric ~seed =
+  let rng = Prng.create seed in
+  let levels = Prng.int_in rng 2 3 in
+  let radix = Prng.int_in rng 4 6 in
+  let hosts_per_edge = Prng.int_in rng 1 (min 3 (radix - 2)) in
+  let edge_switches = Prng.int_in rng 2 6 in
+  let spec =
+    {
+      San_fabric.Fabric.levels;
+      radix;
+      edge_switches;
+      hosts_per_edge;
+      oversub = (if Prng.bool rng then 1.0 else 2.0);
+      trim_uplinks = (if Prng.int rng 3 = 0 then 0.15 else 0.0);
+      missing_spines = (if Prng.int rng 4 = 0 then 0.25 else 0.0);
+      hetero_radix = (if Prng.int rng 3 = 0 then 0.3 else 0.0);
+    }
+  in
+  let g = San_fabric.Fabric.build ~seed spec in
+  let host_names = List.map (Graph.name g) (Graph.hosts g) in
+  let silent = pick_silent rng host_names in
+  let responding =
+    List.filter (fun n -> not (List.mem n silent)) host_names
+  in
+  let mapper_name =
+    match responding with
+    | [] -> ""
+    | l -> List.nth l (Prng.int rng (List.length l))
+  in
+  { case_seed = seed; graph = g; mapper_name; silent }
+
+let gen_classic ~seed =
   let rng = Prng.create seed in
   let radix = Prng.int_in rng 3 10 in
   let g = Graph.create ~radix () in
@@ -175,16 +220,9 @@ let gen ~seed =
     if Prng.bool rng then
       ignore (attach_host rng g f.(Prng.int rng n) ~name:(fresh_host_name ()))
   end;
-  (* Silent hosts: attached but not running a mapper daemon. Keep at
-     least two responding so the mapper has someone to talk to. *)
   let hosts = Graph.hosts g in
   let host_names = List.map (Graph.name g) hosts in
-  let silent =
-    match host_names with
-    | _ :: _ :: rest when rest <> [] && Prng.int rng 3 = 0 ->
-      List.filter (fun _ -> Prng.int rng 3 = 0) rest
-    | _ -> []
-  in
+  let silent = pick_silent rng host_names in
   (* Mapper: a responding host of the skeleton (the first two hosts
      placed always hang off the skeleton). *)
   let responding =
@@ -196,6 +234,8 @@ let gen ~seed =
     | l -> List.nth l (Prng.int rng (List.length l))
   in
   { case_seed = seed; graph = g; mapper_name; silent }
+
+let gen ~seed = if abs seed mod 4 = 3 then gen_fabric ~seed else gen_classic ~seed
 
 (* ------------------------------------------------------------------ *)
 

@@ -5,8 +5,11 @@
     same-switch cables, deliberate switch-bridges into hostless tails
     and cycles (the paper's F set), doubled attachments that must NOT
     land in F, disconnected fragments, and silent (non-responding)
-    hosts. Everything is a deterministic function of the case seed, so
-    a counterexample replays from one integer. *)
+    hosts. Every fourth seed instead draws a tiny {!San_fabric}
+    fat-tree with the irregularity knobs on, so the properties also
+    face data-center-shaped multipath fabrics. Everything is a
+    deterministic function of the case seed, so a counterexample
+    replays from one integer. *)
 
 open San_topology
 

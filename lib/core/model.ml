@@ -17,13 +17,19 @@ type edge = {
   mutable e_dead : bool;
 }
 
+(* Slots live in a fixed dense array rather than a hashtable: the
+   window narrowing in [add_edge]/[do_merge] proves every occupied slot
+   of a switch lies in [-(radix-1), radix-1] (a slot outside that range
+   empties the feasible-offset window first), so index [slot + s_base]
+   with s_base = radix-1 always fits. Hosts only ever use slot 0. *)
 type vertex = {
   v_id : vid;
   v_kind : vkind;
   v_probe : San_simnet.Route.t;
   mutable parent : vid; (* union-find; self when canonical *)
   mutable pshift : int; (* own slot + pshift = parent slot *)
-  slots : (int, edge list ref) Hashtbl.t; (* canonical vertices only *)
+  mutable slots : edge list array; (* canonical vertices only *)
+  s_base : int; (* array index = slot + s_base *)
   mutable explored : bool;
   mutable dead : bool;
   mutable wlo : int; (* feasible actual entry-port offset window *)
@@ -70,6 +76,11 @@ let frame_shift t v = snd (find t v)
 
 let alloc t kind probe =
   let id = t.nverts in
+  let nslots, s_base =
+    match kind with
+    | Vhost _ -> (1, 0)
+    | Vswitch -> ((2 * t.m_radix) - 1, t.m_radix - 1)
+  in
   let vx =
     {
       v_id = id;
@@ -77,7 +88,8 @@ let alloc t kind probe =
       v_probe = probe;
       parent = id;
       pshift = 0;
-      slots = Hashtbl.create 4;
+      slots = Array.make nslots [];
+      s_base;
       explored = false;
       dead = false;
       wlo = 0;
@@ -104,15 +116,21 @@ let narrow_window t vx i =
     if vx.wlo > vx.whi then
       fail "switch vertex %d: slot %d leaves no feasible port offset" vx.v_id i
 
-let slot_list vx i =
-  match Hashtbl.find_opt vx.slots i with
-  | Some l -> l
-  | None ->
-    let l = ref [] in
-    Hashtbl.add vx.slots i l;
-    l
+(* Reads tolerate any slot (out of range = vacant): probe planning asks
+   about arbitrary turns in shifted frames. Writes must be in range —
+   the window narrowing guarantees it, so a violation is a real
+   inconsistency, not a storage concern. *)
+let slot_get xv i =
+  let idx = i + xv.s_base in
+  if idx < 0 || idx >= Array.length xv.slots then [] else xv.slots.(idx)
 
-let live_slot_edges l = List.filter (fun e -> not e.e_dead) !l
+let slot_add xv i e =
+  let idx = i + xv.s_base in
+  if idx < 0 || idx >= Array.length xv.slots then
+    fail "vertex %d: slot %d escapes the radix window" xv.v_id i
+  else xv.slots.(idx) <- e :: xv.slots.(idx)
+
+let live_slot_edges l = List.filter (fun e -> not e.e_dead) l
 
 (* Attach a fresh edge between two canonical (vertex, slot) ends and
    queue any slot conflict it creates. *)
@@ -127,12 +145,12 @@ let add_edge t (va, ia) (vb, ib) =
   t.all_edges <- e :: t.all_edges;
   narrow_window t xa ia;
   narrow_window t xb ib;
-  let la = slot_list xa ia in
-  la := e :: !la;
-  if List.length (live_slot_edges la) > 1 then Queue.add va t.mergelist;
-  let lb = slot_list xb ib in
-  lb := e :: !lb;
-  if List.length (live_slot_edges lb) > 1 then Queue.add vb t.mergelist
+  slot_add xa ia e;
+  if List.length (live_slot_edges (slot_get xa ia)) > 1 then
+    Queue.add va t.mergelist;
+  slot_add xb ib e;
+  if List.length (live_slot_edges (slot_get xb ib)) > 1 then
+    Queue.add vb t.mergelist
 
 (* Merge canonical [absorb] into canonical [keep]; [shift] converts
    absorb-frame slots into keep-frame slots. [why], when provenance is
@@ -157,11 +175,14 @@ let do_merge ?why t ~keep ~absorb ~shift =
     xk.whi <- min xk.whi (xa.whi - shift);
     if xk.wlo > xk.whi then
       fail "merging %d into %d leaves no feasible port offset" absorb keep;
-    (* Re-home every edge of [absorb]. *)
-    let moved = Hashtbl.fold (fun i l acc -> (i, !l) :: acc) xa.slots [] in
-    Hashtbl.reset xa.slots;
-    List.iter
-      (fun (i, edges) ->
+    (* Re-home every edge of [absorb]; the absorbed vertex's slot array
+       is dropped outright so long-dead replicates cost no memory on
+       data-center-scale runs (only canonical vertices carry slots). *)
+    let a_slots = xa.slots and a_base = xa.s_base in
+    xa.slots <- [||];
+    Array.iteri
+      (fun idx edges ->
+        let i = idx - a_base in
         let tgt = i + shift in
         List.iter
           (fun e ->
@@ -176,15 +197,14 @@ let do_merge ?why t ~keep ~absorb ~shift =
               end;
               if e.ea = e.eb && e.ia = e.ib then
                 fail "merge wires slot (%d,%d) to itself" e.ea e.ia;
-              let l = slot_list xk tgt in
               (* A self-edge of [absorb] is visited from both of its
                  slots; insert it only once per slot. *)
-              if not (List.memq e !l) then l := e :: !l;
-              if List.length (live_slot_edges l) > 1 then
+              if not (List.memq e (slot_get xk tgt)) then slot_add xk tgt e;
+              if List.length (live_slot_edges (slot_get xk tgt)) > 1 then
                 Queue.add keep t.mergelist
             end)
           edges)
-      moved;
+      a_slots;
     xa.parent <- keep;
     xa.pshift <- shift;
     t.n_verts_live <- t.n_verts_live - 1;
@@ -225,11 +245,13 @@ let endpoints_key e =
 let process_vertex t c =
   let xc = vertex t c in
   let fired = ref false in
-  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) xc.slots [] in
-  let rec loop = function
+  let nslots = Array.length xc.slots in
+  let idx = ref 0 in
+  while (not !fired) && !idx < nslots do
+    let i = !idx - xc.s_base in
+    (match xc.slots.(!idx) with
     | [] -> ()
-    | i :: rest ->
-      let l = slot_list xc i in
+    | l ->
       (* Drop dead edges and duplicates (same actual wire found twice). *)
       let seen = Hashtbl.create 4 in
       let deduped =
@@ -247,9 +269,9 @@ let process_vertex t c =
                 true
               end
             end)
-          !l
+          l
       in
-      l := deduped;
+      xc.slots.(!idx) <- deduped;
       (match deduped with
       | e1 :: e2 :: _ ->
         let other e =
@@ -278,10 +300,9 @@ let process_vertex t c =
         in
         do_merge ?why t ~keep:w1 ~absorb:w2 ~shift:(j1 - j2);
         fired := true
-      | [ _ ] | [] -> ());
-      if not !fired then loop rest
-  in
-  loop keys;
+      | [ _ ] | [] -> ()));
+    incr idx
+  done;
   !fired
 
 let run_merge_loop t =
@@ -412,27 +433,22 @@ let is_live t v = not (vertex t (canonical t v)).dead
 
 let slot_occupied t v i =
   let c, _ = find t v in
-  match Hashtbl.find_opt (vertex t c).slots i with
-  | None -> false
-  | Some l -> live_slot_edges l <> []
+  live_slot_edges (slot_get (vertex t c) i) <> []
 
 let turn_slot t v turn = turn + frame_shift t v
 
 let neighbor_end_via t v ~slot =
   let c, _ = find t v in
   let xc = vertex t c in
-  match Hashtbl.find_opt xc.slots slot with
-  | None -> None
-  | Some l -> (
-    match live_slot_edges l with
-    | [] -> None
-    | e :: _ ->
-      let far, fslot =
-        if e.ea = c && e.ia = slot then (e.eb, e.ib) else (e.ea, e.ia)
-      in
-      (* Express the far slot in [far]'s own vid frame so it stays
-         meaningful if the class is re-framed by later merges. *)
-      Some (far, fslot - frame_shift t far))
+  match live_slot_edges (slot_get xc slot) with
+  | [] -> None
+  | e :: _ ->
+    let far, fslot =
+      if e.ea = c && e.ia = slot then (e.eb, e.ib) else (e.ea, e.ia)
+    in
+    (* Express the far slot in [far]'s own vid frame so it stays
+       meaningful if the class is re-framed by later merges. *)
+    Some (far, fslot - frame_shift t far)
 
 let neighbor_via t v ~turn =
   Option.map fst (neighbor_end_via t v ~slot:(turn_slot t v turn))
@@ -445,11 +461,8 @@ let offset_window t v =
 let incident_edges t c =
   let xc = vertex t (canonical t c) in
   let tbl = Hashtbl.create 8 in
-  Hashtbl.iter
-    (fun _ l ->
-      List.iter
-        (fun e -> if not e.e_dead then Hashtbl.replace tbl e.eid e)
-        !l)
+  Array.iter
+    (List.iter (fun e -> if not e.e_dead then Hashtbl.replace tbl e.eid e))
     xc.slots;
   Hashtbl.fold (fun _ e acc -> e :: acc) tbl []
 
@@ -482,86 +495,68 @@ let kill_root_switch t =
    formulation only removes hostless *trees*; separation also covers
    hostless cycles and self-cabled pendants behind a bridge, and — the
    other direction — keeps a pendant switch whose single cable leads
-   to a host (a mapper isolated with its switch after faults). *)
+   to a host (a mapper isolated with its switch after faults).
+
+   The model is a multigraph on canonical vids (edge endpoints are kept
+   canonical by [do_merge]), so Dense.separation applies directly: one
+   O(V+E) pass instead of a BFS per cable, which is what lets PRUNE run
+   on 10k-host fabrics. [whole_components] captures the hostless-cycle
+   case: there any switch-switch cable, bridge or not, separates the
+   entire component from all hosts. *)
 let prune t =
-  let bfs ~avoid start =
-    let seen = Hashtbl.create 16 in
-    let q = Queue.create () in
-    Hashtbl.replace seen start ();
-    Queue.add start q;
-    while not (Queue.is_empty q) do
-      let u = Queue.take q in
-      List.iter
-        (fun e ->
-          if e.eid <> avoid then begin
-            let a = canonical t e.ea and b = canonical t e.eb in
-            let far = if a = u then b else a in
-            if not (Hashtbl.mem seen far) then begin
-              Hashtbl.replace seen far ();
-              Queue.add far q
-            end
-          end)
-        (incident_edges t u)
+  let live = List.filter (fun e -> not e.e_dead) t.all_edges in
+  if live <> [] then begin
+    let earr = Array.of_list live in
+    let edge_u = Array.map (fun e -> e.ea) earr in
+    let edge_v = Array.map (fun e -> e.eb) earr in
+    let is_switch v =
+      match (vertex t v).v_kind with Vswitch -> true | Vhost _ -> false
+    in
+    let in_f, sep =
+      Dense.separation ~nodes:t.nverts ~edge_u ~edge_v
+        ~is_host:(fun v -> not (is_switch v))
+        ~candidate:(fun id ->
+          let e = earr.(id) in
+          e.ea <> e.eb && is_switch e.ea && is_switch e.eb)
+        ~whole_components:true
+    in
+    (* One ledger entry per condemned region, citing the separating
+       cable, as the per-edge formulation produced. *)
+    let groups = Hashtbl.create 8 in
+    for v = t.nverts - 1 downto 0 do
+      let xv = t.verts.(v) in
+      if in_f.(v) && xv.parent = v && not xv.dead then
+        Hashtbl.replace groups sep.(v)
+          (v :: Option.value ~default:[] (Hashtbl.find_opt groups sep.(v)))
     done;
-    seen
-  in
-  let hostless seen =
-    Hashtbl.fold
-      (fun v () acc ->
-        acc
-        && match (vertex t v).v_kind with Vhost _ -> false | Vswitch -> true)
-      seen true
-  in
-  let kill_side ~did seen =
-    Hashtbl.iter
-      (fun v () ->
-        let xv = vertex t v in
-        if not xv.dead then begin
-          List.iter (kill_edge t) (incident_edges t v);
-          xv.dead <- true;
-          t.n_verts_live <- t.n_verts_live - 1;
-          Why.note_prune ~vid:v ~did
-        end)
-      seen
-  in
-  let is_switch v =
-    match (vertex t (canonical t v)).v_kind with
-    | Vswitch -> true
-    | Vhost _ -> false
-  in
-  List.iter
-    (fun e ->
-      if (not e.e_dead) && is_switch e.ea && is_switch e.eb then begin
-        let a = canonical t e.ea and b = canonical t e.eb in
-        if a <> b then begin
-          let try_side start =
-            let seen = bfs ~avoid:e.eid start in
-            if hostless seen then begin
-              let did =
-                if Why.on () then
-                  let vids =
-                    List.sort compare
-                      (Hashtbl.fold (fun v () acc -> v :: acc) seen [])
-                  in
-                  Why.deduce ~rule:"prune"
-                    ~fact:
-                      (lazy (Printf.sprintf
-                         "region {%s} hangs off one switch-switch cable with \
-                          no host inside: separated from N-F (Theorem 1)"
-                         (String.concat ","
-                            (List.map (Printf.sprintf "v%d") vids))))
-                    ~deps:(Option.to_list (Why.edge_did ~eid:e.eid))
-                    ()
-                else -1
-              in
-              kill_side ~did seen
-            end
-          in
-          try_side a;
-          if not e.e_dead then try_side b
-        end
-      end)
-    t.all_edges
+    let keys = List.sort compare (Hashtbl.fold (fun k _ a -> k :: a) groups []) in
+    List.iter
+      (fun key ->
+        let vids = Hashtbl.find groups key in
+        let did =
+          if Why.on () then
+            Why.deduce ~rule:"prune"
+              ~fact:
+                (lazy (Printf.sprintf
+                   "region {%s} hangs off one switch-switch cable with \
+                    no host inside: separated from N-F (Theorem 1)"
+                   (String.concat "," (List.map (Printf.sprintf "v%d") vids))))
+              ~deps:(Option.to_list (Why.edge_did ~eid:earr.(key).eid))
+              ()
+          else -1
+        in
+        List.iter
+          (fun v ->
+            let xv = vertex t v in
+            if not xv.dead then begin
+              List.iter (kill_edge t) (incident_edges t v);
+              xv.dead <- true;
+              t.n_verts_live <- t.n_verts_live - 1;
+              Why.note_prune ~vid:v ~did
+            end)
+          vids)
+      keys
+  end
 
 let known_hosts t = Hashtbl.length t.host_names
 let created_vertices t = t.nverts
@@ -584,17 +579,18 @@ let to_graph t =
   List.iter
     (fun v ->
       let xv = vertex t v in
-      let used_slots =
-        Hashtbl.fold
-          (fun i l acc -> if live_slot_edges l <> [] then i :: acc else acc)
-          xv.slots []
-      in
+      let used_slots = ref [] in
       (* Every slot must have settled to at most one edge. *)
-      Hashtbl.iter
-        (fun i l ->
-          if List.length (live_slot_edges l) > 1 then
-            fail "unresolved replicates at slot (%d,%d): explore deeper" v i)
+      Array.iteri
+        (fun idx l ->
+          match live_slot_edges l with
+          | [] -> ()
+          | [ _ ] -> used_slots := (idx - xv.s_base) :: !used_slots
+          | _ ->
+            fail "unresolved replicates at slot (%d,%d): explore deeper" v
+              (idx - xv.s_base))
         xv.slots;
+      let used_slots = !used_slots in
       let node =
         match xv.v_kind with
         | Vhost name ->
@@ -630,8 +626,9 @@ let check_invariants t =
       (fun v ->
         let xv = vertex t v in
         if xv.wlo > xv.whi then fail "vertex %d: empty offset window" v;
-        Hashtbl.iter
-          (fun i l ->
+        Array.iteri
+          (fun idx l ->
+            let i = idx - xv.s_base in
             List.iter
               (fun e ->
                 if not e.e_dead then begin
@@ -642,7 +639,7 @@ let check_invariants t =
                     fail "edge %d listed at slot (%d,%d) but anchored elsewhere"
                       e.eid v i
                 end)
-              !l)
+              l)
           xv.slots)
       (live_canonicals t);
     let live_count = ref 0 in
@@ -654,9 +651,8 @@ let check_invariants t =
             let xv = vertex t v in
             if xv.parent <> v then fail "edge %d endpoint %d not canonical" e.eid v;
             if xv.dead then fail "edge %d endpoint %d is dead" e.eid v;
-            match Hashtbl.find_opt xv.slots i with
-            | Some l when List.memq e !l -> ()
-            | _ -> fail "edge %d missing from slot (%d,%d)" e.eid v i
+            if not (List.memq e (slot_get xv i)) then
+              fail "edge %d missing from slot (%d,%d)" e.eid v i
           in
           check_end (e.ea, e.ia);
           check_end (e.eb, e.ib)

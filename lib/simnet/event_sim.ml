@@ -47,7 +47,12 @@ type t = {
       (* resolved once at create: explicit arg, else the process-wide
          slot; None means per-channel accounting is off *)
   events : event San_util.Heap.t;
-  channels : (Graph.wire_end, channel) Hashtbl.t;
+  dense : Dense.t;
+      (* CSR snapshot taken at create: wire ends resolve to dense
+         channel ids in O(1) on the hot path *)
+  channels : channel option array; (* indexed by dense channel id *)
+  late_channels : (Graph.wire_end, channel) Hashtbl.t;
+      (* ports added to the graph after create (daemon world) *)
   mutable worms : worm array;
   mutable nworms : int;
   mutable clock : float;
@@ -65,12 +70,15 @@ let create ?(params = Params.default) ?fabric graph =
     | Some _ as f -> f
     | None -> San_telemetry.Fabric_stats.current ()
   in
+  let dense = Dense.of_graph graph in
   {
     graph;
     params;
     fabric;
     events = San_util.Heap.create ();
-    channels = Hashtbl.create 256;
+    dense;
+    channels = Array.make (Dense.num_channels dense) None;
+    late_channels = Hashtbl.create 16;
     worms = [||];
     nworms = 0;
     clock = 0.0;
@@ -82,15 +90,26 @@ let create ?(params = Params.default) ?fabric graph =
     lats = [];
   }
 
+let fresh_channel () =
+  { owner = None; gen = 0; acquired_at = 0.0; waiters = Queue.create () }
+
 let channel t key =
-  match Hashtbl.find_opt t.channels key with
-  | Some c -> c
-  | None ->
-    let c =
-      { owner = None; gen = 0; acquired_at = 0.0; waiters = Queue.create () }
-    in
-    Hashtbl.add t.channels key c;
-    c
+  match Dense.channel_of t.dense key with
+  | Some id -> (
+    match t.channels.(id) with
+    | Some c -> c
+    | None ->
+      let c = fresh_channel () in
+      t.channels.(id) <- Some c;
+      c)
+  | None -> (
+    (* Port appeared after the snapshot (live repair / growth). *)
+    match Hashtbl.find_opt t.late_channels key with
+    | Some c -> c
+    | None ->
+      let c = fresh_channel () in
+      Hashtbl.add t.late_channels key c;
+      c)
 
 let worm t wid = t.worms.(wid)
 

@@ -1,64 +1,26 @@
 type edge = Graph.wire_end * Graph.wire_end
 
-(* Adjacency with edge identities so parallel wires are distinguished:
-   for each node, [(edge_id, other_end_node)]. *)
-let edge_adjacency g =
+(* Edge arrays in Graph.wires' canonical order, for Dense's linear-time
+   machinery. Parallel wires get distinct ids, which is what keeps them
+   off the bridge list. *)
+let edge_arrays g =
   let edges = Array.of_list (Graph.wires g) in
-  let n = Graph.num_nodes g in
-  let adj = Array.make n [] in
+  let ne = Array.length edges in
+  let edge_u = Array.make ne 0 in
+  let edge_v = Array.make ne 0 in
   Array.iteri
-    (fun id (((a, _), (b, _)) : edge) ->
-      adj.(a) <- (id, b) :: adj.(a);
-      adj.(b) <- (id, a) :: adj.(b))
+    (fun i (((a, _), (b, _)) : edge) ->
+      edge_u.(i) <- a;
+      edge_v.(i) <- b)
     edges;
-  (edges, adj)
+  (edges, edge_u, edge_v)
 
-(* Iterative Tarjan bridge finding on a multigraph: a tree edge (u,v)
-   is a bridge iff low(v) > disc(u); the edge used to enter a node is
-   skipped by id, so a parallel wire correctly acts as a back edge. *)
 let bridges g =
-  let edges, adj = edge_adjacency g in
-  let n = Graph.num_nodes g in
-  let disc = Array.make n (-1) in
-  let low = Array.make n max_int in
-  let timer = ref 0 in
-  let is_bridge = Array.make (Array.length edges) false in
-  for start = 0 to n - 1 do
-    if disc.(start) = -1 then begin
-      (* Each stack frame: (node, entering edge id, remaining adj). *)
-      let stack = ref [ (start, -1, ref adj.(start)) ] in
-      disc.(start) <- !timer;
-      low.(start) <- !timer;
-      incr timer;
-      while !stack <> [] do
-        match !stack with
-        | [] -> ()
-        | (u, in_edge, rest) :: tail -> (
-          match !rest with
-          | [] ->
-            stack := tail;
-            (match tail with
-            | (p, _, _) :: _ ->
-              low.(p) <- min low.(p) low.(u);
-              if in_edge >= 0 && low.(u) > disc.(p) then
-                is_bridge.(in_edge) <- true
-            | [] -> ())
-          | (eid, v) :: more ->
-            rest := more;
-            if eid = in_edge then ()
-            else if disc.(v) >= 0 then low.(u) <- min low.(u) disc.(v)
-            else begin
-              disc.(v) <- !timer;
-              low.(v) <- !timer;
-              incr timer;
-              stack := (v, eid, ref adj.(v)) :: !stack
-            end)
-      done
-    end
-  done;
+  let edges, edge_u, edge_v = edge_arrays g in
+  let flags = Dense.bridge_flags ~nodes:(Graph.num_nodes g) ~edge_u ~edge_v in
   let acc = ref [] in
   for id = Array.length edges - 1 downto 0 do
-    if is_bridge.(id) then acc := edges.(id) :: !acc
+    if flags.(id) then acc := edges.(id) :: !acc
   done;
   !acc
 
@@ -68,43 +30,19 @@ let switch_bridges g =
       Graph.kind g a = Graph.Switch && Graph.kind g b = Graph.Switch)
     (bridges g)
 
-(* BFS avoiding one forbidden wire, identified by its two ends. *)
-let reachable_without g ~start ~forbidden:(((fa, fpa), (fb, fpb)) : edge) =
-  let n = Graph.num_nodes g in
-  let seen = Array.make n false in
-  seen.(start) <- true;
-  let q = Queue.create () in
-  Queue.add start q;
-  while not (Queue.is_empty q) do
-    let u = Queue.take q in
-    List.iter
-      (fun (p, (v, pv)) ->
-        let this_wire_forbidden =
-          ((u, p) = (fa, fpa) && (v, pv) = (fb, fpb))
-          || ((u, p) = (fb, fpb) && (v, pv) = (fa, fpa))
-        in
-        if (not this_wire_forbidden) && not seen.(v) then begin
-          seen.(v) <- true;
-          Queue.add v q
-        end)
-      (Graph.wired_ports g u)
-  done;
-  seen
-
+(* Theorem 1's F, in one O(V+E) pass instead of a BFS per bridge:
+   Dense.separation marks every node some switch-switch bridge
+   separates, along with its whole side, from all hosts. *)
 let separated_set g =
-  let n = Graph.num_nodes g in
-  let in_f = Array.make n false in
-  let mark_side_if_hostless seen =
-    let hostless = ref true in
-    Array.iteri (fun v r -> if r && Graph.is_host g v then hostless := false) seen;
-    if !hostless then
-      Array.iteri (fun v r -> if r then in_f.(v) <- true) seen
+  let edges, edge_u, edge_v = edge_arrays g in
+  let in_f, _ =
+    Dense.separation ~nodes:(Graph.num_nodes g) ~edge_u ~edge_v
+      ~is_host:(Graph.is_host g)
+      ~candidate:(fun id ->
+        let (a, _), (b, _) = edges.(id) in
+        Graph.kind g a = Graph.Switch && Graph.kind g b = Graph.Switch)
+      ~whole_components:false
   in
-  List.iter
-    (fun ((((a, _), (b, _)) : edge) as e) ->
-      mark_side_if_hostless (reachable_without g ~start:a ~forbidden:e);
-      mark_side_if_hostless (reachable_without g ~start:b ~forbidden:e))
-    (switch_bridges g);
   in_f
 
 let core_nodes g =
