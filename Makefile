@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-fast bench-smoke scale-smoke fuzz-smoke health-smoke explain-smoke artifacts examples clean
+.PHONY: all build test check bench bench-fast bench-smoke scale-smoke shard-smoke fuzz-smoke health-smoke explain-smoke artifacts examples clean
 
 all: build
 
@@ -19,6 +19,7 @@ check:
 	$(MAKE) explain-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) scale-smoke
+	$(MAKE) shard-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -41,6 +42,17 @@ scale-smoke:
 	timeout 120 dune exec bin/san_map.exe -- map -t fabric:ft-1k --seed 1 \
 	  --out-dir ""
 	dune exec bench/main.exe -- --only scaling --fast --no-bechamel
+
+# The sharded mapper at CI size: a seeded 4-shard map of the 1k-host
+# fat-tree checked isomorphic against the solo baseline (the CLI exits
+# non-zero on any verification failure), then the fast scaling-shard
+# bench rung, which additionally gates the merged map on finishing in
+# under half the solo simulated wall and on not drifting from
+# bench/scaling_baseline.json.
+shard-smoke:
+	timeout 240 dune exec bin/san_map.exe -- shard -t fabric:ft-1k --seed 1 \
+	  --shards 4 --compare-solo --out-dir ""
+	dune exec bench/main.exe -- --only scaling-shard --fast --no-bechamel
 
 # The property fuzzer at CI size: a fixed seed so the run is
 # reproducible, 200 random fabrics through the full suite. On a
@@ -67,11 +79,14 @@ explain-smoke:
 	test -s _artifacts/why-C-leaf0.dot
 
 # The telemetry stack end to end: health dashboard with a link cut,
-# exporting a Chrome trace and a Prometheus exposition file.
+# exporting a Chrome trace and a Prometheus exposition file. Outputs
+# land under _artifacts/ (gitignored) with the other smoke artifacts.
 health-smoke:
+	mkdir -p _artifacts
 	dune exec bin/san_map.exe -- health -t star:3 --epochs 2 --schedule 1:cut \
-	  --chrome-trace smoke_trace.json --prom smoke_metrics.prom
-	test -s smoke_trace.json && test -s smoke_metrics.prom
+	  --chrome-trace _artifacts/smoke_trace.json \
+	  --prom _artifacts/smoke_metrics.prom
+	test -s _artifacts/smoke_trace.json && test -s _artifacts/smoke_metrics.prom
 
 # The reproduction record: full test log and full harness output.
 artifacts:

@@ -1578,6 +1578,131 @@ let scaling_section () =
   obs_sections := ("scaling", J.Obj (List.rev !entries)) :: !obs_sections
 
 (* ------------------------------------------------------------------ *)
+(* Sharded mapping at scale: San_shard's 4 concurrent mappers against   *)
+(* the solo mapper on the big rungs. The wall is the slowest shard plus *)
+(* the conflict-resolving merge; both clocks are simulated, so the      *)
+(* ratio is deterministic and gated hard: the merged map must verify    *)
+(* and the sharded wall must stay under half the solo wall.             *)
+
+let scaling_shard_section () =
+  let module J = San_util.Json in
+  let module Fabric = San_fabric.Fabric in
+  let shards = 4 in
+  let rungs = "ft-1k" :: (if !fast then [] else [ "ft-10k" ]) in
+  let t =
+    T.create
+      ~header:
+        [ "fabric"; "shards"; "solo probes"; "shard probes"; "probe ratio";
+          "solo sim (s)"; "shard sim (s)"; "wall ratio"; "verified" ]
+  in
+  let entries = ref [] in
+  List.iter
+    (fun name ->
+      let p = Option.get (Fabric.find_preset name) in
+      let g = p.Fabric.p_build ~seed:1 in
+      let mapper = List.hd (Graph.hosts g) in
+      let depth = Option.get p.Fabric.p_depth in
+      let net = Network.create g in
+      let solo = Berkeley.run ~depth:(Berkeley.Fixed depth) net ~mapper in
+      let solo_probes = Berkeley.total_probes solo in
+      let solo_ns = solo.Berkeley.elapsed_ns in
+      match San_shard.Runner.run ~seed:1 ~root:mapper g ~shards with
+      | Error e ->
+        Printf.printf "scaling-shard %s: plan failed: %s\n" name e;
+        gate_failed := true
+      | Ok r ->
+        let exclude = Core_set.separated_set g in
+        let iso m = Result.is_ok (Iso.check ~map:m ~actual:g ~exclude ()) in
+        let verified =
+          (match solo.Berkeley.map with Ok m -> iso m | Error _ -> false)
+          && (match r.San_shard.Runner.map with
+             | Ok m -> iso m
+             | Error _ -> false)
+          && r.San_shard.Runner.dropped_views = []
+        in
+        let ratio = r.San_shard.Runner.wall_ns /. solo_ns in
+        let probe_ratio =
+          float_of_int r.San_shard.Runner.total_probes
+          /. float_of_int solo_probes
+        in
+        if (not verified) || ratio >= 0.5 then gate_failed := true;
+        T.add_row t
+          [ name; string_of_int shards; string_of_int solo_probes;
+            string_of_int r.San_shard.Runner.total_probes;
+            Printf.sprintf "%.2f" probe_ratio;
+            Printf.sprintf "%.2f" (solo_ns /. 1e9);
+            Printf.sprintf "%.2f" (r.San_shard.Runner.wall_ns /. 1e9);
+            Printf.sprintf "%.2f" ratio;
+            (if verified then "yes" else "NO") ];
+        entries :=
+          ( name,
+            J.Obj
+              [
+                ("hosts", J.int (Graph.num_hosts g));
+                ("shards", J.int shards);
+                ("solo_probes", J.int solo_probes);
+                ("shard_probes", J.int r.San_shard.Runner.total_probes);
+                ("probe_ratio", J.Num probe_ratio);
+                ("solo_sim_ms", J.Num (solo_ns /. 1e6));
+                ("shard_sim_ms", J.Num (r.San_shard.Runner.wall_ns /. 1e6));
+                ("merge_ms", J.Num (r.San_shard.Runner.merge_ns /. 1e6));
+                ("sim_wall_ratio", J.Num ratio);
+                ("overlap", J.Num r.San_shard.Runner.plan.San_shard.Region.overlap);
+                ("verified", J.Bool verified);
+              ] )
+          :: !entries)
+    rungs;
+  T.print
+    ~title:
+      (Printf.sprintf
+         "Scaling, sharded — %d concurrent mappers vs solo, seed 1 \
+          (simulated wall = slowest shard + merge; gate: verified and \
+          ratio < 0.5)"
+         shards)
+    t;
+  (* Drift check against the recorded shard rung: the simulation is
+     deterministic, so any movement is a code change, not noise. *)
+  (match List.assoc_opt "ft-1k" !entries with
+   | Some j -> (
+     let cur =
+       match J.member "sim_wall_ratio" j with Some (J.Num f) -> Some f | _ -> None
+     in
+     let base =
+       if Sys.file_exists scaling_baseline then begin
+         let ic = open_in scaling_baseline in
+         let s = really_input_string ic (in_channel_length ic) in
+         close_in ic;
+         match J.of_string s with
+         | Ok j -> (
+           match
+             Option.bind (J.member "ft-1k-shard4" j) (J.member "sim_wall_ratio")
+           with
+           | Some (J.Num f) -> Some f
+           | _ -> None)
+         | Error _ -> None
+       end
+       else None
+     in
+     match (cur, base) with
+     | Some c, Some b ->
+       if c > b *. 1.25 then begin
+         Printf.printf
+           "scaling-shard gate FAILED: ft-1k sim wall ratio %.3f drifted over \
+            1.25x the %.3f baseline\n"
+           c b;
+         gate_failed := true
+       end
+       else
+         Printf.printf "scaling-shard gate ok: ft-1k ratio %.3f (baseline %.3f)\n"
+           c b
+     | Some _, None ->
+       Printf.printf "(no ft-1k-shard4 baseline at %s; drift check skipped)\n"
+         scaling_baseline
+     | None, _ -> ())
+   | None -> ());
+  obs_sections := ("scaling-shard", J.Obj (List.rev !entries)) :: !obs_sections
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment              *)
 
 let bechamel_section () =
@@ -1737,6 +1862,7 @@ let () =
   (* scaling pushes its own structured obs entry (per-rung curves),
      so it runs outside the generic [section] wrapper. *)
   if wants "scaling" then scaling_section ();
+  if wants "scaling-shard" then scaling_shard_section ();
   section "bechamel"
     ~when_:(!with_bechamel && (wants "bechamel" || !only = []))
     bechamel_section;

@@ -373,6 +373,154 @@ let run_map spec seed mapper_name algo model depth policy dot json out_dir
   if !failed then 1 else 0
 
 (* ------------------------------------------------------------------ *)
+(* shard: N concurrent mappers, conflict-resolved merge               *)
+
+let shards_arg =
+  let doc = "Number of concurrent mapper shards." in
+  Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N" ~doc)
+
+let stale_arg =
+  let doc =
+    "Give shard $(docv) a stale-epoch view (a seeded recabling of two \
+     overlap wires), forcing real merge conflicts. Enables the why \
+     ledger so every resolution is justified by probe evidence."
+  in
+  Arg.(value & opt (some int) None & info [ "stale" ] ~docv:"IDX" ~doc)
+
+let compare_solo_arg =
+  let doc =
+    "Also run the single-mapper baseline and check the merged map is \
+     isomorphic to it (and report the probe and wall-clock ratios)."
+  in
+  Arg.(value & flag & info [ "compare-solo" ] ~doc)
+
+let pp_resolution fmt (r : San_shard.Merge.resolution) =
+  Format.fprintf fmt "resolved [%s] shard %d over shard %d: %s (%s)%s"
+    r.San_shard.Merge.r_class r.San_shard.Merge.r_winner
+    r.San_shard.Merge.r_loser r.San_shard.Merge.r_action
+    r.San_shard.Merge.r_detail
+    (if r.San_shard.Merge.r_did >= 0 then
+       Printf.sprintf " [why #%d]" r.San_shard.Merge.r_did
+     else "")
+
+let run_shard spec seed mapper_name shards stale compare_solo json out_dir
+    trace metrics chrome prom =
+  with_obs ~chrome ~prom ~trace ~metrics @@ fun () ->
+  with_why (stale <> None) @@ fun () ->
+  let g, depth_hint = build_topology_ex spec seed in
+  let root =
+    Option.map
+      (fun name ->
+        match Graph.host_by_name g name with
+        | Some h -> h
+        | None -> failwith ("no such host: " ^ name))
+      mapper_name
+  in
+  match San_shard.Runner.run ~seed ?root ?stale g ~shards with
+  | Error e ->
+    Format.printf "shard planning failed: %s@." e;
+    1
+  | Ok r -> (
+    let open San_shard in
+    Format.printf "plan: %a@." Region.pp r.Runner.plan;
+    List.iter
+      (fun s ->
+        Format.printf
+          "shard %d: mapper %-8s radius %d depth %2d probes %7d/%d%s %8.1f \
+           ms simulated, %d map nodes%s@."
+          s.Runner.s_idx s.Runner.s_mapper s.Runner.s_radius s.Runner.s_depth
+          s.Runner.s_probes s.Runner.s_budget
+          (if s.Runner.s_over_budget then " (OVER BUDGET)" else "")
+          (s.Runner.s_elapsed_ns /. 1e6)
+          s.Runner.s_map_nodes
+          (if s.Runner.s_stale then " [stale view]" else ""))
+      r.Runner.reports;
+    List.iter
+      (fun res -> Format.printf "%a@." pp_resolution res)
+      r.Runner.resolutions;
+    if r.Runner.dropped_views <> [] then
+      Format.printf "dropped views: %s@."
+        (String.concat ", "
+           (List.map string_of_int r.Runner.dropped_views));
+    Format.printf
+      "sharded: %d probes total, %.1f ms simulated wall (slowest shard + \
+       %.2f ms merge), %.2fx parallel speedup, coordinator %s@."
+      r.Runner.total_probes
+      (r.Runner.wall_ns /. 1e6)
+      (r.Runner.merge_ns /. 1e6)
+      (if r.Runner.wall_ns > 0.0 then r.Runner.sum_ns /. r.Runner.wall_ns
+       else 1.0)
+      r.Runner.coordinator;
+    match r.Runner.map with
+    | Error e ->
+      Format.printf "merge FAILED: %s@." e;
+      1
+    | Ok merged ->
+      Format.printf "merged map: %a@." Graph.pp_stats merged;
+      let failed = ref false in
+      (match
+         Iso.check ~map:merged ~actual:g
+           ~exclude:(Core_set.separated_set g) ()
+       with
+      | Ok () -> Format.printf "verified: merged map isomorphic to N - F@."
+      | Error e ->
+        failed := true;
+        Format.printf "verification FAILED: %s@." e);
+      if compare_solo then begin
+        let net = San_simnet.Network.create g in
+        let mapper =
+          match root with
+          | Some h -> h
+          | None -> List.hd (Graph.hosts g)
+        in
+        let depth =
+          if oracle_feasible g then San_mapper.Berkeley.Oracle
+          else
+            match depth_hint with
+            | Some d -> San_mapper.Berkeley.Fixed d
+            | None -> San_mapper.Berkeley.Oracle
+        in
+        let s = San_mapper.Berkeley.run ~depth net ~mapper in
+        let solo_probes = San_mapper.Berkeley.total_probes s in
+        Format.printf
+          "solo baseline: %d probes, %.1f ms simulated, depth %d@."
+          solo_probes
+          (s.San_mapper.Berkeley.elapsed_ns /. 1e6)
+          s.San_mapper.Berkeley.depth_used;
+        (match s.San_mapper.Berkeley.map with
+        | Error e ->
+          failed := true;
+          Format.printf "solo baseline export failed: %s@." e
+        | Ok solo -> (
+          match Iso.check ~map:merged ~actual:solo () with
+          | Ok () ->
+            Format.printf "verified: merged map isomorphic to solo map@."
+          | Error e ->
+            failed := true;
+            Format.printf "solo comparison FAILED: %s@." e));
+        if s.San_mapper.Berkeley.elapsed_ns > 0.0 then
+          Format.printf
+            "ratios vs solo: %.2fx probes, %.2fx simulated wall@."
+            (float_of_int r.Runner.total_probes /. float_of_int solo_probes)
+            (r.Runner.wall_ns /. s.San_mapper.Berkeley.elapsed_ns)
+      end;
+      if out_dir <> "" then begin
+        ensure_dir out_dir;
+        let stem =
+          Filename.concat out_dir ("shard-map-" ^ spec_stem spec)
+        in
+        Serial.save merged (stem ^ ".json");
+        Dot.to_file merged (stem ^ ".dot");
+        Format.printf "wrote %s.json and %s.dot@." stem stem
+      end;
+      Option.iter
+        (fun f ->
+          Serial.save merged f;
+          Format.printf "wrote %s@." f)
+        json;
+      if !failed then 1 else 0)
+
+(* ------------------------------------------------------------------ *)
 (* gen: emit a generated fabric as a replayable artifact              *)
 
 let run_gen spec seed out_dir dot json =
@@ -679,6 +827,13 @@ let quiet_arg =
   let doc = "Print only the final summary, not per-epoch reports." in
   Arg.(value & flag & info [ "quiet" ] ~doc)
 
+let daemon_shards_arg =
+  let doc =
+    "Run full remaps (cold start and stale-map fallback) as $(docv) \
+     concurrent sharded mappers instead of one global mapper."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
 let pp_epoch_report (r : San_service.Daemon.epoch_report) =
   let open San_service in
   Format.printf "epoch %3d  %-8s %-13s [%s]  probes %5d  coverage %d/%d%s@."
@@ -700,8 +855,8 @@ let pp_epoch_report (r : San_service.Daemon.epoch_report) =
         d.Delta.dist.San_routing.Distribute.hosts_missed);
   List.iter (fun ev -> Format.printf "           * %s@." ev) r.Daemon.events
 
-let run_daemon spec seed epochs schedule retries quiet out_dir trace metrics
-    chrome prom =
+let run_daemon spec seed epochs schedule retries shards quiet out_dir trace
+    metrics chrome prom =
   let flight = out_dir <> "" in
   with_obs ~force:flight ~chrome ~prom ~trace ~metrics @@ fun () ->
   with_why flight @@ fun () ->
@@ -715,6 +870,7 @@ let run_daemon spec seed epochs schedule retries quiet out_dir trace metrics
         Daemon.default_config with
         Daemon.dist_retries = retries;
         seed;
+        shards;
         flight_dir = (if flight then Some out_dir else None);
       }
     in
@@ -872,7 +1028,9 @@ let why_arg =
   let doc =
     "The map fact to explain: $(b,switch:NAME) (map name m<vid> or the \
      actual switch's name), $(b,link:A.P-B.Q) with each end written \
-     NAME.PORT (e.g. $(b,link:h0.0-m1.0)), or $(b,route:H1->H2)."
+     NAME.PORT (e.g. $(b,link:h0.0-m1.0)), $(b,route:H1->H2), or \
+     $(b,conflicts) (sharded runs: justify every merge-conflict \
+     resolution; combine with $(b,--shards)/$(b,--stale))."
   in
   Arg.(required & opt (some string) None & info [ "why" ] ~docv:"QUERY" ~doc)
 
@@ -884,10 +1042,48 @@ let write_dot_roots snap roots = function
     close_out oc;
     Format.printf "wrote %s@." f
 
-let run_explain spec seed mapper_name query dot =
+(* Sharded explain: re-run the sharded mapping with the ledger on and
+   print the justification tree of every merge-conflict resolution.
+   Only the [conflicts] query makes sense here — {!San_why.Replay}
+   rebuilds a model from vid-keyed notes, and with N shard models
+   appending to one ledger those ids collide, so switch/link/route
+   queries stay solo-only. *)
+let run_explain_conflicts g seed root shards stale =
+  match San_shard.Runner.run ~seed ?root ?stale g ~shards with
+  | Error e ->
+    Format.printf "shard planning failed: %s@." e;
+    1
+  | Ok r -> (
+    match r.San_shard.Runner.resolutions with
+    | [] ->
+      Format.printf "no merge conflicts: %d shard views agreed%s@." shards
+        (if stale = None then
+           " (quiescent shards never contradict; try --stale IDX)"
+         else "");
+      0
+    | resolutions ->
+      let snap = San_why.Why.capture () in
+      Format.printf "%d merge conflict%s resolved:@."
+        (List.length resolutions)
+        (if List.length resolutions = 1 then "" else "s");
+      List.iter
+        (fun res ->
+          Format.printf "%a@." pp_resolution res;
+          if res.San_shard.Merge.r_did >= 0 then
+            San_why.Explain.pp_roots snap Format.std_formatter
+              [ res.San_shard.Merge.r_did ])
+        resolutions;
+      0)
+
+let run_explain spec seed mapper_name query shards stale dot =
   with_why true @@ fun () ->
   let g = build_topology spec seed in
   let mapper = pick_mapper g mapper_name in
+  if query = "conflicts" then
+    run_explain_conflicts g seed
+      (if mapper_name = None then None else Some mapper)
+      (max shards 2) stale
+  else
   let net = San_simnet.Network.create g in
   let r = San_mapper.Berkeley.run net ~mapper in
   match r.San_mapper.Berkeley.map with
@@ -1022,6 +1218,17 @@ let map_cmd =
       $ depth_arg $ policy_arg $ dot_arg $ json_arg $ out_dir_arg $ trace_arg
       $ metrics_arg $ chrome_arg $ prom_arg)
 
+let shard_cmd =
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Map a fabric with N concurrent mapper shards and a \
+          conflict-resolved merge")
+    Term.(
+      const run_shard $ topo_arg $ seed_arg $ mapper_arg $ shards_arg
+      $ stale_arg $ compare_solo_arg $ json_arg $ out_dir_arg $ trace_arg
+      $ metrics_arg $ chrome_arg $ prom_arg)
+
 let routes_cmd =
   Cmd.v
     (Cmd.info "routes" ~doc:"Map, then compute and verify UP*/DOWN* routes")
@@ -1061,8 +1268,8 @@ let daemon_cmd =
           fault/repair schedule")
     Term.(
       const run_daemon $ topo_arg $ seed_arg $ epochs_arg $ schedule_arg
-      $ retries_arg $ quiet_arg $ out_dir_arg $ trace_arg $ metrics_arg
-      $ chrome_arg $ prom_arg)
+      $ retries_arg $ daemon_shards_arg $ quiet_arg $ out_dir_arg $ trace_arg
+      $ metrics_arg $ chrome_arg $ prom_arg)
 
 let health_cmd =
   Cmd.v
@@ -1080,9 +1287,11 @@ let explain_cmd =
     (Cmd.info "explain"
        ~doc:
          "Map with the provenance ledger on, then print the minimal \
-          justification tree for a switch, link, or route")
+          justification tree for a switch, link, route, or sharded \
+          merge conflicts")
     Term.(
-      const run_explain $ topo_arg $ seed_arg $ mapper_arg $ why_arg $ dot_arg)
+      const run_explain $ topo_arg $ seed_arg $ mapper_arg $ why_arg
+      $ shards_arg $ stale_arg $ dot_arg)
 
 let blame_cmd =
   Cmd.v
@@ -1119,7 +1328,8 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            topo_cmd; gen_cmd; map_cmd; routes_cmd; diff_cmd; verify_cmd;
+            topo_cmd; gen_cmd; map_cmd; shard_cmd; routes_cmd; diff_cmd;
+            verify_cmd;
             fuzz_cmd; daemon_cmd; health_cmd; explain_cmd; blame_cmd;
             postmortem_cmd; version_cmd;
           ]))

@@ -403,6 +403,63 @@ let prop_provenance ctx =
               justification tree"
              mr.Why.kept mr.Why.absorbed mr.Why.m_did))
 
+(* 8. Sharded mapping agrees with the solo mapper: for every shard
+   count, the conflict-resolved union of the per-shard views is
+   isomorphic to the same N - F the single Berkeley mapper produces,
+   and no view is dropped (quiescent shards never contradict). *)
+let prop_shard_agreement ctx =
+  match ctx.mapper with
+  | None -> Ok ()
+  | Some m -> (
+    let g = ctx.case.graph in
+    let eligible =
+      match Graph.wired_ports g m with
+      | (_, (s, _)) :: _ -> not (Graph.is_host g s)
+      | [] -> false
+    in
+    if not eligible then Ok () (* the planner declares such mappers out *)
+    else
+      match Lazy.force ctx.berkeley with
+      | Error _ -> Ok () (* prop_iso owns mapping failures *)
+      | Ok _ ->
+        List.fold_left
+          (fun acc shards ->
+            match acc with
+            | Error _ -> acc
+            | Ok () -> (
+              match
+                San_shard.Runner.run ~seed:ctx.case.case_seed ~root:m
+                  ~responding:ctx.responding g ~shards
+              with
+              | Error e ->
+                Error (Printf.sprintf "%d shards: plan failed: %s" shards e)
+              | Ok r -> (
+                if r.San_shard.Runner.dropped_views <> [] then
+                  Error
+                    (Printf.sprintf
+                       "%d shards: merge dropped views %s on a quiescent run"
+                       shards
+                       (String.concat ","
+                          (List.map string_of_int
+                             r.San_shard.Runner.dropped_views)))
+                else
+                  match r.San_shard.Runner.map with
+                  | Error e ->
+                    Error
+                      (Printf.sprintf "%d shards: merge failed: %s" shards e)
+                  | Ok merged -> (
+                    match
+                      Iso.check ~map:merged ~actual:g
+                        ~exclude:(Lazy.force ctx.core_exclude) ()
+                    with
+                    | Ok () -> Ok ()
+                    | Error e ->
+                      Error
+                        (Printf.sprintf "%d shards: merged map not iso: %s"
+                           shards e)))))
+          (Ok ())
+          [ 1; 2; 4; 8 ])
+
 (* ------------------------------------------------------------------ *)
 
 let all =
@@ -414,6 +471,7 @@ let all =
     ("delta", prop_delta);
     ("conservation", prop_conservation);
     ("provenance", prop_provenance);
+    ("shard_agreement", prop_shard_agreement);
   ]
 
 let names = List.map fst all

@@ -1,7 +1,7 @@
 (** The property suite: what must hold of every fabric the generator
     can produce.
 
-    Six properties, one per paper-level claim the system depends on:
+    One property per paper-level claim the system depends on:
 
     - ["iso"] — the Berkeley map is isomorphic to [N - F] (Theorem 1),
       with mapper-unreachable nodes and silent hosts joining F;
@@ -20,7 +20,14 @@
       and never ships more bytes than full;
     - ["conservation"] — per-channel fabric counters conserve transits
       against the event simulator's acquired-hop total under an
-      all-pairs storm.
+      all-pairs storm;
+    - ["provenance"] — with the ledger on, every entry cites strictly
+      earlier entries, probe citations point at probe entries, and
+      every replicate merge justifies down to a probe that ran;
+    - ["shard_agreement"] — for shard counts {1, 2, 4, 8}, the
+      conflict-resolved union of [San_shard] per-shard views is
+      isomorphic to the same [N - F] the solo Berkeley mapper
+      produces, with no view dropped on a quiescent run.
 
     Degenerate fabrics (no hosts, no mapper) make a property pass
     trivially rather than error: the generator is free to produce

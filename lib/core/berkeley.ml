@@ -81,7 +81,8 @@ let service_of_network net ~mapper =
    on-line mapper over the event-driven simulator. Returns
    (explorations, elapsed_ns, trace) and leaves the model stabilised
    but unpruned. *)
-let explore_service ~policy ~depth_used ~record_trace sv model seeds =
+let explore_service ?(expand = fun _ -> true) ~policy ~depth_used
+    ~record_trace sv model seeds =
   let frontier : Model.vid San_util.Fifo.t = San_util.Fifo.create () in
   List.iter (San_util.Fifo.add frontier) seeds;
   let elapsed = ref 0.0 in
@@ -164,9 +165,8 @@ let explore_service ~policy ~depth_used ~record_trace sv model seeds =
     match San_util.Fifo.next_element frontier with
     | None -> ()
     | Some v ->
-      let within_depth =
-        List.length (Model.probe_string model v) < depth_used
-      in
+      let path = Model.probe_string model v in
+      let within_depth = List.length path < depth_used in
       if within_depth && Model.is_live model v then begin
         (* A replicate of an explored class is not skipped outright:
            each worm holds the wires of its own path, so a member
@@ -174,9 +174,18 @@ let explore_service ~policy ~depth_used ~record_trace sv model seeds =
            member physically could not (its worm would have collided
            with itself). Probing only the still-unknown slots keeps
            the heuristic's savings while recovering that evidence. *)
-        if not (policy.skip_explored && Model.is_explored model v) then
-          explore ~fill_only:false v
-        else explore ~fill_only:true v
+        if expand path then begin
+          if not (policy.skip_explored && Model.is_explored model v) then
+            explore ~fill_only:false v
+          else explore ~fill_only:true v
+        end
+        else if Model.is_explored model v then
+          (* Beyond the exploration scope, replicates of explored
+             classes still fill in the slots self-collision blocked on
+             the short path: without this, a scope-edge switch whose
+             only in-scope route retraces the worm's own wires is never
+             discovered. Unexplored classes stay unexpanded stubs. *)
+          explore ~fill_only:true v
       end;
       drain ()
   in
@@ -213,8 +222,9 @@ let explore_service ~policy ~depth_used ~record_trace sv model seeds =
   end;
   (!explorations, !elapsed, List.rev !trace)
 
-let explore_from ~policy ~depth_used ~record_trace net ~mapper model seeds =
-  explore_service ~policy ~depth_used ~record_trace
+let explore_from ?expand ~policy ~depth_used ~record_trace net ~mapper model
+    seeds =
+  explore_service ?expand ~policy ~depth_used ~record_trace
     (service_of_network net ~mapper)
     model seeds
 
@@ -244,8 +254,8 @@ let resolve_depth net ~mapper = function
   | Oracle -> Core_set.search_depth (Network.graph net) ~root:mapper
   | Fixed d -> d
 
-let run ?(policy = faithful) ?(depth = Oracle) ?(record_trace = false) net
-    ~mapper =
+let run ?(policy = faithful) ?(depth = Oracle) ?(record_trace = false) ?expand
+    net ~mapper =
   let g = Network.graph net in
   if not (Graph.is_host g mapper) then
     invalid_arg "Berkeley.run: mapper must be a host";
@@ -256,7 +266,8 @@ let run ?(policy = faithful) ?(depth = Oracle) ?(record_trace = false) net
         Model.create ~mapper_name:(Graph.name g mapper) ~radix:(Graph.radix g)
       in
       let explorations, elapsed, trace =
-        explore_from ~policy ~depth_used ~record_trace net ~mapper model
+        explore_from ?expand ~policy ~depth_used ~record_trace net ~mapper
+          model
           [ Model.root_switch model ]
       in
       finish ~model ~explorations ~elapsed ~depth_used ~trace net)

@@ -86,13 +86,26 @@ val run :
   ?policy:policy ->
   ?depth:depth ->
   ?record_trace:bool ->
+  ?expand:(Route.t -> bool) ->
   Network.t ->
   mapper:Graph.node ->
   result
 (** [run net ~mapper] maps the network from the given host. Resets the
     network's statistics counters. @raise Invalid_argument if [mapper]
     is not a host. Model inconsistencies (impossible under the paper's
-    assumptions) surface as [Model.Inconsistent]. *)
+    assumptions) surface as [Model.Inconsistent].
+
+    [expand] scopes the exploration (default: everything): a frontier
+    switch is handed its probe path and has its ports enumerated only
+    when [expand path] holds. Unlike [depth] — which caps probe length
+    and rarely binds on small-diameter fabrics — this caps exploration
+    {e breadth}: a sharded mapper (see [San_shard]) resolves the path
+    against its reference topology and expands only switches in its
+    ownership cell plus one ring, which is what makes N concurrent
+    shards each strictly cheaper than one global mapper. Scoped-out
+    switches are still discovered (their parent probed into them) but
+    stay unexpanded stubs with unknown frames, so callers must trim
+    the exported map to the expanded region. *)
 
 (** {1 Engine hooks for the §6 extensions} *)
 
@@ -109,6 +122,7 @@ type service = {
 val service_of_network : Network.t -> mapper:Graph.node -> service
 
 val explore_service :
+  ?expand:(Route.t -> bool) ->
   policy:policy ->
   depth_used:int ->
   record_trace:bool ->
@@ -121,6 +135,7 @@ val explore_service :
     elapsed ns, trace). Does not prune or export. *)
 
 val explore_from :
+  ?expand:(Route.t -> bool) ->
   policy:policy ->
   depth_used:int ->
   record_trace:bool ->

@@ -6,6 +6,7 @@ type verdict = Unchanged | Changed of int
 type result = {
   verdict : verdict;
   verify_probes : int;
+  remap_probes : int;
   verify_elapsed_ns : float;
   total_elapsed_ns : float;
   map : (Graph.t, string) Stdlib.result;
@@ -40,17 +41,24 @@ let switch_routes map ~mapper_m =
     done);
   routes
 
-let run ?policy ?depth net ~mapper ~previous =
+let run ?policy ?depth ?remap net ~mapper ~previous =
   let g = Network.graph net in
   Network.reset_stats net;
   let full ~verify_probes ~verify_elapsed ~discrepancies =
-    let r = Berkeley.run ?policy ?depth net ~mapper in
+    let map, remap_probes, remap_elapsed =
+      match remap with
+      | Some f -> f ~discrepancies
+      | None ->
+        let r = Berkeley.run ?policy ?depth net ~mapper in
+        (r.Berkeley.map, Berkeley.total_probes r, r.Berkeley.elapsed_ns)
+    in
     {
       verdict = Changed discrepancies;
       verify_probes;
+      remap_probes;
       verify_elapsed_ns = verify_elapsed;
-      total_elapsed_ns = verify_elapsed +. r.Berkeley.elapsed_ns;
-      map = r.Berkeley.map;
+      total_elapsed_ns = verify_elapsed +. remap_elapsed;
+      map;
     }
   in
   match Graph.host_by_name previous (Graph.name g mapper) with
@@ -123,6 +131,7 @@ let run ?policy ?depth net ~mapper ~previous =
       {
         verdict = Unchanged;
         verify_probes = !probes;
+        remap_probes = 0;
         verify_elapsed_ns = !elapsed;
         total_elapsed_ns = !elapsed;
         map = Ok previous;

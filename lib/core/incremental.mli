@@ -25,6 +25,7 @@ type verdict =
 type result = {
   verdict : verdict;
   verify_probes : int;
+  remap_probes : int;  (** probes the fallback remap spent; 0 if none ran *)
   verify_elapsed_ns : float;
   total_elapsed_ns : float;  (** verification plus any fallback remap *)
   map : (Graph.t, string) Stdlib.result;  (** the current map *)
@@ -33,6 +34,7 @@ type result = {
 val run :
   ?policy:Berkeley.policy ->
   ?depth:Berkeley.depth ->
+  ?remap:(discrepancies:int -> (Graph.t, string) Stdlib.result * int * float) ->
   Network.t ->
   mapper:Graph.node ->
   previous:Graph.t ->
@@ -40,4 +42,9 @@ val run :
 (** [run net ~mapper ~previous] verifies [previous] against the live
     network and remaps in full only if it is stale. The mapper host is
     located in [previous] by name; if absent, a full remap runs
-    immediately. *)
+    immediately.
+
+    [remap] replaces the built-in solo {!Berkeley} fallback: on a
+    stale map it is called once and must return
+    [(map, probes, elapsed_ns)]. The daemon uses it to run the
+    fallback over [San_shard]'s concurrent mappers. *)

@@ -12,13 +12,22 @@ type result = {
   failed_locals : int;
 }
 
-let spread_mappers g ~count =
+let spread_mappers ?seed g ~count =
   let hosts = Array.of_list (Graph.hosts g) in
   let n = Array.length hosts in
   if n = 0 then []
-  else
+  else begin
     let count = max 1 (min count n) in
-    List.init count (fun i -> hosts.(i * n / count))
+    let off =
+      match seed with
+      | None -> 0
+      | Some s -> San_util.Prng.int (San_util.Prng.create s) n
+    in
+    (* Clamping plus sort_uniq: even when [count] exceeds the host
+       population the placement is distinct hosts, never repeats. *)
+    let idxs = List.init count (fun i -> (off + i * n / count) mod n) in
+    List.map (fun i -> hosts.(i)) (List.sort_uniq compare idxs)
+  end
 
 (* Keep only the trusted core of a local map: switches within
    [radius] of the local mapper plus their directly attached hosts. *)

@@ -25,6 +25,14 @@ type result = {
   failed_locals : int;  (** local maps dropped (export failure) *)
 }
 
+val trim : Graph.t -> center:Graph.node -> radius:int -> Graph.t
+(** [trim map ~center ~radius] keeps the trusted core of a local map:
+    switches within [radius] hops of [center] plus their directly
+    attached hosts, and the wires among the kept nodes. The outermost
+    ring of a depth-bounded exploration can hold replicates that had
+    no chance to merge; San_shard trims each shard's view with this
+    before conflict-resolved merging. *)
+
 val run :
   ?policy:Berkeley.policy ->
   ?local_depth:int ->
@@ -39,6 +47,11 @@ val run :
     [local_depth - 2]. @raise Invalid_argument on an empty or non-host
     mapper list. *)
 
-val spread_mappers : Graph.t -> count:int -> Graph.node list
-(** A convenience placement: [count] hosts spread evenly over the
-    host list (always including the first host). *)
+val spread_mappers : ?seed:int -> Graph.t -> count:int -> Graph.node list
+(** A convenience placement: [count] distinct hosts spread evenly over
+    the host list. Without [seed] the spread starts at the first host
+    (deterministic, backward-compatible); with [seed] the start offset
+    is drawn from a seeded generator, so repeated placements rotate
+    around the fabric while staying evenly spaced and replayable.
+    [count] is clamped to the host population — the result never
+    repeats a node. *)

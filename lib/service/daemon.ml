@@ -66,6 +66,7 @@ type config = {
   params : Params.t;
   policy : Berkeley.policy;
   seed : int;
+  shards : int;
   flight_dir : string option;
 }
 
@@ -77,6 +78,7 @@ let default_config =
     params = Params.default;
     policy = Berkeley.faithful;
     seed = 1;
+    shards = 1;
     flight_dir = None;
   }
 
@@ -206,6 +208,31 @@ let run ?(config = default_config) ?(schedule = Schedule.empty)
             ~responding:(World.responding world) g
         in
         let mapper = Option.get (Graph.host_by_name g leader_name) in
+        (* Full remaps run sharded when configured: N concurrent
+           mappers over the San_shard region plan, the wall being the
+           slowest shard plus the merge. *)
+        let sharded_remap ~discrepancies:_ =
+          match
+            San_shard.Runner.run ~seed:config.seed ~root:mapper
+              ~responding:(World.responding world) ~policy:config.policy
+              ~params:config.params ~epoch:(e + 1) g ~shards:config.shards
+          with
+          | Error err -> (Error err, 0, 0.0)
+          | Ok r ->
+            events :=
+              !events
+              @ [
+                  Printf.sprintf "sharded remap: %d shards, coordinator %s"
+                    r.San_shard.Runner.plan.San_shard.Region.shards
+                    r.San_shard.Runner.coordinator;
+                ];
+            ( r.San_shard.Runner.map,
+              r.San_shard.Runner.total_probes,
+              r.San_shard.Runner.wall_ns )
+        in
+        let remap =
+          if config.shards > 1 then Some sharded_remap else None
+        in
         (* 3-4. Cheap verification sweep, full remap only on change. *)
         let map_result =
           match st.map with
@@ -214,13 +241,22 @@ let run ?(config = default_config) ?(schedule = Schedule.empty)
             verdict := Cold_start;
             incr remaps;
             San_obs.Obs.count "daemon.remaps";
-            let r = Berkeley.run ~policy:config.policy net ~mapper in
-            probes := Berkeley.total_probes r;
-            remap_ns := r.Berkeley.elapsed_ns;
-            r.Berkeley.map
+            let map, p, ns =
+              match remap with
+              | Some f -> f ~discrepancies:0
+              | None ->
+                let r = Berkeley.run ~policy:config.policy net ~mapper in
+                (r.Berkeley.map, Berkeley.total_probes r, r.Berkeley.elapsed_ns)
+            in
+            probes := p;
+            remap_ns := ns;
+            map
           | Some previous -> (
             goto Verifying;
-            let r = Incremental.run ~policy:config.policy net ~mapper ~previous in
+            let r =
+              Incremental.run ~policy:config.policy ?remap net ~mapper
+                ~previous
+            in
             verify_ns := r.Incremental.verify_elapsed_ns;
             match r.Incremental.verdict with
             | Incremental.Unchanged ->
@@ -232,11 +268,7 @@ let run ?(config = default_config) ?(schedule = Schedule.empty)
               verdict := Changed d;
               incr remaps;
               San_obs.Obs.count "daemon.remaps";
-              (* the fallback remap reset the net's counters, so they
-                 now hold exactly the remap's probes *)
-              probes :=
-                r.Incremental.verify_probes
-                + Stats.total_probes (Network.stats net);
+              probes := r.Incremental.verify_probes + r.Incremental.remap_probes;
               remap_ns :=
                 r.Incremental.total_elapsed_ns
                 -. r.Incremental.verify_elapsed_ns;

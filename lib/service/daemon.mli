@@ -97,6 +97,11 @@ type config = {
   params : San_simnet.Params.t;
   policy : San_mapper.Berkeley.policy;
   seed : int;  (** drives the schedule's random choices *)
+  shards : int;
+      (** when > 1, full remaps (cold start and stale-map fallback) run
+          as this many concurrent [San_shard] mappers over a region
+          plan seeded from the config, the remap wall being the slowest
+          shard plus the conflict-resolving merge *)
   flight_dir : string option;
       (** when set, a bounded flight recording ([flight-<epoch>.jsonl]:
           the trace ring plus the provenance ledger tail) is written to
@@ -107,7 +112,8 @@ type config = {
 
 val default_config : config
 (** 2 retries, backoff 1 doubling to 8 epochs, default simulation
-    parameters, the faithful probe policy, seed 1, no flight dir. *)
+    parameters, the faithful probe policy, seed 1, solo remaps
+    ([shards = 1]), no flight dir. *)
 
 val run :
   ?config:config ->

@@ -1,0 +1,50 @@
+(** Conflict-resolved merging of shard views.
+
+    {!San_topology.Merge_maps} treats a contradiction between two
+    partial maps as an error — correct for one epoch's replicates,
+    wrong for a mapping plane where a shard's view can be stale. This
+    layer folds the shard views freshest-first over
+    {!San_topology.Merge_maps.union_c}, and on each typed conflict
+    {e resolves} instead of failing: the accumulated (fresher) side
+    wins, the conflict is classified (a view older than the freshest
+    epoch is [stale-view]; otherwise the structural class —
+    [frame-mismatch], [port-clash], …), the offending wire or node is
+    trimmed from the losing view, and the join is retried under a
+    per-view resolution budget. Every resolution is recorded in the
+    {!San_why} ledger (rule [shard.resolve], citing the winner's and
+    loser's latest probes) so [san_map explain] can justify any merged
+    edge that survived a conflict. *)
+
+open San_topology
+
+type view = {
+  v_idx : int;  (** shard index *)
+  v_map : Graph.t;  (** the shard's trimmed local map *)
+  v_epoch : int;  (** epoch stamp; larger is fresher *)
+  v_finished_ns : float;  (** simulated finish time; recency tiebreak *)
+  v_probe : int option;  (** why-ledger id of the view's latest probe *)
+  v_mapper : string;
+}
+
+type resolution = {
+  r_winner : int;  (** shard whose evidence was kept *)
+  r_loser : int;  (** shard whose evidence was trimmed *)
+  r_class : string;
+      (** [stale-view], or a {!San_topology.Merge_maps.conflict_class}
+          tag ([frame-mismatch], [port-clash], …) *)
+  r_action : string;  (** [dropped-wire …], [dropped-node …], [dropped-view] *)
+  r_detail : string;  (** the underlying merge error message *)
+  r_did : int;  (** why-ledger entry id, [-1] when the ledger is off *)
+}
+
+type outcome = {
+  map : (Graph.t, string) result;
+  resolutions : resolution list;  (** in resolution order *)
+  dropped_views : int list;  (** shards whose whole view was discarded *)
+}
+
+val resolve : view list -> outcome
+(** [resolve views] merges the views freshest-first with conflict
+    resolution. The map is an [Error] only when there is nothing to
+    merge; a view that cannot be reconciled is dropped (with a
+    recorded resolution) rather than failing the merge. *)

@@ -1,0 +1,71 @@
+(** The shard runner: N concurrent mapper instances over one fabric.
+
+    Drives one depth-limited {!San_mapper.Berkeley} instance per
+    planned shard (each on its own simulated {!San_simnet.Network}
+    view of the same fabric, so probe accounting is per-shard), trims
+    each local map to its trust radius with {!San_mapper.Parallel.trim},
+    and merges the views through {!Merge}. Shards are independent —
+    the paper's quiescent-network concurrency — so the simulated
+    parallel wall-clock is the slowest shard plus the coordinator's
+    merge. The coordinator is the shard whose mapper is the
+    highest-address host (the §4.2 leader rule, as in
+    {!San_mapper.Election_sim}).
+
+    The whole run executes under {!San_why.Why.with_preserve}: with
+    the ledger on, all shards append probes to one ledger and every
+    merge-conflict resolution is a [shard.resolve] deduction citing
+    probe evidence from both sides.
+
+    [stale] marks one shard as holding a stale-epoch view: its network
+    is a seeded rewiring of two overlap wires (the fabric as it looked
+    before a recabling), which forces real, resolvable conflicts at
+    merge time — the honest way to exercise the resolution path, since
+    quiescent shards never contradict each other. *)
+
+open San_topology
+
+type shard_report = {
+  s_idx : int;
+  s_mapper : string;
+  s_depth : int;
+  s_radius : int;
+  s_budget : int;
+  s_probes : int;
+  s_over_budget : bool;
+  s_elapsed_ns : float;  (** simulated mapper time for this shard *)
+  s_map_nodes : int;  (** nodes in the trimmed view; 0 = shard failed *)
+  s_stale : bool;
+}
+
+type result = {
+  map : (Graph.t, string) Stdlib.result;
+  plan : Region.t;
+  reports : shard_report list;
+  resolutions : Merge.resolution list;
+  dropped_views : int list;
+  total_probes : int;
+  stats : San_simnet.Stats.t;  (** all shards merged *)
+  wall_ns : float;  (** simulated parallel wall: slowest shard + merge *)
+  sum_ns : float;  (** total work across shards + merge *)
+  merge_ns : float;  (** coordinator merge time (measured, in ns) *)
+  coordinator : string;  (** coordinator shard's mapper host *)
+}
+
+val run :
+  ?seed:int ->
+  ?root:Graph.node ->
+  ?mappers:Graph.node list ->
+  ?responding:(Graph.node -> bool) ->
+  ?policy:San_mapper.Berkeley.policy ->
+  ?params:San_simnet.Params.t ->
+  ?epoch:int ->
+  ?stale:int ->
+  Graph.t ->
+  shards:int ->
+  (result, string) Stdlib.result
+(** [run g ~shards] plans and executes a sharded mapping of [g].
+    [Error] only when planning fails (no eligible mapper); individual
+    shard failures surface as [s_map_nodes = 0] reports and reduced
+    coverage in the merged map. [epoch] (default 1) stamps the views;
+    [stale] (a shard index) injects the seeded stale view described
+    above at [epoch - 1]. *)

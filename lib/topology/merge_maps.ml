@@ -1,6 +1,36 @@
-exception Conflict of string
+(* Conflicts are typed so a layer above (San_shard's merger) can
+   classify a contradiction and locate the offending evidence in the
+   absorbed map; the string API below is unchanged. *)
+type conflict_class =
+  | No_anchor
+  | Unanchorable
+  | Frame_mismatch
+  | Port_clash
+  | Name_clash
+  | Structural
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Conflict s)) fmt
+type conflict = {
+  cls : conflict_class;
+  detail : string;
+  b_node : int option;
+  b_wire : ((int * int) * (int * int)) option;
+}
+
+let class_name = function
+  | No_anchor -> "no-anchor"
+  | Unanchorable -> "unanchorable"
+  | Frame_mismatch -> "frame-mismatch"
+  | Port_clash -> "port-clash"
+  | Name_clash -> "name-clash"
+  | Structural -> "structural"
+
+exception Conflict of conflict
+
+let fail ?node ?wire cls fmt =
+  Printf.ksprintf
+    (fun s ->
+      raise (Conflict { cls; detail = s; b_node = node; b_wire = wire }))
+    fmt
 
 (* The union under construction uses offset-tolerant slot tables: node
    [u]'s slot [i] is an arbitrary integer, normalised to real ports at
@@ -33,14 +63,20 @@ let new_node st kind name =
   if kind = Graph.Host then Hashtbl.replace st.hosts name u.u_id;
   u
 
-let add_uwire st a ia b ib =
+let add_uwire ?node ?wire st a ia b ib =
   let ua = st.nodes.(a) and ub = st.nodes.(b) in
   let put u i peer =
     match Hashtbl.find_opt u.slots i with
     | None -> Hashtbl.replace u.slots i peer
     | Some existing ->
       if existing <> peer then
-        fail "port conflict at union node %d slot %d" u.u_id i
+        (* Same peer at a different slot means the two views disagree
+           on a port frame; a different peer means two cables claim
+           one port. *)
+        let cls =
+          if fst existing = fst peer then Frame_mismatch else Port_clash
+        in
+        fail ?node ?wire cls "port conflict at union node %d slot %d" u.u_id i
   in
   put ua ia (b, ib);
   put ub ib (a, ia)
@@ -63,23 +99,26 @@ let of_graph a =
 
 (* Integrate map [b]: anchored propagation with per-node shifts. *)
 let integrate st b =
-  if Graph.radix b <> st.radix then fail "radix mismatch between maps";
+  if Graph.radix b <> st.radix then fail Structural "radix mismatch between maps";
   let n = Graph.num_nodes b in
   let match_of : (int * int) option array = Array.make n None in
   let queue = Queue.create () in
-  let bind v (uid, shift) =
+  let bind ?wire v (uid, shift) =
     let u = st.nodes.(uid) in
     if Graph.kind b v <> u.u_kind then
-      fail "kind mismatch binding map node %d to union node %d" v uid;
+      fail ~node:v ?wire Name_clash
+        "kind mismatch binding map node %d to union node %d" v uid;
     (match u.u_kind with
     | Graph.Host ->
       if Graph.name b v <> u.u_name then
-        fail "host name mismatch: %s vs %s" (Graph.name b v) u.u_name
+        fail ~node:v ?wire Name_clash "host name mismatch: %s vs %s"
+          (Graph.name b v) u.u_name
     | Graph.Switch -> ());
     match match_of.(v) with
     | Some (uid', shift') ->
       if uid' <> uid || shift' <> shift then
-        fail "map node %d binds inconsistently (%d@%d vs %d@%d)" v uid' shift'
+        fail ~node:v ?wire Frame_mismatch
+          "map node %d binds inconsistently (%d@%d vs %d@%d)" v uid' shift'
           uid shift
     | None ->
       match_of.(v) <- Some (uid, shift);
@@ -95,7 +134,7 @@ let integrate st b =
         bind h (uid, 0)
       | None -> ())
     (Graph.hosts b);
-  if not !seeded then fail "maps share no host anchor";
+  if not !seeded then fail No_anchor "maps share no host anchor";
   (* Two-phase fixpoint. Identification must never outrun evidence:
      first propagate bindings and record wires between already-bound
      nodes until nothing more follows; only then materialise a single
@@ -112,11 +151,14 @@ let integrate st b =
       List.iter
         (fun (p, (w, q)) ->
           let slot = p + shift in
+          let wire = ((v, p), (w, q)) in
           match Hashtbl.find_opt u.slots slot with
-          | Some (peer_uid, peer_slot) -> bind w (peer_uid, peer_slot - q)
+          | Some (peer_uid, peer_slot) ->
+            bind ~wire w (peer_uid, peer_slot - q)
           | None -> (
             match match_of.(w) with
-            | Some (wid, wshift) -> add_uwire st uid slot wid (q + wshift)
+            | Some (wid, wshift) ->
+              add_uwire ~node:w ~wire st uid slot wid (q + wshift)
             | None -> () (* deferred to the creation phase *)))
         (Graph.wired_ports b v)
     done
@@ -135,7 +177,7 @@ let integrate st b =
                 match_of.(w) = None
                 && (not (Hashtbl.mem u.slots (p + shift)))
                 && pred w
-              then Some (uid, p + shift, w, q)
+              then Some (v, p, uid, p + shift, w, q)
               else None)
             (Graph.wired_ports b v))
         !bound
@@ -145,25 +187,26 @@ let integrate st b =
        candidate (fun _ -> true))
     with
     | Some c, _ | None, Some c -> (
-      let uid, slot, w, q = c in
+      let v, p, uid, slot, w, q = c in
+      let wire = ((v, p), (w, q)) in
       match Graph.kind b w with
       | Graph.Host -> (
         match Hashtbl.find_opt st.hosts (Graph.name b w) with
         | Some wid ->
           (* The union knows this host but not this wire (the far map
              saw a link this one lacks). *)
-          bind w (wid, 0);
-          add_uwire st uid slot wid q;
+          bind ~wire w (wid, 0);
+          add_uwire ~node:w ~wire st uid slot wid q;
           true
         | None ->
           let fresh = new_node st Graph.Host (Graph.name b w) in
-          bind w (fresh.u_id, 0);
-          add_uwire st uid slot fresh.u_id q;
+          bind ~wire w (fresh.u_id, 0);
+          add_uwire ~node:w ~wire st uid slot fresh.u_id q;
           true)
       | Graph.Switch ->
         let fresh = new_node st Graph.Switch (Graph.name b w) in
-        bind w (fresh.u_id, 0);
-        add_uwire st uid slot fresh.u_id q;
+        bind ~wire w (fresh.u_id, 0);
+        add_uwire ~node:w ~wire st uid slot fresh.u_id q;
         true)
     | None, None -> false
   in
@@ -176,7 +219,8 @@ let integrate st b =
   Array.iteri
     (fun v m ->
       if m = None && Graph.degree b v > 0 then
-        fail "map node %d is not connected to any shared anchor" v)
+        fail ~node:v Unanchorable
+          "map node %d is not connected to any shared anchor" v)
     match_of
 
 let export st =
@@ -191,7 +235,7 @@ let export st =
     | x :: r ->
       let lo = List.fold_left min x r and hi = List.fold_left max x r in
       if hi - lo > st.radix - 1 then
-        fail "union node %d: slot span exceeds radix" i;
+        fail Structural "union node %d: slot span exceeds radix" i;
       base.(i) <- lo);
     node_of.(i) <-
       (match u.u_kind with
@@ -210,34 +254,68 @@ let export st =
   done;
   g
 
-let union a b =
+let union_c a b =
   match
     let st = of_graph a in
     integrate st b;
     export st
   with
   | g -> Ok g
-  | exception Conflict m -> Error m
-  | exception Invalid_argument m -> Error m
+  | exception Conflict c -> Error c
+  | exception Invalid_argument m ->
+    Error { cls = Structural; detail = m; b_node = None; b_wire = None }
 
+let union a b = Result.map_error (fun c -> c.detail) (union_c a b)
+
+(* Pending maps are indexed by host name so each join is found by a
+   hash lookup as the accumulated anchor set grows, instead of
+   rescanning the whole pending list after every merge. *)
 let union_all = function
   | [] -> Error "no maps to merge"
   | first :: rest ->
-    let rec go acc pending stuck =
-      match (pending, stuck) with
-      | [], [] -> Ok acc
-      | [], _ -> Error "some partial maps share no anchor with the rest"
-      | m :: more, _ -> (
-        match union acc m with
-        | Ok acc' ->
-          (* Progress: retry previously stuck maps. *)
-          go acc' (more @ List.rev stuck) []
-        | Error e ->
-          if
-            (* Only defer on the no-anchor condition; real conflicts
-               abort. *)
-            e = "maps share no host anchor"
-          then go acc more (m :: stuck)
-          else Error e)
+    let pending = Array.of_list rest in
+    let n = Array.length pending in
+    let merged = Array.make n false in
+    let queued = Array.make n false in
+    let by_host = Hashtbl.create (max 16 (4 * n)) in
+    Array.iteri
+      (fun i m ->
+        List.iter
+          (fun h -> Hashtbl.add by_host (Graph.name m h) i)
+          (Graph.hosts m))
+      pending;
+    let work = Queue.create () in
+    let acc_hosts = Hashtbl.create 64 in
+    let note_host name =
+      if not (Hashtbl.mem acc_hosts name) then begin
+        Hashtbl.replace acc_hosts name ();
+        List.iter
+          (fun i ->
+            if not queued.(i) then begin
+              queued.(i) <- true;
+              Queue.add i work
+            end)
+          (Hashtbl.find_all by_host name)
+      end
     in
-    go first rest []
+    let acc = ref first in
+    let err = ref None in
+    List.iter (fun h -> note_host (Graph.name first h)) (Graph.hosts first);
+    while !err = None && not (Queue.is_empty work) do
+      let i = Queue.take work in
+      if not merged.(i) then
+        match union !acc pending.(i) with
+        | Ok g ->
+          merged.(i) <- true;
+          acc := g;
+          List.iter
+            (fun h -> note_host (Graph.name pending.(i) h))
+            (Graph.hosts pending.(i))
+        | Error e -> err := Some e
+    done;
+    (match !err with
+    | Some e -> Error e
+    | None ->
+      if Array.exists not merged then
+        Error "some partial maps share no anchor with the rest"
+      else Ok !acc)

@@ -13,7 +13,39 @@
     Maps to be merged must be mutually consistent views of one actual
     network; contradictions (shifted frames that disagree, two cables
     on one port, differently named hosts in one position) are reported
-    as errors rather than papered over. *)
+    as errors rather than papered over. A layer that wants to
+    {e resolve} contradictions instead (San_shard's merger) uses
+    {!union_c}, whose typed conflicts classify the contradiction and
+    locate the offending evidence in the absorbed map. *)
+
+(** How two views contradict each other. *)
+type conflict_class =
+  | No_anchor  (** the maps share no host name; nothing pins them *)
+  | Unanchorable  (** a fragment of [b] has no path to a shared anchor *)
+  | Frame_mismatch
+      (** shifted port frames disagree: one node binds with two
+          different offsets, or one peer appears at two slots *)
+  | Port_clash  (** two different cables claim one switch port *)
+  | Name_clash  (** kind or host-name disagreement at one position *)
+  | Structural  (** radix mismatch, slot span over radix, … *)
+
+type conflict = {
+  cls : conflict_class;
+  detail : string;  (** the human-readable message {!union} reports *)
+  b_node : int option;
+      (** the absorbed map's offending node, when locatable *)
+  b_wire : ((int * int) * (int * int)) option;
+      (** the absorbed map's offending wire [(v,p),(w,q)], when the
+          contradiction surfaced while walking a specific wire *)
+}
+
+val class_name : conflict_class -> string
+(** Stable lowercase tag, e.g. ["frame-mismatch"]. *)
+
+val union_c : Graph.t -> Graph.t -> (Graph.t, conflict) result
+(** [union_c a b] merges two partial maps anchored at their shared
+    hosts, reporting failures as typed conflicts located in [b]'s
+    coordinates where possible. *)
 
 val union : Graph.t -> Graph.t -> (Graph.t, string) result
 (** [union a b] merges two partial maps anchored at their shared hosts.
@@ -22,6 +54,7 @@ val union : Graph.t -> Graph.t -> (Graph.t, string) result
     shared anchor are rejected as unanchorable. *)
 
 val union_all : Graph.t list -> (Graph.t, string) result
-(** Merge many partial maps, reordering so that each one joins only
-    once it shares an anchor with the accumulated map. Fails when some
-    maps can never be anchored. *)
+(** Merge many partial maps in anchor-discovery order: pending maps
+    are indexed by host name, and each successful merge enqueues
+    exactly the maps sharing a host with the newly absorbed view.
+    Fails when some maps can never be anchored. *)

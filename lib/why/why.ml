@@ -65,7 +65,16 @@ let set_enabled b = enabled := b
 let on () = !enabled
 
 let current = ref (fresh ())
-let reset () = current := fresh ()
+let preserve = ref false
+let reset () = if not !preserve then current := fresh ()
+
+(* Sharded runs drive several mapper models in one process and need
+   their evidence in one ledger; Model.create's defensive reset would
+   wipe the previous shard's probes between runs. *)
+let with_preserve f =
+  let prev = !preserve in
+  preserve := true;
+  Fun.protect ~finally:(fun () -> preserve := prev) f
 
 let dummy = Axiom { fact = lazy "" }
 

@@ -36,7 +36,18 @@ val on : unit -> bool
 
 val reset : unit -> unit
 (** Empty the ledger and every index. {!San_mapper.Model.create} calls
-    this when provenance is on, so ids never leak across runs. *)
+    this when provenance is on, so ids never leak across runs. A no-op
+    inside {!with_preserve}. *)
+
+val with_preserve : (unit -> 'a) -> 'a
+(** [with_preserve f] runs [f] with {!reset} suppressed, so several
+    mapper runs (San_shard's N concurrent shards) append to {e one}
+    shared ledger and cross-shard deductions — merge-conflict
+    resolutions citing probes from two different shards — stay
+    well-founded. Vertex-id keyed lookups are unreliable across shard
+    model boundaries (each model numbers vertices from 0); entry-id
+    based queries remain exact. Nests; restores the previous mode on
+    exit, even by exception. *)
 
 (** {1 Recording} — all no-ops returning [-1] when disabled *)
 

@@ -144,6 +144,122 @@ let test_union_port_shift_tolerance () =
     Alcotest.(check int) "still three wires" 3 (Graph.num_wires u)
   | Error e -> Alcotest.failf "shifted union failed: %s" e
 
+(* ---------- merge error paths: typed conflicts ---------- *)
+
+let check_cls name expected = function
+  | Ok _ -> Alcotest.failf "%s: union_c must fail" name
+  | Error c ->
+    Alcotest.(check string)
+      name
+      (Merge_maps.class_name expected)
+      (Merge_maps.class_name c.Merge_maps.cls);
+    c
+
+let test_union_c_no_anchor () =
+  let mk name =
+    let g = Graph.create () in
+    let s = Graph.add_switch g () in
+    let h = Graph.add_host g ~name in
+    Graph.connect g (h, 0) (s, 0);
+    g
+  in
+  let c =
+    check_cls "disjoint host names" Merge_maps.No_anchor
+      (Merge_maps.union_c (mk "only-in-a") (mk "only-in-b"))
+  in
+  (* Nothing pins the maps, so there is no node to blame. *)
+  Alcotest.(check bool) "no located node" true (c.Merge_maps.b_node = None)
+
+let test_union_c_unanchorable_fragment () =
+  (* b shares a host with a, but also carries an island of two wired
+     switches that no probe path ties to any anchor. *)
+  let a = Graph.create () in
+  let s = Graph.add_switch a () in
+  let h = Graph.add_host a ~name:"h0" in
+  Graph.connect a (h, 0) (s, 0);
+  let b = Graph.create () in
+  let s' = Graph.add_switch b () in
+  let h' = Graph.add_host b ~name:"h0" in
+  Graph.connect b (h', 0) (s', 0);
+  let i1 = Graph.add_switch b () in
+  let i2 = Graph.add_switch b () in
+  Graph.connect b (i1, 0) (i2, 0);
+  let c =
+    check_cls "island of switches" Merge_maps.Unanchorable
+      (Merge_maps.union_c a b)
+  in
+  (match c.Merge_maps.b_node with
+  | Some v ->
+    Alcotest.(check bool) "blames an island switch" true (v = i1 || v = i2)
+  | None -> Alcotest.fail "unanchorable conflict must locate the node")
+
+let test_union_c_contradictory_frames () =
+  (* Both views see h0 and h1 on one switch, but disagree on the port
+     distance between them: aligning via h0 gives the switch shift 0,
+     aligning via h1 gives shift -1. *)
+  let mk h1_port =
+    let g = Graph.create () in
+    let s = Graph.add_switch g () in
+    let h0 = Graph.add_host g ~name:"h0" in
+    let h1 = Graph.add_host g ~name:"h1" in
+    Graph.connect g (h0, 0) (s, 0);
+    Graph.connect g (h1, 0) (s, h1_port);
+    g
+  in
+  let c =
+    check_cls "frames disagree" Merge_maps.Frame_mismatch
+      (Merge_maps.union_c (mk 1) (mk 2))
+  in
+  Alcotest.(check bool)
+    "locates the contradicting wire" true
+    (c.Merge_maps.b_wire <> None)
+
+let test_union_c_name_clash () =
+  (* Same switch position, port 1: view a says host h1, view b says
+     host h2. Propagation binds b's h2 onto the union's h1 and must
+     refuse the identification. *)
+  let mk other =
+    let g = Graph.create () in
+    let s = Graph.add_switch g () in
+    let h0 = Graph.add_host g ~name:"h0" in
+    let hx = Graph.add_host g ~name:other in
+    Graph.connect g (h0, 0) (s, 0);
+    Graph.connect g (hx, 0) (s, 1);
+    g
+  in
+  ignore
+    (check_cls "host name disagreement" Merge_maps.Name_clash
+       (Merge_maps.union_c (mk "h1") (mk "h2")))
+
+let test_union_c_radix_mismatch () =
+  let mk radix =
+    let g = Graph.create ~radix () in
+    let s = Graph.add_switch g () in
+    let h = Graph.add_host g ~name:"h0" in
+    Graph.connect g (h, 0) (s, 0);
+    g
+  in
+  ignore
+    (check_cls "radix disagreement" Merge_maps.Structural
+       (Merge_maps.union_c (mk 4) (mk 8)))
+
+let test_union_all_unanchorable_view () =
+  (* One of three views shares no host with the others: union_all must
+     fail rather than return a map that silently omits it. *)
+  let mk names =
+    let g = Graph.create () in
+    let s = Graph.add_switch g () in
+    List.iteri
+      (fun i name ->
+        let h = Graph.add_host g ~name in
+        Graph.connect g (h, 0) (s, i))
+      names;
+    g
+  in
+  match Merge_maps.union_all [ mk [ "h0"; "h1" ]; mk [ "h1"; "h2" ]; mk [ "h8"; "h9" ] ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "union_all with an orphan view must fail"
+
 let test_union_all_ordering () =
   (* Three views in an order where the middle one shares no anchor
      with the first until the third is merged. *)
@@ -469,6 +585,16 @@ let () =
           Alcotest.test_case "conflict" `Quick test_union_conflict_detected;
           Alcotest.test_case "port shifts" `Quick test_union_port_shift_tolerance;
           Alcotest.test_case "union_all ordering" `Quick test_union_all_ordering;
+          Alcotest.test_case "conflict: no anchor" `Quick test_union_c_no_anchor;
+          Alcotest.test_case "conflict: unanchorable" `Quick
+            test_union_c_unanchorable_fragment;
+          Alcotest.test_case "conflict: frame mismatch" `Quick
+            test_union_c_contradictory_frames;
+          Alcotest.test_case "conflict: name clash" `Quick test_union_c_name_clash;
+          Alcotest.test_case "conflict: structural" `Quick
+            test_union_c_radix_mismatch;
+          Alcotest.test_case "union_all orphan view" `Quick
+            test_union_all_unanchorable_view;
         ] );
       ( "parallel",
         [
