@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-fast bench-smoke scale-smoke shard-smoke fuzz-smoke health-smoke explain-smoke artifacts examples clean
+.PHONY: all build test check bench bench-fast bench-smoke scale-smoke shard-smoke fuzz-smoke health-smoke explain-smoke slo-smoke artifacts examples clean
 
 all: build
 
@@ -20,6 +20,7 @@ check:
 	$(MAKE) fuzz-smoke
 	$(MAKE) scale-smoke
 	$(MAKE) shard-smoke
+	$(MAKE) slo-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -61,6 +62,18 @@ shard-smoke:
 fuzz-smoke:
 	dune exec bin/san_map.exe -- fuzz --cases 200 --seed 42 \
 	  --artifacts fuzz_artifacts
+
+# The SLO observatory at CI size: a seeded short load-matrix run
+# (convergence percentiles vs offered load x fault schedule, flight
+# recordings under _artifacts/load_matrix/). The bench exits non-zero
+# if any Degraded epoch lacks a postmortem-explainable flight
+# recording, then a daemon run under load with the default SLOs
+# exercises the burn-rate path end to end.
+slo-smoke:
+	dune exec bench/main.exe -- --only load_matrix --fast --no-bechamel
+	dune exec bin/san_map.exe -- daemon -t fat-tree:2:2:4 --epochs 8 \
+	  --quiet --load 1.0 --load-pattern hotspot --scenario storm --seed 5
+	test -s BENCH_obs.json
 
 # The provenance ledger end to end: explain a Figure-3 switch and a
 # route (with the evidence DOT), attribute a map diff to the probes

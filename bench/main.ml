@@ -37,6 +37,9 @@ let write_csv name header rows =
 let wants section =
   match !only with [] -> true | l -> List.mem section l
 
+(* Set by any section whose hard gate fails; the process exits 1. *)
+let gate_failed = ref false
+
 (* Per-section metrics snapshots (the global registry is reset around
    each section), exported as BENCH_obs.json so the perf trajectory is
    machine-readable alongside the printed tables. *)
@@ -1239,6 +1242,180 @@ let daemon_section () =
       (San_util.Summary.percentile l 1.0 /. 1e6))
 
 (* ------------------------------------------------------------------ *)
+(* SLO observatory: convergence percentiles vs offered load x faults.   *)
+
+(* Every epoch the daemon spent Degraded must be explainable from a
+   flight recording: the file written when the daemon ENTERED the
+   degraded streak must exist, parse, and yield a non-empty postmortem
+   timeline. Returns (degraded_epochs, unexplained_epochs). *)
+let check_degraded_flights dir (reports : San_service.Daemon.epoch_report list)
+    =
+  let open San_service in
+  let last_enter = ref None in
+  let prev_degraded = ref false in
+  List.fold_left
+    (fun (n, bad) (r : Daemon.epoch_report) ->
+      let deg = List.mem Daemon.Degraded r.Daemon.phases in
+      if deg && not !prev_degraded then last_enter := Some r.Daemon.epoch;
+      prev_degraded := deg;
+      if not deg then (n, bad)
+      else
+        let explained =
+          match !last_enter with
+          | None -> false
+          | Some e -> (
+            let path =
+              Filename.concat dir (Printf.sprintf "flight-%d.jsonl" e)
+            in
+            match San_why.Postmortem.read path with
+            | Ok pm -> San_why.Postmortem.timeline pm <> []
+            | Error _ -> false)
+        in
+        (n + 1, if explained then bad else bad + 1))
+    (0, 0) reports
+
+let load_matrix_section () =
+  let module J = San_util.Json in
+  let open San_service in
+  San_why.Why.set_enabled true;
+  Fun.protect ~finally:(fun () -> San_why.Why.set_enabled false)
+  @@ fun () ->
+  let seeds = if !fast then 2 else 3 in
+  let epochs = 12 in
+  let loads = [ 0.3; 1.0; 3.0 ] in
+  let faults =
+    [
+      ("low", "3:flap=2,8:cut");
+      ("high", "2:storm=2x1,5:flapstorm=3x2,8:partition=2,10:cut");
+    ]
+  in
+  let t =
+    T.create
+      ~header:
+        [ "faults"; "load"; "incidents"; "degraded"; "p50 ms"; "p95 ms";
+          "p99 ms"; "drop p95"; "postmortems" ]
+  in
+  let entries = ref [] in
+  let csv_rows = ref [] in
+  List.iter
+    (fun (fname, script) ->
+      let schedule = Result.get_ok (Schedule.parse script) in
+      List.iter
+        (fun offered ->
+          let converge = San_slo.Digest.create () in
+          let drops = ref [] in
+          let degraded = ref 0 in
+          let unexplained = ref 0 in
+          for seed = 1 to seeds do
+            let flight_dir =
+              Printf.sprintf "_artifacts/load_matrix/%s-%.1f-s%d" fname
+                offered seed
+            in
+            (* The daemon's recorder mkdirs only the leaf; build the
+               nested path here. *)
+            List.fold_left
+              (fun parent part ->
+                let d =
+                  if parent = "" then part else Filename.concat parent part
+                in
+                (try Unix.mkdir d 0o755
+                 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+                d)
+              ""
+              (String.split_on_char '/' flight_dir)
+            |> ignore;
+            let config =
+              {
+                Daemon.default_config with
+                Daemon.seed;
+                flight_dir = Some flight_dir;
+                load =
+                  Some
+                    (San_slo.Load.spec ~pattern:San_slo.Load.Hotspot offered);
+                slos = San_slo.Slo.defaults;
+              }
+            in
+            let g, _ = Generators.now_cab () in
+            match Daemon.run ~config ~schedule ~epochs g with
+            | Error e ->
+              Printf.printf "load_matrix %s/%.1f seed %d failed: %s\n" fname
+                offered seed e;
+              gate_failed := true
+            | Ok o ->
+              List.iter
+                (fun (i : Daemon.incident) ->
+                  San_slo.Digest.add converge i.Daemon.converge_ns)
+                o.Daemon.incidents;
+              List.iter
+                (fun (r : Daemon.epoch_report) ->
+                  match r.Daemon.load with
+                  | Some l -> drops := l.San_slo.Load.r_drop_rate :: !drops
+                  | None -> ())
+                o.Daemon.reports;
+              let d, u = check_degraded_flights flight_dir o.Daemon.reports in
+              degraded := !degraded + d;
+              unexplained := !unexplained + u
+          done;
+          if !unexplained > 0 then gate_failed := true;
+          let q p = San_slo.Digest.quantile converge p /. 1e6 in
+          let drop95 = San_util.Summary.percentile !drops 0.95 in
+          T.add_row t
+            [
+              fname;
+              Printf.sprintf "%.1f" offered;
+              string_of_int (San_slo.Digest.count converge);
+              string_of_int !degraded;
+              Printf.sprintf "%.0f" (q 0.5);
+              Printf.sprintf "%.0f" (q 0.95);
+              Printf.sprintf "%.0f" (q 0.99);
+              Printf.sprintf "%.3f" drop95;
+              (if !unexplained = 0 then "all explained"
+               else Printf.sprintf "%d UNEXPLAINED" !unexplained);
+            ];
+          csv_rows :=
+            [
+              fname; Printf.sprintf "%.2f" offered;
+              string_of_int (San_slo.Digest.count converge);
+              string_of_int !degraded;
+              Printf.sprintf "%.3f" (q 0.5); Printf.sprintf "%.3f" (q 0.95);
+              Printf.sprintf "%.3f" (q 0.99); Printf.sprintf "%.4f" drop95;
+            ]
+            :: !csv_rows;
+          entries :=
+            ( Printf.sprintf "%s_%.1f" fname offered,
+              J.Obj
+                [
+                  ("faults", J.Str fname);
+                  ("offered", J.Num offered);
+                  ("seeds", J.int seeds);
+                  ("incidents", J.int (San_slo.Digest.count converge));
+                  ("degraded_epochs", J.int !degraded);
+                  ("unexplained_degraded", J.int !unexplained);
+                  ("converge_p50_ns", J.Num (San_slo.Digest.quantile converge 0.5));
+                  ("converge_p95_ns", J.Num (San_slo.Digest.quantile converge 0.95));
+                  ("converge_p99_ns", J.Num (San_slo.Digest.quantile converge 0.99));
+                  ("drop_p95", J.Num drop95);
+                  ("digest", San_slo.Digest.to_json converge);
+                ] )
+            :: !entries)
+        loads)
+    faults;
+  T.print
+    ~title:
+      (Printf.sprintf
+         "Convergence under live traffic — %d-epoch daemon runs on the NOW, \
+          %d seeds per cell, hotspot load (worms/host/ms) x fault schedule; \
+          gate: every degraded epoch postmortem-explainable"
+         epochs seeds)
+    t;
+  write_csv "load_matrix"
+    [ "faults"; "offered"; "incidents"; "degraded"; "p50_ms"; "p95_ms";
+      "p99_ms"; "drop_p95" ]
+    (List.rev !csv_rows);
+  obs_sections :=
+    ("load_matrix", J.Obj (List.rev !entries)) :: !obs_sections
+
+(* ------------------------------------------------------------------ *)
 (* Fuzz throughput: how much random-fabric checking a CI minute buys.   *)
 
 let fuzz_section () =
@@ -1439,7 +1616,6 @@ let why_section () =
 (* baseline in bench/scaling_baseline.json.                             *)
 
 let scale_100k = ref false
-let gate_failed = ref false
 let scaling_baseline = "bench/scaling_baseline.json"
 
 let scaling_section () =
@@ -1856,6 +2032,9 @@ let () =
       ext_emergent_election ());
   section "sensitivity" ~when_:(wants "sensitivity" || !only = []) sensitivity;
   section "daemon" ~when_:(wants "daemon") daemon_section;
+  (* load_matrix pushes its own structured obs entry (per-cell digests
+     and percentiles), so it runs outside the generic wrapper. *)
+  if wants "load_matrix" then load_matrix_section ();
   section "fuzz" ~when_:(wants "fuzz") fuzz_section;
   section "telemetry" ~when_:(wants "telemetry" || !only = []) telemetry_section;
   section "why" ~when_:(wants "why" || !only = []) why_section;

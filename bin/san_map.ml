@@ -815,9 +815,75 @@ let schedule_arg =
   let doc =
     "Scripted faults, comma-separated EPOCH:ACTION entries. Actions: cut | \
      cut=N | flap | flap=DOWN_EPOCHS | isolate | add | kill=HOST | \
-     kill-leader | revive=HOST. Example: 2:cut,5:flap=2,8:kill-leader."
+     kill-leader | revive=HOST | storm=LINKSxHOSTS | upgrade=EPOCHS | \
+     partition=EPOCHS | flapstorm=COUNTxEPOCHS. Example: \
+     2:cut,5:flap=2,8:kill-leader."
   in
   Arg.(value & opt string "" & info [ "schedule" ] ~docv:"SCRIPT" ~doc)
+
+let scenario_arg =
+  let doc =
+    Printf.sprintf
+      "Named adversarial schedule preset scaled to the run length: %s. \
+       Mutually exclusive with $(b,--schedule)."
+      (String.concat ", "
+         (List.map (Printf.sprintf "$(b,%s)")
+            San_service.Schedule.scenario_names))
+  in
+  Arg.(value & opt string "" & info [ "scenario" ] ~docv:"NAME" ~doc)
+
+let load_arg =
+  let doc =
+    "Drive background worm load while the daemon runs: $(docv) worms per \
+     host per simulated millisecond ride the installed routes every \
+     steady-state epoch, and the measured contention feeds that epoch's \
+     probes. 0 disables."
+  in
+  Arg.(value & opt float 0.0 & info [ "load" ] ~docv:"OFFERED" ~doc)
+
+let load_pattern_arg =
+  let doc =
+    "Background load shape: $(b,uniform), $(b,hotspot) or $(b,incast)."
+  in
+  Arg.(
+    value & opt string "uniform" & info [ "load-pattern" ] ~docv:"PATTERN" ~doc)
+
+let slo_arg =
+  let doc =
+    "Convergence SLOs to track, comma-separated \
+     METRIC:pNN<LIMIT[@MAXLOAD] specs (metrics: converge, epoch, drop, \
+     coverage; e.g. converge:p99<2e8\\@0.3). Default: the built-in \
+     objectives when $(b,--load) is on, none otherwise."
+  in
+  Arg.(value & opt string "" & info [ "slo" ] ~docv:"SPECS" ~doc)
+
+let resolve_schedule ~epochs schedule scenario =
+  match (schedule, scenario) with
+  | "", "" -> Ok San_service.Schedule.empty
+  | _, "" -> San_service.Schedule.parse schedule
+  | "", _ ->
+    Result.map San_service.Schedule.of_list
+      (San_service.Schedule.scenario ~epochs scenario)
+  | _, _ -> Error "--schedule and --scenario are mutually exclusive"
+
+let resolve_load load pattern =
+  if load <= 0.0 then Ok None
+  else
+    match San_slo.Load.pattern_of_string pattern with
+    | None -> Error (Printf.sprintf "unknown load pattern %S" pattern)
+    | Some p -> Ok (Some (San_slo.Load.spec ~pattern:p load))
+
+let resolve_slos slo_str load =
+  if slo_str = "" then Ok (if load > 0.0 then San_slo.Slo.defaults else [])
+  else
+    List.fold_left
+      (fun acc s ->
+        match (acc, San_slo.Slo.parse (String.trim s)) with
+        | (Error _ as e), _ -> e
+        | _, Error e -> Error e
+        | Ok l, Ok o -> Ok (l @ [ o ]))
+      (Ok [])
+      (String.split_on_char ',' slo_str)
 
 let retries_arg =
   let doc = "Distribution re-send passes for missed route slices." in
@@ -853,18 +919,39 @@ let pp_epoch_report (r : San_service.Daemon.epoch_report) =
         d.Delta.sent_bytes d.Delta.full_sent_bytes
         d.Delta.plan.Delta.unchanged_hosts
         d.Delta.dist.San_routing.Distribute.hosts_missed);
-  List.iter (fun ev -> Format.printf "           * %s@." ev) r.Daemon.events
+  List.iter (fun ev -> Format.printf "           * %s@." ev) r.Daemon.events;
+  (match r.Daemon.load with
+  | None -> ()
+  | Some l ->
+    Format.printf
+      "           ~ load %s %.2f/host/ms: %d worms, drop %.3f, loss \
+       %.4f/crossing@."
+      (San_slo.Load.pattern_to_string l.San_slo.Load.r_pattern)
+      l.San_slo.Load.r_offered l.San_slo.Load.r_injected
+      l.San_slo.Load.r_drop_rate l.San_slo.Load.r_loss_per_crossing);
+  List.iter
+    (fun a -> Format.printf "           ! slo raised: %s@." a)
+    r.Daemon.slo_raised;
+  List.iter
+    (fun a -> Format.printf "           . slo cleared: %s@." a)
+    r.Daemon.slo_cleared
 
-let run_daemon spec seed epochs schedule retries shards quiet out_dir trace
-    metrics chrome prom =
+let run_daemon spec seed epochs schedule scenario load lpat slo retries shards
+    quiet out_dir trace metrics chrome prom =
   let flight = out_dir <> "" in
   with_obs ~force:flight ~chrome ~prom ~trace ~metrics @@ fun () ->
   with_why flight @@ fun () ->
   let open San_service in
   let g = build_topology spec seed in
-  match Schedule.parse schedule with
-  | Error e -> Format.printf "bad schedule: %s@." e; 1
-  | Ok schedule -> (
+  match
+    let ( let* ) = Result.bind in
+    let* schedule = resolve_schedule ~epochs schedule scenario in
+    let* load = resolve_load load lpat in
+    let* slos = resolve_slos slo (match load with Some _ -> 1.0 | None -> 0.0) in
+    Ok (schedule, load, slos)
+  with
+  | Error e -> Format.printf "bad arguments: %s@." e; 1
+  | Ok (schedule, load, slos) -> (
     let config =
       {
         Daemon.default_config with
@@ -872,6 +959,8 @@ let run_daemon spec seed epochs schedule retries shards quiet out_dir trace
         seed;
         shards;
         flight_dir = (if flight then Some out_dir else None);
+        load;
+        slos;
       }
     in
     let on_epoch = if quiet then fun _ -> () else pp_epoch_report in
@@ -900,6 +989,9 @@ let run_daemon spec seed epochs schedule retries shards quiet out_dir trace
             i.Daemon.detected_epoch i.Daemon.resolved_epoch
             (i.Daemon.converge_ns /. 1e6))
         o.Daemon.incidents;
+      List.iter
+        (fun st -> Format.printf "slo: %a@." San_slo.Slo.pp_status st)
+        o.Daemon.slo;
       if flight then
         Format.printf "flight recordings under %s/ (read with `san_map \
                        postmortem')@." out_dir;
@@ -957,6 +1049,26 @@ let print_dashboard spec schedule (o : San_service.Daemon.outcome) fabric =
           ])
       alerts;
     San_util.Tablefmt.print ~title:"alerts" t);
+  (match o.Daemon.slo with
+  | [] -> ()
+  | statuses ->
+    let module Slo = San_slo.Slo in
+    let t =
+      San_util.Tablefmt.create
+        ~header:[ "objective"; "burn"; "bad/eligible"; "streak"; "state" ]
+    in
+    List.iter
+      (fun (st : Slo.status) ->
+        San_util.Tablefmt.add_row t
+          [
+            Slo.to_string st.Slo.st_objective;
+            Printf.sprintf "%.2f" st.Slo.st_burn_rate;
+            Printf.sprintf "%d/%d" st.Slo.st_bad st.Slo.st_eligible;
+            string_of_int st.Slo.st_streak;
+            (if st.Slo.st_alerting then "ALERTING" else "ok");
+          ])
+      statuses;
+    San_util.Tablefmt.print ~title:"slo burn" t);
   match o.Daemon.map with
   | None -> ()
   | Some g ->
@@ -985,16 +1097,22 @@ let print_dashboard spec schedule (o : San_service.Daemon.outcome) fabric =
       links;
     San_util.Tablefmt.print ~title:"hottest links" t
 
-let run_health spec seed epochs schedule retries dot out_dir trace metrics
-    chrome prom =
+let run_health spec seed epochs schedule scenario load lpat slo retries dot
+    out_dir trace metrics chrome prom =
   let flight = out_dir <> "" in
   with_obs ~force:true ~chrome ~prom ~trace ~metrics @@ fun () ->
   with_why flight @@ fun () ->
   let open San_service in
   let g = build_topology spec seed in
-  match Schedule.parse schedule with
-  | Error e -> Format.printf "bad schedule: %s@." e; 1
-  | Ok parsed -> (
+  match
+    let ( let* ) = Result.bind in
+    let* parsed = resolve_schedule ~epochs schedule scenario in
+    let* load_spec = resolve_load load lpat in
+    let* slos = resolve_slos slo load in
+    Ok (parsed, load_spec, slos)
+  with
+  | Error e -> Format.printf "bad arguments: %s@." e; 1
+  | Ok (parsed, load_spec, slos) -> (
     let fabric = San_telemetry.Fabric_stats.create () in
     San_telemetry.Fabric_stats.install fabric;
     Fun.protect ~finally:San_telemetry.Fabric_stats.uninstall @@ fun () ->
@@ -1004,6 +1122,8 @@ let run_health spec seed epochs schedule retries dot out_dir trace metrics
         Daemon.dist_retries = retries;
         seed;
         flight_dir = (if flight then Some out_dir else None);
+        load = load_spec;
+        slos;
       }
     in
     match Daemon.run ~config ~schedule:parsed ~epochs g with
@@ -1268,8 +1388,9 @@ let daemon_cmd =
           fault/repair schedule")
     Term.(
       const run_daemon $ topo_arg $ seed_arg $ epochs_arg $ schedule_arg
-      $ retries_arg $ daemon_shards_arg $ quiet_arg $ out_dir_arg $ trace_arg
-      $ metrics_arg $ chrome_arg $ prom_arg)
+      $ scenario_arg $ load_arg $ load_pattern_arg $ slo_arg $ retries_arg
+      $ daemon_shards_arg $ quiet_arg $ out_dir_arg $ trace_arg $ metrics_arg
+      $ chrome_arg $ prom_arg)
 
 let health_cmd =
   Cmd.v
@@ -1279,8 +1400,9 @@ let health_cmd =
           (epoch sparklines, alerts, hottest links)")
     Term.(
       const run_health $ topo_arg $ seed_arg $ epochs_arg $ schedule_arg
-      $ retries_arg $ dot_arg $ out_dir_arg $ trace_arg $ metrics_arg
-      $ chrome_arg $ prom_arg)
+      $ scenario_arg $ load_arg $ load_pattern_arg $ slo_arg $ retries_arg
+      $ dot_arg $ out_dir_arg $ trace_arg $ metrics_arg $ chrome_arg
+      $ prom_arg)
 
 let explain_cmd =
   Cmd.v

@@ -6,6 +6,7 @@ type case = {
   graph : Graph.t;
   mapper_name : string;
   silent : string list;
+  schedule : (int * San_service.Schedule.action) list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -104,7 +105,7 @@ let gen_fabric ~seed =
     | [] -> ""
     | l -> List.nth l (Prng.int rng (List.length l))
   in
-  { case_seed = seed; graph = g; mapper_name; silent }
+  { case_seed = seed; graph = g; mapper_name; silent; schedule = [] }
 
 let gen_classic ~seed =
   let rng = Prng.create seed in
@@ -233,9 +234,18 @@ let gen_classic ~seed =
     | [] -> "" (* degenerate: no host fit; properties skip *)
     | l -> List.nth l (Prng.int rng (List.length l))
   in
-  { case_seed = seed; graph = g; mapper_name; silent }
+  { case_seed = seed; graph = g; mapper_name; silent; schedule = [] }
 
-let gen ~seed = if abs seed mod 4 = 3 then gen_fabric ~seed else gen_classic ~seed
+(* The adversarial schedule draws from its own stream (the fault_link
+   idiom: seed lxor a constant), so adding schedules left every
+   existing fabric stream bit-identical — old counterexample seeds
+   still replay the same fabrics. *)
+let gen ~seed =
+  let case =
+    if abs seed mod 4 = 3 then gen_fabric ~seed else gen_classic ~seed
+  in
+  let srng = Prng.create (seed lxor 0x5CED) in
+  { case with schedule = San_service.Schedule.gen ~rng:srng ~epochs:6 }
 
 (* ------------------------------------------------------------------ *)
 
@@ -256,8 +266,13 @@ let pp ppf c =
     | Some h -> Graph.name c.graph h
     | None -> "<none>"
   in
-  Format.fprintf ppf "case %d: %a; mapper %s%s" c.case_seed Graph.pp_stats
+  Format.fprintf ppf "case %d: %a; mapper %s%s%s" c.case_seed Graph.pp_stats
     c.graph mapper
     (match c.silent with
     | [] -> ""
     | l -> Printf.sprintf "; silent [%s]" (String.concat " " l))
+    (match c.schedule with
+    | [] -> ""
+    | s ->
+      Printf.sprintf "; schedule %s"
+        (San_service.Schedule.to_string (San_service.Schedule.of_list s)))

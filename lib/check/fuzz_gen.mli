@@ -18,6 +18,11 @@ type case = {
   graph : Graph.t;  (** the actual network N *)
   mapper_name : string;  (** host that runs the mapper *)
   silent : string list;  (** attached hosts with no mapper daemon *)
+  schedule : (int * San_service.Schedule.action) list;
+      (** a generated adversarial schedule (storms, upgrades,
+          partitions, flaps — {!San_service.Schedule.gen}), drawn from
+          its own seed stream so fabric generation is bit-identical to
+          the pre-schedule fuzzer; often empty *)
 }
 
 val gen : seed:int -> case

@@ -460,6 +460,102 @@ let prop_shard_agreement ctx =
           (Ok ())
           [ 1; 2; 4; 8 ])
 
+(* 9. Mapping under live background load agrees with quiescent
+   mapping. The case's generated schedule batters a World for a few
+   epochs (storms, upgrades, partitions, flaps); on whatever fabric
+   survives, a quiescent Berkeley map is the reference, and a second
+   run whose probes contend with measured background traffic — the
+   per-crossing loss a driven load window produced, with the §6
+   retries defence on — must export an isomorphic map. Windows whose
+   measured loss exceeds what [retries = 2] provably absorbs (the 8%
+   tolerance of the extension tests, halved for margin) are skipped,
+   not failed: past that point disagreement is expected, which is
+   exactly what the daemon's Degraded state is for. *)
+let prop_load_agreement ctx =
+  match ctx.mapper with
+  | None -> Ok ()
+  | Some m ->
+    let module World = San_service.World in
+    let module Schedule = San_service.Schedule in
+    let module Load = San_slo.Load in
+    let seed = ctx.case.case_seed in
+    let leader = Graph.name ctx.case.graph m in
+    let world = World.create ctx.case.graph in
+    let srng = Prng.create (seed lxor 0x10AD5) in
+    let sched = Schedule.of_list ctx.case.schedule in
+    (* Run past the last scheduled epoch so deferred repairs (flap
+       restores, upgrade re-plugs) have landed and the fabric is
+       steady again. *)
+    for epoch = 1 to Schedule.last_epoch sched + 9 do
+      ignore (Schedule.apply sched world ~rng:srng ~leader ~epoch)
+    done;
+    let g' = World.graph world in
+    let killed =
+      List.filter_map
+        (fun h ->
+          let n = Graph.name g' h in
+          if World.is_down world n then Some n else None)
+        (Graph.hosts g')
+    in
+    let case' =
+      { ctx.case with
+        Fuzz_gen.graph = g';
+        silent = ctx.case.Fuzz_gen.silent @ killed }
+    in
+    let ctx' = make case' in
+    (match (ctx'.mapper, Lazy.force ctx'.berkeley) with
+    | None, _ -> Ok () (* the schedule silenced everyone *)
+    | _, Error _ -> Ok () (* quiescent failures are prop_iso territory *)
+    | Some m', Ok quiescent ->
+      match
+        Iso.check ~map:quiescent ~actual:g'
+          ~exclude:(Lazy.force ctx'.core_exclude) ()
+      with
+      | Error _ -> Ok () (* ditto: not a load bug *)
+      | Ok () ->
+        let table = San_routing.Routes.compute quiescent in
+        let report =
+          Load.drive
+            ~rng:(Prng.create (seed lxor 0x10AD5 lxor 0xFF))
+            (Load.spec ~pattern:Load.Hotspot 0.5)
+            ~table g'
+        in
+        if report.Load.r_loss_per_crossing > 0.04 then Ok ()
+        else
+          let traffic =
+            Load.traffic_of_report report
+              (Prng.create (seed lxor 0x7AFF1C))
+          in
+          let net =
+            San_simnet.Network.create ~responding:ctx'.responding ?traffic
+              g'
+          in
+          let r =
+            San_mapper.Berkeley.run
+              ~policy:{ San_mapper.Berkeley.faithful with retries = 2 }
+              ~depth:(San_mapper.Berkeley.Fixed (Lazy.force ctx'.depth))
+              net ~mapper:m'
+          in
+          (match r.San_mapper.Berkeley.map with
+          | Error e ->
+            Error
+              (Printf.sprintf
+                 "loaded map export failed (loss %.4f/crossing): %s"
+                 report.Load.r_loss_per_crossing e)
+          | Ok loaded -> (
+            match
+              Iso.check ~map:loaded ~actual:g'
+                ~exclude:(Lazy.force ctx'.core_exclude) ()
+            with
+            | Ok () -> Ok ()
+            | Error e ->
+              Error
+                (Printf.sprintf
+                   "map under load (loss %.4f/crossing, drop %.3f) \
+                    disagrees with quiescent map: %s"
+                   report.Load.r_loss_per_crossing
+                   report.Load.r_drop_rate e))))
+
 (* ------------------------------------------------------------------ *)
 
 let all =
@@ -472,6 +568,7 @@ let all =
     ("conservation", prop_conservation);
     ("provenance", prop_provenance);
     ("shard_agreement", prop_shard_agreement);
+    ("load_agreement", prop_load_agreement);
   ]
 
 let names = List.map fst all

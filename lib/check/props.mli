@@ -27,7 +27,13 @@
     - ["shard_agreement"] — for shard counts {1, 2, 4, 8}, the
       conflict-resolved union of [San_shard] per-shard views is
       isomorphic to the same [N - F] the solo Berkeley mapper
-      produces, with no view dropped on a quiescent run.
+      produces, with no view dropped on a quiescent run;
+    - ["load_agreement"] — after the case's generated schedule has
+      battered the world, a Berkeley run whose probes contend with
+      measured background traffic ([retries = 2]) exports a map
+      isomorphic to the quiescent map of the same fabric; skipped
+      when the measured per-crossing loss exceeds the proven retry
+      tolerance.
 
     Degenerate fabrics (no hosts, no mapper) make a property pass
     trivially rather than error: the generator is free to produce

@@ -39,11 +39,19 @@ let drop_wire (c : Fuzz_gen.case) (e, _) =
 let unsilence (c : Fuzz_gen.case) name =
   { c with Fuzz_gen.silent = List.filter (( <> ) name) c.Fuzz_gen.silent }
 
-(* Reduction moves, biggest first: drop a switch (and all its wires),
-   drop a host, drop a single wire, wake a silent host. *)
+let drop_schedule_entry (c : Fuzz_gen.case) i =
+  { c with
+    Fuzz_gen.schedule =
+      List.filteri (fun j _ -> j <> i) c.Fuzz_gen.schedule }
+
+(* Reduction moves, biggest first: drop a schedule entry (cheapest to
+   re-check and often the whole cause under load properties), drop a
+   switch (and all its wires), drop a host, drop a single wire, wake a
+   silent host. *)
 let candidates (c : Fuzz_gen.case) =
   let g = c.Fuzz_gen.graph in
-  List.map (fun s () -> drop_node c s) (Graph.switches g)
+  List.mapi (fun i _ () -> drop_schedule_entry c i) c.Fuzz_gen.schedule
+  @ List.map (fun s () -> drop_node c s) (Graph.switches g)
   @ List.map (fun h () -> drop_node c h) (Graph.hosts g)
   @ List.map (fun w () -> drop_wire c w) (Graph.wires g)
   @ List.map (fun n () -> unsilence c n) c.Fuzz_gen.silent

@@ -63,7 +63,22 @@ let histogram t name =
         h_buckets = Hashtbl.create 64;
       })
 
-let incr ?(by = 1) c = c.c_value <- c.c_value + by
+(* Counters are monotonic: a negative increment (or a value driven
+   below zero by one) is always an accounting bug upstream, so debug
+   mode turns it into an immediate failure at the offending call site
+   instead of a silently wrong export. *)
+let debug = ref (Sys.getenv_opt "SAN_DEBUG_COUNTERS" <> None)
+let set_debug on = debug := on
+
+let incr ?(by = 1) c =
+  if !debug && by < 0 then
+    invalid_arg
+      (Printf.sprintf "Metrics.incr %s: negative increment %d" c.c_name by);
+  c.c_value <- c.c_value + by;
+  if !debug && c.c_value < 0 then
+    invalid_arg
+      (Printf.sprintf "Metrics.incr %s: counter went negative (%d)" c.c_name
+         c.c_value)
 let counter_value c = c.c_value
 let counter_name c = c.c_name
 

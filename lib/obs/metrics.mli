@@ -22,6 +22,15 @@ val gauge : t -> string -> gauge
 val histogram : t -> string -> histogram
 
 val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1). In debug mode, raises [Invalid_argument] on
+    a negative increment or a counter driven below zero, so
+    monotonicity bugs fail at the call site instead of exporting as
+    nonsense. *)
+
+val set_debug : bool -> unit
+(** Enable/disable debug mode (also enabled at startup by the
+    [SAN_DEBUG_COUNTERS] environment variable). *)
+
 val counter_value : counter -> int
 val counter_name : counter -> string
 

@@ -20,6 +20,8 @@ type event =
       { epoch : int; verdict : string; leader : string; covered : int;
         total : int }
   | Mapper_stuck of { at_ns : float; pending : int }
+  | Phase_timed of
+      { epoch : int; phase : string; start_ns : float; dur_ns : float }
   | Span_begin of { name : string }
   | Span_end of { name : string; elapsed_ns : float }
   | Mark of { name : string; note : string }
@@ -58,7 +60,11 @@ let all_events =
         (Daemon_epoch
            { epoch = 2; verdict = "verified"; leader = "h9"; covered = 9; total = 9 })
     | Some (Daemon_epoch _) -> Some (Mapper_stuck { at_ns = 7.0; pending = 2 })
-    | Some (Mapper_stuck _) -> Some (Span_begin { name = "map" })
+    | Some (Mapper_stuck _) ->
+      Some
+        (Phase_timed
+           { epoch = 3; phase = "verify"; start_ns = 100.0; dur_ns = 250.0 })
+    | Some (Phase_timed _) -> Some (Span_begin { name = "map" })
     | Some (Span_begin _) -> Some (Span_end { name = "map"; elapsed_ns = 42.0 })
     | Some (Span_end _) -> Some (Mark { name = "note"; note = "hello" })
     | Some (Mark _) -> None
@@ -216,6 +222,14 @@ let event_to_json event =
         ("at_ns", J.Num at_ns);
         ("pending", J.int pending);
       ]
+    | Phase_timed { epoch; phase; start_ns; dur_ns } ->
+      [
+        ("ev", J.Str "phase_timed");
+        ("epoch", J.int epoch);
+        ("phase", J.Str phase);
+        ("start_ns", J.Num start_ns);
+        ("dur_ns", J.Num dur_ns);
+      ]
     | Span_begin { name } -> [ ("ev", J.Str "span_begin"); ("name", J.Str name) ]
     | Span_end { name; elapsed_ns } ->
       [
@@ -309,6 +323,11 @@ let event_of_json j =
     match (num "at_ns", int "pending") with
     | Some at_ns, Some pending -> Some (Mapper_stuck { at_ns; pending })
     | _ -> None)
+  | Some "phase_timed" -> (
+    match (int "epoch", str "phase", num "start_ns", num "dur_ns") with
+    | Some epoch, Some phase, Some start_ns, Some dur_ns ->
+      Some (Phase_timed { epoch; phase; start_ns; dur_ns })
+    | _ -> None)
   | Some "span_begin" ->
     Option.map (fun name -> Span_begin { name }) (str "name")
   | Some "span_end" -> (
@@ -370,6 +389,9 @@ let pp_event ppf = function
   | Mapper_stuck { at_ns; pending } ->
     Format.fprintf ppf "election stuck at %.0f ns (%d mappers pending)" at_ns
       pending
+  | Phase_timed { epoch; phase; start_ns; dur_ns } ->
+    Format.fprintf ppf "epoch %d: phase %s %.0f ns (from %.0f ns)" epoch phase
+      dur_ns start_ns
   | Span_begin { name } -> Format.fprintf ppf "span %s begin" name
   | Span_end { name; elapsed_ns } ->
     Format.fprintf ppf "span %s end (%.0f ns)" name elapsed_ns

@@ -30,6 +30,11 @@ type event =
       (** one closed control-plane epoch, as the daemon scored it *)
   | Mapper_stuck of { at_ns : float; pending : int }
       (** the election co-simulation found no runnable work *)
+  | Phase_timed of
+      { epoch : int; phase : string; start_ns : float; dur_ns : float }
+      (** one daemon epoch phase (detect/verify/remap/distribute)
+          placed on the simulated-time axis: [start_ns] is the run's
+          cumulative sim clock when the phase began *)
   | Span_begin of { name : string }
   | Span_end of { name : string; elapsed_ns : float }
   | Mark of { name : string; note : string }

@@ -37,7 +37,22 @@ type report = {
   missed : Graph.node list;
 }
 
-let simulate_slices_inner ~params ~retries table ~actual ~leader ~slices =
+(* Background traffic model, mirroring {!San_simnet.Network}: a worm
+   that crossed [h] wires survives cross-traffic with (1-p)^h, so a
+   delivered slice is additionally lost with the complement. The
+   event simulator already accounts for contention among the
+   distribution worms themselves; [traffic] adds the load the fabric
+   carries underneath them. *)
+let survives_traffic traffic ~crossings =
+  match traffic with
+  | None -> true
+  | Some (p, rng) ->
+    p <= 0.0
+    || San_util.Prng.float rng 1.0
+       <= ((1.0 -. p) ** float_of_int crossings)
+
+let simulate_slices_inner ~params ~retries ~traffic table ~actual ~leader
+    ~slices =
   let map = Routes.graph table in
   match Graph.host_by_name map (Graph.name actual leader) with
   | None -> Error "leader is not in the route table's graph"
@@ -87,7 +102,9 @@ let simulate_slices_inner ~params ~retries table ~actual ~leader ~slices =
       List.iter
         (fun (owner, turns, bytes, wid) ->
           match San_simnet.Event_sim.outcome sim wid with
-          | San_simnet.Event_sim.Delivered { at_ns; _ } ->
+          | San_simnet.Event_sim.Delivered { at_ns; _ }
+            when survives_traffic traffic
+                   ~crossings:(List.length turns + 1) ->
             incr delivered;
             last := Float.max !last at_ns
           | _ -> missed := (owner, turns, bytes) :: !missed)
@@ -113,11 +130,12 @@ let simulate_slices_inner ~params ~retries table ~actual ~leader ~slices =
         missed;
       }
 
-let simulate_slices ?(params = San_simnet.Params.default) ?(retries = 2) table
-    ~actual ~leader ~slices =
+let simulate_slices ?(params = San_simnet.Params.default) ?(retries = 2)
+    ?traffic table ~actual ~leader ~slices =
   San_obs.Obs.with_span "routes.distribute" (fun () ->
       let r =
-        simulate_slices_inner ~params ~retries table ~actual ~leader ~slices
+        simulate_slices_inner ~params ~retries ~traffic table ~actual ~leader
+          ~slices
       in
       (if San_obs.Obs.on () then
          match r with
@@ -126,14 +144,19 @@ let simulate_slices ?(params = San_simnet.Params.default) ?(retries = 2) table
            San_obs.Obs.count ~by:(List.length slices) "routes.slices";
            San_obs.Obs.count ~by:rep.hosts_updated "routes.hosts_updated";
            San_obs.Obs.count ~by:rep.hosts_missed "routes.hosts_missed";
-           San_obs.Obs.count ~by:(rep.attempts - 1) "routes.retry_passes";
+           (* [attempts] stays 0 when no slice was deliverable (leader-
+              only table, every host skipped), so clamp: a pass that
+              never ran is zero retries, not -1. *)
+           San_obs.Obs.count
+             ~by:(max 0 (rep.attempts - 1))
+             "routes.retry_passes";
            San_obs.Obs.emit
              (San_obs.Trace.Routes_distributed
                 { slices = List.length slices; bytes })
          | Error _ -> San_obs.Obs.count "routes.distribute_failures");
       r)
 
-let simulate ?params ?retries table ~actual ~leader =
+let simulate ?params ?retries ?traffic table ~actual ~leader =
   let p = plan table in
-  simulate_slices ?params ?retries table ~actual ~leader
+  simulate_slices ?params ?retries ?traffic table ~actual ~leader
     ~slices:(List.map (fun s -> (s.owner, s.bytes)) p.slices)

@@ -42,6 +42,7 @@ type report = {
 val simulate :
   ?params:San_simnet.Params.t ->
   ?retries:int ->
+  ?traffic:float * San_util.Prng.t ->
   Routes.t ->
   actual:Graph.t ->
   leader:Graph.node ->
@@ -52,11 +53,17 @@ val simulate :
     in up to [retries] further passes (default 2); slices with no
     compliant route from the leader, or whose owner is absent from the
     actual network, are structurally undeliverable and not retried.
-    Fails if the leader is missing from the table's graph. *)
+    [traffic] is the background-load model of
+    {!San_simnet.Network.create}: per-wire-crossing loss probability
+    [p], under which a delivered slice that crossed [h] wires is
+    additionally lost with [1 - (1-p)^h] — so distribution, like
+    probing, genuinely contends with live traffic. Fails if the
+    leader is missing from the table's graph. *)
 
 val simulate_slices :
   ?params:San_simnet.Params.t ->
   ?retries:int ->
+  ?traffic:float * San_util.Prng.t ->
   Routes.t ->
   actual:Graph.t ->
   leader:Graph.node ->

@@ -35,15 +35,19 @@ type epoch_report = {
   verdict : verdict;
   phases : phase list;
   probes : int;
+  detect_ns : float;
   verify_ns : float;
   remap_ns : float;
   dist : Delta.report option;
+  load : San_slo.Load.report option;
   hosts_total : int;
   hosts_covered : int;
   epoch_ns : float;
   health : San_telemetry.Health.sample option;
   alerts_raised : string list;
   alerts_cleared : string list;
+  slo_raised : string list;
+  slo_cleared : string list;
 }
 
 type outcome = {
@@ -57,6 +61,7 @@ type outcome = {
   delta_bytes : int;
   full_bytes : int;
   health : San_telemetry.Health.report;
+  slo : San_slo.Slo.status list;
 }
 
 type config = {
@@ -68,6 +73,8 @@ type config = {
   seed : int;
   shards : int;
   flight_dir : string option;
+  load : San_slo.Load.spec option;
+  slos : San_slo.Slo.objective list;
 }
 
 let default_config =
@@ -80,6 +87,8 @@ let default_config =
     seed = 1;
     shards = 1;
     flight_dir = None;
+    load = None;
+    slos = [];
   }
 
 (* The daemon's whole memory between epochs. *)
@@ -102,6 +111,15 @@ let run ?(config = default_config) ?(schedule = Schedule.empty)
   else begin
     let world = World.create g0 in
     let rng = San_util.Prng.create config.seed in
+    (* Separate streams so turning load on cannot perturb which wires
+       the schedule cuts (and vice versa). *)
+    let load_rng = San_util.Prng.create (config.seed lxor 0x10AD) in
+    let traffic_rng = San_util.Prng.create (config.seed lxor 0x7AFF1C) in
+    let slo = San_slo.Slo.create config.slos in
+    (* Cumulative simulated clock for the phase timeline: epochs abut,
+       each epoch's detect/verify/remap/distribute spans laid end to
+       end. *)
+    let sim_clock = ref 0.0 in
     let st =
       {
         map = None;
@@ -190,9 +208,11 @@ let run ?(config = default_config) ?(schedule = Schedule.empty)
           end));
       let verdict = ref Verified in
       let probes = ref 0 in
+      let detect_ns = ref 0.0 in
       let verify_ns = ref 0.0 in
       let remap_ns = ref 0.0 in
       let dist_report = ref None in
+      let load_report = ref None in
       (match st.leader with
       | None ->
         goto Degraded;
@@ -203,9 +223,33 @@ let run ?(config = default_config) ?(schedule = Schedule.empty)
         verdict := Backing_off
       | Some leader_name -> (
         let g = World.graph world in
+        (* Detection: the leader's liveness sweep — one ping per
+           responding daemon before it trusts this epoch's verdict.
+           This is the "detect" slice of the phase timeline. *)
+        let responding_n = List.length (World.responding_hosts world) in
+        detect_ns :=
+          float_of_int responding_n
+          *. (config.params.Params.send_overhead_ns
+             +. config.params.Params.reply_overhead_ns
+             +. config.params.Params.recv_overhead_ns);
+        (* Background load rides the *installed* table (nothing rides a
+           network with no routes yet) and the measured attrition feeds
+           the probe network, so verification and remapping genuinely
+           contend with the traffic. *)
+        (match (config.load, st.table) with
+        | Some spec, Some table ->
+          load_report :=
+            Some
+              (San_slo.Load.drive ~rng:load_rng ~params:config.params spec
+                 ~table g)
+        | _ -> ());
+        let traffic =
+          Option.bind !load_report (fun r ->
+              San_slo.Load.traffic_of_report r traffic_rng)
+        in
         let net =
           Network.create ~params:config.params
-            ~responding:(World.responding world) g
+            ~responding:(World.responding world) ?traffic g
         in
         let mapper = Option.get (Graph.host_by_name g leader_name) in
         (* Full remaps run sharded when configured: N concurrent
@@ -215,7 +259,8 @@ let run ?(config = default_config) ?(schedule = Schedule.empty)
           match
             San_shard.Runner.run ~seed:config.seed ~root:mapper
               ~responding:(World.responding world) ~policy:config.policy
-              ~params:config.params ~epoch:(e + 1) g ~shards:config.shards
+              ~params:config.params ?traffic ~epoch:(e + 1) g
+              ~shards:config.shards
           with
           | Error err -> (Error err, 0, 0.0)
           | Ok r ->
@@ -300,8 +345,8 @@ let run ?(config = default_config) ?(schedule = Schedule.empty)
             goto Distributing;
             match
               Delta.distribute ~params:config.params
-                ~retries:config.dist_retries ~installed:st.installed table
-                ~actual:g ~leader:mapper
+                ~retries:config.dist_retries ?traffic ~installed:st.installed
+                table ~actual:g ~leader:mapper
             with
             | Error err ->
               events := !events @ [ "distribution failed: " ^ err ];
@@ -333,21 +378,40 @@ let run ?(config = default_config) ?(schedule = Schedule.empty)
           end
           else goto Stable));
       (* Close the books on the epoch. *)
-      let epoch_ns =
-        !verify_ns +. !remap_ns
-        +.
+      let dist_ns =
         match !dist_report with
         | Some r -> r.Delta.dist.D.duration_ns
         | None -> 0.0
       in
+      let epoch_ns = !verify_ns +. !remap_ns +. dist_ns in
+      (* The phase timeline: spans laid end to end on the cumulative
+         simulated clock, mirrored into per-phase histograms. *)
+      let emit_phase name start dur =
+        if dur > 0.0 then begin
+          San_obs.Obs.emit
+            (San_obs.Trace.Phase_timed
+               { epoch = e; phase = name; start_ns = start; dur_ns = dur });
+          San_obs.Obs.observe ("daemon.phase." ^ name ^ "_ns") dur
+        end
+      in
+      let t0 = !sim_clock in
+      emit_phase "detect" t0 !detect_ns;
+      emit_phase "verify" (t0 +. !detect_ns) !verify_ns;
+      emit_phase "remap" (t0 +. !detect_ns +. !verify_ns) !remap_ns;
+      emit_phase "distribute"
+        (t0 +. !detect_ns +. !verify_ns +. !remap_ns)
+        dist_ns;
+      sim_clock := t0 +. !detect_ns +. epoch_ns;
       if st.incident_start <> None then
         st.incident_acc <- st.incident_acc +. epoch_ns;
+      let closed_converge = ref None in
       (match st.incident_start with
       | Some d when st.phase = Stable && st.missing = [] ->
         let inc =
           { detected_epoch = d; resolved_epoch = e; converge_ns = st.incident_acc }
         in
         incidents := inc :: !incidents;
+        closed_converge := Some inc.converge_ns;
         San_obs.Obs.observe "daemon.converge_ns" inc.converge_ns;
         st.incident_start <- None;
         st.incident_acc <- 0.0
@@ -419,6 +483,28 @@ let run ?(config = default_config) ?(schedule = Schedule.empty)
           let raised, cleared = San_telemetry.Health.observe health sample in
           (Some sample, raised, cleared)
       in
+      (* SLOs watch the same steady-state epochs as health: a cold
+         start has no contract to breach. *)
+      let slo_raised, slo_cleared =
+        match (!verdict, health_sample) with
+        | Cold_start, _ | _, None -> ([], [])
+        | _, Some hs ->
+          San_slo.Slo.observe slo
+            {
+              San_slo.Slo.s_epoch = e;
+              s_load =
+                (match !load_report with
+                | Some r -> r.San_slo.Load.r_offered
+                | None -> 0.0);
+              s_converge_ns = !closed_converge;
+              s_epoch_ns = epoch_ns;
+              s_drop_rate =
+                (match !load_report with
+                | Some r -> r.San_slo.Load.r_drop_rate
+                | None -> hs.San_telemetry.Health.probe_drop_rate);
+              s_coverage = hs.San_telemetry.Health.coverage;
+            }
+      in
       let report =
         {
           epoch = e;
@@ -428,15 +514,19 @@ let run ?(config = default_config) ?(schedule = Schedule.empty)
           verdict = !verdict;
           phases = List.rev !phases;
           probes = !probes;
+          detect_ns = !detect_ns;
           verify_ns = !verify_ns;
           remap_ns = !remap_ns;
           dist = !dist_report;
+          load = !load_report;
           hosts_total;
           hosts_covered;
           epoch_ns;
           health = health_sample;
           alerts_raised;
           alerts_cleared;
+          slo_raised;
+          slo_cleared;
         }
       in
       San_obs.Obs.emit
@@ -469,5 +559,6 @@ let run ?(config = default_config) ?(schedule = Schedule.empty)
         delta_bytes = !delta_bytes;
         full_bytes = !full_bytes;
         health = San_telemetry.Health.report health;
+        slo = San_slo.Slo.status slo;
       }
   end

@@ -61,9 +61,15 @@ type epoch_report = {
   verdict : verdict;
   phases : phase list;  (** phases entered this epoch, in order *)
   probes : int;  (** verification plus any remap probes *)
+  detect_ns : float;
+      (** the leader's liveness sweep — the "detect" slice of the
+          phase timeline *)
   verify_ns : float;
   remap_ns : float;
   dist : Delta.report option;  (** when a distribution ran *)
+  load : San_slo.Load.report option;
+      (** the background-load window this epoch's probes contended
+          with, when the config drives load and a table is installed *)
   hosts_total : int;  (** hosts in the daemon's current map *)
   hosts_covered : int;  (** hosts whose installed slice is current *)
   epoch_ns : float;  (** simulated work this epoch *)
@@ -71,6 +77,8 @@ type epoch_report = {
       (** [None] only for cold-start epochs, which are not anomalies *)
   alerts_raised : string list;  (** health rules that raised this epoch *)
   alerts_cleared : string list;
+  slo_raised : string list;  (** SLO burn alerts raised this epoch *)
+  slo_cleared : string list;
 }
 
 type outcome = {
@@ -88,6 +96,8 @@ type outcome = {
   health : San_telemetry.Health.report;
       (** the health window at exit: per-epoch samples, active alerts
           and the full alert history ({!San_telemetry.Health}) *)
+  slo : San_slo.Slo.status list;
+      (** burn-rate status of every configured objective at exit *)
 }
 
 type config = {
@@ -108,12 +118,21 @@ type config = {
           this directory on every transition into [Degraded], at end of
           run ([flight-final.jsonl]), and on fatal errors via the
           {!San_why.Flight} hook ([flight-fatal.jsonl]) *)
+  load : San_slo.Load.spec option;
+      (** when set, every steady-state epoch first drives one
+          background-load window over the installed route table
+          ({!San_slo.Load.drive}) and the measured per-crossing loss
+          feeds the epoch's probe {!San_simnet.Network} — verification
+          and remapping genuinely contend with the traffic *)
+  slos : San_slo.Slo.objective list;
+      (** convergence SLOs tracked over steady-state epochs; burn-rate
+          alerts ride the same trace-event stream as health alerts *)
 }
 
 val default_config : config
 (** 2 retries, backoff 1 doubling to 8 epochs, default simulation
     parameters, the faithful probe policy, seed 1, solo remaps
-    ([shards = 1]), no flight dir. *)
+    ([shards = 1]), no flight dir, no background load, no SLOs. *)
 
 val run :
   ?config:config ->

@@ -96,7 +96,7 @@ type report = {
   full_sent_bytes : int;
 }
 
-let distribute ?params ?retries ~installed table ~actual ~leader =
+let distribute ?params ?retries ?traffic ~installed table ~actual ~leader =
   let map = San_routing.Routes.graph table in
   let leader_name = Graph.name actual leader in
   let p = plan ~installed table in
@@ -115,7 +115,7 @@ let distribute ?params ?retries ~installed table ~actual ~leader =
      partition total anyway. *)
   assert (unresolved = []);
   match
-    D.simulate_slices ?params ?retries table ~actual ~leader
+    D.simulate_slices ?params ?retries ?traffic table ~actual ~leader
       ~slices:(List.map (fun (_, node, bytes) -> (node, bytes)) slices)
   with
   | Error _ as e -> e

@@ -67,6 +67,7 @@ type report = {
 val distribute :
   ?params:San_simnet.Params.t ->
   ?retries:int ->
+  ?traffic:float * San_util.Prng.t ->
   installed:tables ->
   San_routing.Routes.t ->
   actual:Graph.t ->
@@ -74,6 +75,6 @@ val distribute :
   (report, string) result
 (** Plan against [installed], ship every non-[Unchanged] slice from
     [leader] over the actual network ({!San_routing.Distribute}
-    retries included), and advance the ledger for delivered hosts (and
-    the leader itself, which installs locally). Fails when the leader
-    is not in the table's graph. *)
+    retries and background [traffic] model included), and advance the
+    ledger for delivered hosts (and the leader itself, which installs
+    locally). Fails when the leader is not in the table's graph. *)

@@ -16,6 +16,17 @@ type action =
   | Kill_host of string
   | Kill_leader  (** silence whichever host currently leads *)
   | Revive_host of string
+  | Storm of { links : int; hosts : int }
+      (** a correlated failure burst: cut [links] wires and kill
+          [hosts] random responding daemons in the same epoch *)
+  | Upgrade_switch of int
+      (** rolling maintenance: unplug a random wired switch and re-plug
+          the same wires this many epochs later *)
+  | Partition of int
+      (** split the switches into two halves, cut every crossing wire,
+          heal this many epochs later *)
+  | Flap_storm of { count : int; down : int }
+      (** [count] independent flaps at once, each down [down] epochs *)
 
 type t
 
@@ -31,7 +42,29 @@ val parse : string -> (t, string) result
 (** Comma-separated [EPOCH:ACTION] entries, e.g.
     ["2:cut,4:flap=3,6:isolate,8:kill-leader,9:revive=C-h4"].
     Actions: [cut] / [cut=N], [flap] / [flap=DOWN_EPOCHS] (default 2),
-    [isolate], [add], [kill=HOST], [kill-leader], [revive=HOST]. *)
+    [isolate], [add], [kill=HOST], [kill-leader], [revive=HOST],
+    [storm] / [storm=LINKSxHOSTS] (default 2x1), [upgrade=EPOCHS]
+    (default 2), [partition=EPOCHS] (default 3), and
+    [flapstorm=COUNTxEPOCHS] (default 3x2) — compound arguments are
+    ['x']-separated because the comma separates entries. *)
+
+val to_string : t -> string
+(** The [parse] syntax back; [parse (to_string t)] re-reads [t], which
+    is how fuzz counterexamples print replayable schedules. *)
+
+val action_to_string : action -> string
+
+val scenario : ?epochs:int -> string -> ((int * action) list, string) result
+(** Named adversarial presets scaled to the run length (default 12
+    epochs): ["storm"] (correlated failure bursts), ["rolling"] (a
+    switch pulled every other epoch), ["partition"] (split, kill the
+    leader while split, heal), ["flaps"] (overlapping flap storms). *)
+
+val scenario_names : string list
+
+val gen : rng:San_util.Prng.t -> epochs:int -> (int * action) list
+(** A random schedule for the fuzzer — every action except named
+    kills, ~30% of epochs eventful. Deterministic in [rng]. *)
 
 val pp_action : Format.formatter -> action -> unit
 

@@ -16,6 +16,7 @@ type shard_report = {
   s_elapsed_ns : float;
   s_map_nodes : int;
   s_stale : bool;
+  s_probe_cost : San_slo.Digest.t;
 }
 
 type result = {
@@ -30,6 +31,9 @@ type result = {
   sum_ns : float;
   merge_ns : float;
   coordinator : string;
+  probe_cost : San_slo.Digest.t;
+      (** the shards' probe-cost digests merged — composition is exact,
+          so this equals the digest of the whole run's probe costs *)
 }
 
 (* A stale view: the fabric as shard [idx] mapped it one epoch ago,
@@ -81,8 +85,18 @@ let corrupt_view ~seed ~scopes ~idx ~mapper g =
     try_pick 32
   end
 
-let run ?(seed = 0) ?root ?mappers ?responding ?policy ?params ?(epoch = 1)
-    ?stale g ~shards =
+(* The shard's probe-cost distribution, captured as a mergeable digest
+   by diffing the global probe-cost histogram around the run. Requires
+   the switchboard on; with observability off the digest is empty. *)
+let probe_cost_digest ~before =
+  let after = San_obs.Metrics.snapshot Obs.registry in
+  let window = San_obs.Metrics.diff ~before ~after in
+  match San_obs.Metrics.histogram_in window "net.probe_cost_ns" with
+  | Some hs -> San_slo.Digest.of_hist_snapshot hs
+  | None -> San_slo.Digest.create ()
+
+let run ?(seed = 0) ?root ?mappers ?responding ?policy ?params ?traffic
+    ?(epoch = 1) ?stale g ~shards =
   match Region.plan ~seed ?root ?mappers ?responding g ~shards with
   | Error e -> Error e
   | Ok plan ->
@@ -104,7 +118,7 @@ let run ?(seed = 0) ?root ?mappers ?responding ?policy ?params ?(epoch = 1)
                  | None -> (g, false))
                | _ -> (g, false)
              in
-             let net = Network.create ?params ?responding gk in
+             let net = Network.create ?params ?responding ?traffic gk in
              (* Ownership-scoped exploration: resolve the probe path
                 against the (possibly recabled) fabric the shard is
                 actually probing and expand only switches in this
@@ -125,12 +139,14 @@ let run ?(seed = 0) ?root ?mappers ?responding ?policy ?params ?(epoch = 1)
                        scopes.(sp.Region.idx).(v)
                      | _ -> false)
              in
+             let cost_before = San_obs.Metrics.snapshot Obs.registry in
              let r =
                Obs.with_span "shard.map" (fun () ->
                    Berkeley.run ?policy ?expand
                      ~depth:(Berkeley.Fixed sp.Region.depth)
                      net ~mapper:sp.Region.mapper)
              in
+             let probe_cost = probe_cost_digest ~before:cost_before in
              let st = Stats.copy (Network.stats net) in
              let probes = Stats.total_probes st in
              let probe_did = San_why.Why.last_probe () in
@@ -169,6 +185,7 @@ let run ?(seed = 0) ?root ?mappers ?responding ?policy ?params ?(epoch = 1)
                    | Some m -> Graph.num_nodes m
                    | None -> 0);
                  s_stale = is_stale;
+                 s_probe_cost = probe_cost;
                }
              in
              let view =
@@ -227,4 +244,7 @@ let run ?(seed = 0) ?root ?mappers ?responding ?policy ?params ?(epoch = 1)
         sum_ns = sum +. merge_ns;
         merge_ns;
         coordinator;
+        probe_cost =
+          San_slo.Digest.merge_all
+            (List.map (fun r -> r.s_probe_cost) reports);
       }

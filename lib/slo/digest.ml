@@ -1,0 +1,180 @@
+(* A mergeable streaming quantile digest.
+
+   Same geometric binning as San_obs.Metrics histograms — buckets at
+   gamma^i boundaries with gamma = 2^(1/8) (~9% relative resolution),
+   non-positive values in a dedicated zero bucket — packaged as a
+   standalone value that composes: bucket counts add, so merging the
+   digests of two streams gives exactly the digest of their
+   concatenation (min/max and sum are exact too; only the within-bucket
+   position of individual observations is forgotten, which is the same
+   ~9% relative error a single digest already has). This is what lets
+   per-shard percentiles roll up into fleet percentiles without
+   shipping raw samples. *)
+
+let gamma = Float.pow 2.0 0.125
+let log_gamma = Float.log gamma
+
+type t = {
+  mutable count : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+  mutable zero : int;
+  buckets : (int, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    count = 0;
+    sum = 0.0;
+    vmin = infinity;
+    vmax = neg_infinity;
+    zero = 0;
+    buckets = Hashtbl.create 32;
+  }
+
+let bucket_of v = int_of_float (Float.floor (Float.log v /. log_gamma))
+
+let add t v =
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v;
+  if v <= 0.0 then t.zero <- t.zero + 1
+  else
+    let b = bucket_of v in
+    Hashtbl.replace t.buckets b
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.buckets b))
+
+let of_list vs =
+  let t = create () in
+  List.iter (add t) vs;
+  t
+
+let count t = t.count
+let sum t = t.sum
+let is_empty t = t.count = 0
+
+let add_bucket t b n =
+  if n > 0 then
+    Hashtbl.replace t.buckets b
+      (n + Option.value ~default:0 (Hashtbl.find_opt t.buckets b))
+
+(* Accumulate [src] into [dst]. Exact: counts add bucket-wise. *)
+let merge_into ~dst src =
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum +. src.sum;
+  if src.vmin < dst.vmin then dst.vmin <- src.vmin;
+  if src.vmax > dst.vmax then dst.vmax <- src.vmax;
+  dst.zero <- dst.zero + src.zero;
+  Hashtbl.iter (fun b n -> add_bucket dst b n) src.buckets
+
+let merge a b =
+  let t = create () in
+  merge_into ~dst:t a;
+  merge_into ~dst:t b;
+  t
+
+let merge_all ds =
+  let t = create () in
+  List.iter (fun d -> merge_into ~dst:t d) ds;
+  t
+
+let sorted_buckets t =
+  Hashtbl.fold (fun b n acc -> (b, n) :: acc) t.buckets []
+  |> List.sort compare
+
+(* Same answer Metrics.quantile_of gives: rank walk over the zero
+   bucket then the sorted log buckets; a bucket answers with its
+   geometric midpoint, clamped to the observed extremes. *)
+let quantile t q =
+  if t.count = 0 then 0.0
+  else begin
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int t.count))) in
+    if rank <= t.zero then 0.0
+    else begin
+      let rec walk seen = function
+        | [] -> t.vmax
+        | (b, n) :: rest ->
+          let seen = seen + n in
+          if seen >= rank then Float.pow gamma (float_of_int b +. 0.5)
+          else walk seen rest
+      in
+      let v = walk t.zero (sorted_buckets t) in
+      Float.min t.vmax (Float.max t.vmin v)
+    end
+  end
+
+(* The guaranteed accuracy of [quantile]: a positive observation in
+   bucket b lies in (gamma^b, gamma^(b+1)]; the midpoint gamma^(b+0.5)
+   is within a factor sqrt(gamma) of any point of the bucket. *)
+let relative_error = Float.sqrt gamma -. 1.0
+
+let of_hist_snapshot (hs : San_obs.Metrics.hist_snapshot) =
+  let t = create () in
+  t.count <- hs.San_obs.Metrics.hs_count;
+  t.sum <- hs.hs_sum;
+  if hs.hs_count > 0 then begin
+    t.vmin <- hs.hs_min;
+    t.vmax <- hs.hs_max
+  end;
+  t.zero <- hs.hs_zero;
+  List.iter (fun (b, n) -> add_bucket t b n) hs.hs_buckets;
+  t
+
+let to_json t =
+  let module J = San_util.Json in
+  J.Obj
+    [
+      ("count", J.int t.count);
+      ("sum", J.Num t.sum);
+      ("min", J.Num (if t.count = 0 then 0.0 else t.vmin));
+      ("max", J.Num (if t.count = 0 then 0.0 else t.vmax));
+      ("zero", J.int t.zero);
+      ( "buckets",
+        J.Arr
+          (List.map
+             (fun (b, n) -> J.Arr [ J.int b; J.int n ])
+             (sorted_buckets t)) );
+      ("p50", J.Num (quantile t 0.50));
+      ("p95", J.Num (quantile t 0.95));
+      ("p99", J.Num (quantile t 0.99));
+    ]
+
+let of_json j =
+  let module J = San_util.Json in
+  let int k = Option.bind (J.member k j) J.to_int in
+  let num k = match J.member k j with Some (J.Num f) -> Some f | _ -> None in
+  match (int "count", num "sum", num "min", num "max", int "zero") with
+  | Some count, Some sum, Some vmin, Some vmax, Some zero ->
+    let t = create () in
+    t.count <- count;
+    t.sum <- sum;
+    if count > 0 then begin
+      t.vmin <- vmin;
+      t.vmax <- vmax
+    end;
+    t.zero <- zero;
+    let buckets =
+      match J.member "buckets" j with
+      | Some (J.Arr bs) ->
+        List.for_all
+          (function
+            | J.Arr [ b; n ] -> (
+              match (J.to_int b, J.to_int n) with
+              | Some b, Some n ->
+                add_bucket t b n;
+                true
+              | _ -> false)
+            | _ -> false)
+          bs
+      | _ -> false
+    in
+    if buckets then Some t else None
+  | _ -> None
+
+let pp ppf t =
+  if t.count = 0 then Format.fprintf ppf "digest(empty)"
+  else
+    Format.fprintf ppf "digest(n=%d p50=%.3g p95=%.3g p99=%.3g max=%.3g)"
+      t.count (quantile t 0.50) (quantile t 0.95) (quantile t 0.99) t.vmax

@@ -1,0 +1,44 @@
+(** Mergeable streaming quantile digests.
+
+    The same geometric binning as {!San_obs.Metrics} histograms
+    ([gamma = 2^(1/8)], ~9% relative resolution, non-positive values in
+    a zero bucket), packaged as a first-class value with an {e exact}
+    merge: bucket counts add, so the merge of two streams' digests
+    equals the digest of their concatenation. Shard runners summarize
+    locally and the coordinator composes fleet percentiles without ever
+    seeing raw samples. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val of_list : float list -> t
+
+val count : t -> int
+val sum : t -> float
+val is_empty : t -> bool
+
+val merge : t -> t -> t
+(** A fresh digest equal to the digest of the concatenated streams.
+    Associative and commutative; neither argument is mutated. *)
+
+val merge_into : dst:t -> t -> unit
+val merge_all : t list -> t
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0,1]: the geometric midpoint of the
+    bucket holding the rank-[q] observation, clamped to the observed
+    min/max (identical semantics to {!San_obs.Metrics.quantile_of}).
+    0 when empty. *)
+
+val relative_error : float
+(** Guaranteed worst-case relative error of [quantile] for positive
+    observations: [sqrt gamma - 1] (~4.4%). *)
+
+val of_hist_snapshot : San_obs.Metrics.hist_snapshot -> t
+(** Adopt a registry histogram snapshot (e.g. a {!San_obs.Metrics.diff}
+    window) as a digest, so existing instruments compose too. *)
+
+val to_json : t -> San_util.Json.t
+val of_json : San_util.Json.t -> t option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,247 @@
+(* Declarative convergence SLOs with error-budget burn-rate tracking.
+
+   An objective reads like the sentence an operator would write: "p99
+   convergence below 200 simulated ms at offered load up to 0.3". The
+   quantile fixes the error budget — p99 tolerates 1% bad epochs — and
+   the tracker turns a sliding window of epoch samples into a burn
+   rate: (bad fraction among eligible epochs) / budget. Burn 1.0 means
+   exactly spending the budget; sustained burn above 1.0 raises an
+   alert (Trace.Alert_raised with an "slo:" prefix, like the health
+   rules), and the first window back under 1.0 clears it. Burn rates
+   are also published as gauges, so the Prometheus exposition carries
+   [san_slo_*] series without extra plumbing.
+
+   Epochs louder than [max_load] are out of contract and never charged
+   against the budget; convergence objectives are charged only on
+   epochs that actually had an incident to converge from (an epoch
+   with nothing to detect says nothing about detection speed). *)
+
+type metric = Converge_ns | Epoch_ns | Drop_rate | Coverage
+
+let metric_to_string = function
+  | Converge_ns -> "converge"
+  | Epoch_ns -> "epoch"
+  | Drop_rate -> "drop"
+  | Coverage -> "coverage"
+
+let metric_of_string = function
+  | "converge" | "converge_ns" -> Some Converge_ns
+  | "epoch" | "epoch_ns" -> Some Epoch_ns
+  | "drop" | "drop_rate" -> Some Drop_rate
+  | "coverage" -> Some Coverage
+  | _ -> None
+
+type cmp = Below | Above
+
+type objective = {
+  name : string;
+  metric : metric;
+  quantile : float;  (* the pNN of the sentence; budget = 1 - quantile *)
+  cmp : cmp;
+  limit : float;
+  max_load : float;  (* epochs above this offered load are out of contract *)
+  window : int;  (* sliding window, in eligible epochs *)
+  for_epochs : int;  (* sustained-burn streak before raising *)
+}
+
+let objective ?name ?(quantile = 0.95) ?(max_load = infinity) ?(window = 20)
+    ?(for_epochs = 2) ~metric ~cmp limit =
+  if quantile <= 0.0 || quantile >= 1.0 then
+    invalid_arg "Slo.objective: quantile must be in (0, 1)";
+  if window < 1 then invalid_arg "Slo.objective: empty window";
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+      Printf.sprintf "%s-p%g" (metric_to_string metric) (quantile *. 100.0)
+  in
+  { name; metric; quantile; cmp; limit; max_load; window; for_epochs }
+
+let budget o = 1.0 -. o.quantile
+
+(* "converge:p99<2e8@0.3" — METRIC ':' pNN ('<'|'>') LIMIT ['@' MAXLOAD] *)
+let parse s =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.split_on_char ':' (String.trim s) with
+  | [ metric_s; rest ] -> (
+    match metric_of_string metric_s with
+    | None -> fail "unknown SLO metric %S (converge|epoch|drop|coverage)" metric_s
+    | Some metric -> (
+      let cmp, parts =
+        if String.contains rest '<' then (Below, String.split_on_char '<' rest)
+        else (Above, String.split_on_char '>' rest)
+      in
+      match parts with
+      | [ q_s; lim_s ] -> (
+        let q_s = String.trim q_s in
+        if String.length q_s < 2 || q_s.[0] <> 'p' then
+          fail "SLO quantile must look like p99, got %S" q_s
+        else
+          let lim_s, load_s =
+            match String.split_on_char '@' lim_s with
+            | [ l ] -> (l, None)
+            | [ l; ld ] -> (l, Some ld)
+            | _ -> (lim_s, None)
+          in
+          match
+            ( float_of_string_opt (String.sub q_s 1 (String.length q_s - 1)),
+              float_of_string_opt (String.trim lim_s) )
+          with
+          | Some pct, Some limit when pct > 0.0 && pct < 100.0 -> (
+            let quantile = pct /. 100.0 in
+            match Option.map float_of_string_opt (Option.map String.trim load_s) with
+            | Some None -> fail "bad max-load in SLO %S" s
+            | None ->
+              Ok (objective ~quantile ~metric ~cmp limit)
+            | Some (Some max_load) ->
+              Ok (objective ~quantile ~max_load ~metric ~cmp limit))
+          | _ -> fail "bad quantile or limit in SLO %S" s)
+      | _ -> fail "SLO %S needs exactly one '<' or '>'" s))
+  | _ -> fail "SLO %S is not METRIC:pNN<LIMIT[@MAXLOAD]" s
+
+let to_string o =
+  Printf.sprintf "%s:p%g%c%g%s"
+    (metric_to_string o.metric)
+    (o.quantile *. 100.0)
+    (match o.cmp with Below -> '<' | Above -> '>')
+    o.limit
+    (if o.max_load = infinity then ""
+     else Printf.sprintf "@%g" o.max_load)
+
+(* Defaults are deliberately loose: ship-with limits that catch real
+   regressions (a daemon that stops converging) without tripping on
+   topology-to-topology variation. *)
+let defaults =
+  [
+    objective ~quantile:0.95 ~metric:Converge_ns ~cmp:Below 5e8;
+    objective ~quantile:0.99 ~metric:Epoch_ns ~cmp:Below 2e9;
+    objective ~quantile:0.95 ~max_load:0.5 ~metric:Drop_rate ~cmp:Below 0.25;
+    objective ~quantile:0.95 ~metric:Coverage ~cmp:Above 0.5;
+  ]
+
+type sample = {
+  s_epoch : int;
+  s_load : float;  (* offered load this epoch, 0 when quiescent *)
+  s_converge_ns : float option;  (* Some only when an incident resolved *)
+  s_epoch_ns : float;
+  s_drop_rate : float;
+  s_coverage : float;
+}
+
+type status = {
+  st_objective : objective;
+  st_eligible : int;  (* eligible epochs currently in the window *)
+  st_bad : int;
+  st_burn_rate : float;
+  st_streak : int;
+  st_alerting : bool;
+}
+
+type tracked = {
+  o : objective;
+  mutable bads : bool list;  (* newest first, length <= window *)
+  mutable streak : int;
+  mutable alerting : bool;
+}
+
+type t = { slos : tracked list }
+
+let create objectives =
+  { slos = List.map (fun o -> { o; bads = []; streak = 0; alerting = false }) objectives }
+
+let value_of o s =
+  match o.metric with
+  | Converge_ns -> s.s_converge_ns
+  | Epoch_ns -> Some s.s_epoch_ns
+  | Drop_rate -> Some s.s_drop_rate
+  | Coverage -> Some s.s_coverage
+
+let take n xs =
+  let rec go n = function
+    | x :: rest when n > 0 -> x :: go (n - 1) rest
+    | _ -> []
+  in
+  go n xs
+
+let burn_of tr =
+  let eligible = List.length tr.bads in
+  let bad = List.length (List.filter Fun.id tr.bads) in
+  let burn =
+    if eligible = 0 then 0.0
+    else float_of_int bad /. float_of_int eligible /. budget tr.o
+  in
+  (eligible, bad, burn)
+
+let alert_name tr = "slo:" ^ tr.o.name
+
+(* Feed one epoch; returns (raised, cleared) alert names. *)
+let observe t s =
+  let raised = ref [] and cleared = ref [] in
+  List.iter
+    (fun tr ->
+      (if s.s_load <= tr.o.max_load then
+         match value_of tr.o s with
+         | None -> ()
+         | Some v ->
+           let bad =
+             match tr.o.cmp with Below -> v > tr.o.limit | Above -> v < tr.o.limit
+           in
+           tr.bads <- take tr.o.window (bad :: tr.bads));
+      let _, _, burn = burn_of tr in
+      if San_obs.Obs.on () then
+        San_obs.Obs.set_gauge ("slo." ^ tr.o.name ^ ".burn_rate") burn;
+      if burn >= 1.0 && tr.bads <> [] then begin
+        tr.streak <- tr.streak + 1;
+        if (not tr.alerting) && tr.streak >= tr.o.for_epochs then begin
+          tr.alerting <- true;
+          raised := alert_name tr :: !raised;
+          San_obs.Obs.emit
+            (San_obs.Trace.Alert_raised { name = alert_name tr; epoch = s.s_epoch })
+        end
+      end
+      else begin
+        tr.streak <- 0;
+        if tr.alerting then begin
+          tr.alerting <- false;
+          cleared := alert_name tr :: !cleared;
+          San_obs.Obs.emit
+            (San_obs.Trace.Alert_cleared { name = alert_name tr; epoch = s.s_epoch })
+        end
+      end)
+    t.slos;
+  (List.rev !raised, List.rev !cleared)
+
+let status t =
+  List.map
+    (fun tr ->
+      let eligible, bad, burn = burn_of tr in
+      {
+        st_objective = tr.o;
+        st_eligible = eligible;
+        st_bad = bad;
+        st_burn_rate = burn;
+        st_streak = tr.streak;
+        st_alerting = tr.alerting;
+      })
+    t.slos
+
+let status_to_json sts =
+  let module J = San_util.Json in
+  J.Arr
+    (List.map
+       (fun st ->
+         J.Obj
+           [
+             ("slo", J.Str (to_string st.st_objective));
+             ("name", J.Str st.st_objective.name);
+             ("eligible", J.int st.st_eligible);
+             ("bad", J.int st.st_bad);
+             ("burn_rate", J.Num st.st_burn_rate);
+             ("alerting", J.Bool st.st_alerting);
+           ])
+       sts)
+
+let pp_status ppf st =
+  Format.fprintf ppf "%-24s burn %5.2f (%d/%d bad)%s"
+    (to_string st.st_objective) st.st_burn_rate st.st_bad st.st_eligible
+    (if st.st_alerting then "  ALERTING" else "")

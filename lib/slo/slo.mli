@@ -1,0 +1,95 @@
+(** Declarative service-level objectives with burn-rate tracking.
+
+    An objective is the sentence an operator writes — ["p99 convergence
+    below 200 simulated ms at offered load up to 0.3"], concretely
+    ["converge:p99<2e8@0.3"] — and the quantile fixes its error
+    budget: p99 tolerates 1% bad epochs. A tracker folds per-epoch
+    samples into a sliding window and reports the burn rate, (bad
+    fraction among eligible epochs) / budget: burn 1.0 is spending the
+    budget exactly, sustained burn above 1.0 raises an ["slo:"-prefixed]
+    {!San_obs.Trace.Alert_raised}, and the first observation back under
+    1.0 clears it. Burn rates publish as ["slo.<name>.burn_rate"]
+    gauges, so they reach the Prometheus exposition with no extra
+    plumbing.
+
+    Out-of-contract epochs (offered load above [max_load]) are never
+    charged; convergence objectives are charged only on epochs that
+    actually resolved an incident. *)
+
+type metric =
+  | Converge_ns  (** incident convergence time, simulated ns *)
+  | Epoch_ns  (** whole-epoch simulated work *)
+  | Drop_rate  (** background-load drop rate *)
+  | Coverage  (** fraction of hosts with a current route slice *)
+
+val metric_to_string : metric -> string
+val metric_of_string : string -> metric option
+
+type cmp = Below | Above
+
+type objective = private {
+  name : string;
+  metric : metric;
+  quantile : float;
+  cmp : cmp;
+  limit : float;
+  max_load : float;
+  window : int;
+  for_epochs : int;
+}
+
+val objective :
+  ?name:string ->
+  ?quantile:float ->
+  ?max_load:float ->
+  ?window:int ->
+  ?for_epochs:int ->
+  metric:metric ->
+  cmp:cmp ->
+  float ->
+  objective
+(** Defaults: p95, any load, 20-epoch window, raise after 2 sustained
+    epochs. @raise Invalid_argument on a quantile outside (0,1). *)
+
+val budget : objective -> float
+(** The error budget, [1 - quantile]. *)
+
+val parse : string -> (objective, string) result
+(** [METRIC:pNN<LIMIT[@MAXLOAD]] (or [>] for lower-bound objectives
+    like coverage), e.g. ["converge:p99<2e8@0.3"]. *)
+
+val to_string : objective -> string
+
+val defaults : objective list
+(** Loose ship-with objectives: convergence p95, epoch-time p99, drop
+    p95 under load, coverage p95. *)
+
+type sample = {
+  s_epoch : int;
+  s_load : float;
+  s_converge_ns : float option;
+  s_epoch_ns : float;
+  s_drop_rate : float;
+  s_coverage : float;
+}
+
+type status = {
+  st_objective : objective;
+  st_eligible : int;
+  st_bad : int;
+  st_burn_rate : float;
+  st_streak : int;
+  st_alerting : bool;
+}
+
+type t
+
+val create : objective list -> t
+
+val observe : t -> sample -> string list * string list
+(** Feed one epoch; returns (raised, cleared) alert names, having
+    emitted the trace events and updated the burn-rate gauges. *)
+
+val status : t -> status list
+val status_to_json : status list -> San_util.Json.t
+val pp_status : Format.formatter -> status -> unit

@@ -13,6 +13,7 @@ module Trace = San_obs.Trace
 
 let sw_pid = 0
 let fabric_pid = 1
+let daemon_pid = 2
 let span_tid = 0
 let probe_tid = 1
 let control_tid = 2
@@ -38,6 +39,8 @@ let metadata =
   [
     meta ~pid:sw_pid "process_name" "mapper software";
     meta ~pid:fabric_pid "process_name" "fabric (simulated time)";
+    meta ~pid:daemon_pid "process_name" "daemon epochs (simulated time)";
+    meta ~pid:daemon_pid ~tid:0 "thread_name" "phases";
     meta ~pid:sw_pid ~tid:span_tid "thread_name" "spans";
     meta ~pid:sw_pid ~tid:probe_tid "thread_name" "probes";
     meta ~pid:sw_pid ~tid:control_tid "thread_name" "control plane";
@@ -67,6 +70,16 @@ let of_records records =
         (event ~pid:fabric_pid ~tid:wid ~ph:"i" ~ts:(us at_ns)
            ~name:("drop: " ^ reason)
            [ ("wid", J.int wid) ])
+    | Trace.Phase_timed { epoch; phase; start_ns; dur_ns } ->
+      (* The per-epoch detect/verify/remap/distribute timeline, as
+         complete events on the daemon's cumulative sim clock — like
+         the fabric pid, byte-stable across invocations. *)
+      Some
+        (event ~pid:daemon_pid ~tid:0 ~ph:"X" ~ts:(us start_ns)
+           ~dur:(us dur_ns)
+           ~name:(Printf.sprintf "e%d %s" epoch phase)
+           [ ("epoch", J.int epoch); ("phase", J.Str phase);
+             ("dur_ns", J.Num dur_ns) ])
     | Trace.Span_begin { name } ->
       Some (event ~tid:span_tid ~ph:"B" ~ts:(wall r.Trace.wall_ns) ~name [])
     | Trace.Span_end { name; elapsed_ns } ->

@@ -49,6 +49,7 @@ let props_hold_on name g =
       graph = g;
       mapper_name = Graph.name g (List.hd (Graph.hosts g));
       silent = [];
+      schedule = [];
     }
   in
   List.iter

@@ -235,7 +235,7 @@ let test_jsonl_roundtrip () =
    without JSON support breaks here (and forgetting to extend
    [all_events] itself is a fatal inexhaustive match in trace.ml). *)
 let test_all_events_roundtrip () =
-  Alcotest.(check int) "one witness per constructor" 17
+  Alcotest.(check int) "one witness per constructor" 18
     (List.length Trace.all_events);
   let tags =
     List.filter_map
@@ -248,9 +248,9 @@ let test_all_events_roundtrip () =
         | _ -> None)
       Trace.all_events
   in
-  Alcotest.(check int) "every witness carries an \"ev\" tag" 17
+  Alcotest.(check int) "every witness carries an \"ev\" tag" 18
     (List.length tags);
-  Alcotest.(check int) "tags are distinct" 17
+  Alcotest.(check int) "tags are distinct" 18
     (List.length (List.sort_uniq compare tags));
   List.iter
     (fun ev ->
