@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-fast bench-smoke scale-smoke shard-smoke fuzz-smoke health-smoke explain-smoke slo-smoke artifacts examples clean
+.PHONY: all build test check bench bench-fast bench-smoke scale-smoke shard-smoke serve-smoke fuzz-smoke health-smoke explain-smoke slo-smoke artifacts examples clean
 
 all: build
 
@@ -20,6 +20,7 @@ check:
 	$(MAKE) fuzz-smoke
 	$(MAKE) scale-smoke
 	$(MAKE) shard-smoke
+	$(MAKE) serve-smoke
 	$(MAKE) slo-smoke
 
 bench:
@@ -54,6 +55,17 @@ shard-smoke:
 	timeout 240 dune exec bin/san_map.exe -- shard -t fabric:ft-1k --seed 1 \
 	  --shards 4 --compare-solo --out-dir ""
 	dune exec bench/main.exe -- --only scaling-shard --fast --no-bechamel
+
+# The route-serving plane at CI size: a seeded ft-1k serve run whose
+# --check verifies delivery and deadlock freedom of a served sample
+# (the CLI exits non-zero on either), then the fast serving bench
+# rungs, which gate the ft-1k lookup rate against
+# bench/serving_baseline.json (fail under a quarter of the recorded
+# rate) and re-check deadlock freedom per rung.
+serve-smoke:
+	timeout 120 dune exec bin/san_map.exe -- serve -t fabric:ft-1k --seed 1 \
+	  --queries 100000 --check
+	dune exec bench/main.exe -- --only serving --fast --no-bechamel
 
 # The property fuzzer at CI size: a fixed seed so the run is
 # reproducible, 200 random fabrics through the full suite. On a

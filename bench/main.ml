@@ -1879,6 +1879,247 @@ let scaling_shard_section () =
   obs_sections := ("scaling-shard", J.Obj (List.rev !entries)) :: !obs_sections
 
 (* ------------------------------------------------------------------ *)
+(* Route serving: the per-destination DAG plane at fabric scale. Rate   *)
+(* is gated against bench/serving_baseline.json like the scaling        *)
+(* section; the served sample must stay deadlock-free; ft-10k proves    *)
+(* the bounded-cache memory claim (no all-pairs matrix: heap growth is  *)
+(* recorded and must stay orders of magnitude under hosts^2 entries).   *)
+
+let serving_baseline = "bench/serving_baseline.json"
+
+let serving_section () =
+  let module J = San_util.Json in
+  let module Fabric = San_fabric.Fabric in
+  let module Serve = San_routing.Serve in
+  let entries = ref [] in
+  let t =
+    T.create
+      ~header:
+        [ "fabric"; "hosts"; "dsts"; "queries"; "compile (s)"; "Mlookups/s";
+          "resident"; "packed/naive"; "heap +MB"; "deadlock-free" ]
+  in
+  let rungs =
+    [ ("ft-100", 24, 200_000); ("ft-1k", 32, 400_000) ]
+    @ if !fast then [] else [ ("ft-10k", 32, 400_000) ]
+  in
+  List.iter
+    (fun (name, ndst, queries) ->
+      let p = Option.get (Fabric.find_preset name) in
+      let g = p.Fabric.p_build ~seed:1 in
+      Gc.compact ();
+      let heap0 = (Gc.quick_stat ()).Gc.top_heap_words in
+      let serve = Serve.create ~cache_limit:64 g in
+      let hosts = Array.of_list (Graph.hosts g) in
+      let nh = Array.length hosts in
+      let rng = San_util.Prng.create 1 in
+      let shuffled = Array.copy hosts in
+      San_util.Prng.shuffle rng shuffled;
+      let dst_set = Array.sub shuffled 0 (min ndst nh) in
+      let t0 = Unix.gettimeofday () in
+      Array.iter (fun dst -> Serve.warm serve ~dst) dst_set;
+      let compile_s = Unix.gettimeofday () -. t0 in
+      let q =
+        Array.init queries (fun _ ->
+            let dst = dst_set.(San_util.Prng.int rng (Array.length dst_set)) in
+            let rec src () =
+              let s = hosts.(San_util.Prng.int rng nh) in
+              if s = dst then src () else s
+            in
+            (src (), dst))
+      in
+      let buf = Array.make (Graph.num_nodes g + 1) 0 in
+      (* a batch finishes in tens of ms, where one scheduler hiccup
+         swamps the rate; best-of keeps the gate honest *)
+      let best = ref infinity in
+      for _ = 1 to 5 do
+        let t1 = Unix.gettimeofday () in
+        ignore (Serve.batch serve q ~buf);
+        let dt = Unix.gettimeofday () -. t1 in
+        if dt < !best then best := dt
+      done;
+      let rate = float_of_int queries /. !best in
+      let heap_mb =
+        float_of_int ((Gc.quick_stat ()).Gc.top_heap_words - heap0)
+        *. float_of_int (Sys.word_size / 8)
+        /. 1e6
+      in
+      (* served sample stays deadlock-free: every warmed destination,
+         sources capped so ft-10k stays a bench and not a soak *)
+      let src_cap = min nh 100 in
+      let served = ref [] in
+      Array.iter
+        (fun dst ->
+          for i = 0 to src_cap - 1 do
+            let src = hosts.(i) in
+            if src <> dst then
+              match Serve.lookup serve ~src ~dst with
+              | Some turns -> served := (src, turns) :: !served
+              | None -> ()
+          done)
+        dst_set;
+      let deadlock_free =
+        match San_routing.Deadlock.check_acyclic g !served with
+        | Ok () -> true
+        | Error e ->
+          Printf.printf "serving %s: deadlock check FAILED: %s\n" name e;
+          gate_failed := true;
+          false
+      in
+      let st = Serve.stats serve in
+      let packed_ratio =
+        float_of_int st.Serve.packed_bytes /. float_of_int st.Serve.naive_bytes
+      in
+      T.add_row t
+        [ name; string_of_int nh; string_of_int (Array.length dst_set);
+          string_of_int queries; Printf.sprintf "%.3f" compile_s;
+          Printf.sprintf "%.2f" (rate /. 1e6);
+          string_of_int st.Serve.resident;
+          Printf.sprintf "%.0f%%" (100.0 *. packed_ratio);
+          Printf.sprintf "%.1f" heap_mb;
+          (if deadlock_free then "yes" else "NO") ];
+      entries :=
+        ( name,
+          J.Obj
+            [
+              ("hosts", J.int nh);
+              ("destinations", J.int (Array.length dst_set));
+              ("queries", J.int queries);
+              ("compile_s", J.Num compile_s);
+              ("lookups_per_s", J.Num rate);
+              ("resident_tables", J.int st.Serve.resident);
+              ("pool_cells", J.int st.Serve.pool_cells);
+              ("packed_bytes", J.int st.Serve.packed_bytes);
+              ("naive_bytes", J.int st.Serve.naive_bytes);
+              ("heap_growth_mb", J.Num heap_mb);
+              ("deadlock_free", J.Bool deadlock_free);
+            ] )
+        :: !entries)
+    rungs;
+  T.print
+    ~title:
+      "Route serving — per-destination DAG tables, bounded cache (64), \
+       shared-suffix pool (heap +MB: growth over the bare graph; an \
+       all-pairs matrix would need hosts^2 entries)"
+    t;
+  write_csv "serving"
+    [ "fabric"; "hosts"; "queries"; "lookups_per_s"; "heap_growth_mb" ]
+    (List.rev_map
+       (fun (name, j) ->
+         let num k =
+           match J.member k j with
+           | Some (J.Num f) -> Printf.sprintf "%.1f" f
+           | _ -> ""
+         in
+         [ name; num "hosts"; num "queries"; num "lookups_per_s";
+           num "heap_growth_mb" ])
+       !entries);
+  (* Regression gate, scaling-style: ft-1k must serve at least a
+     quarter of the recorded baseline rate. *)
+  (let current =
+     match List.assoc_opt "ft-1k" !entries with
+     | Some j -> (
+       match J.member "lookups_per_s" j with Some (J.Num f) -> Some f | _ -> None)
+     | None -> None
+   in
+   let baseline =
+     if Sys.file_exists serving_baseline then begin
+       let ic = open_in serving_baseline in
+       let s = really_input_string ic (in_channel_length ic) in
+       close_in ic;
+       match J.of_string s with
+       | Ok j -> (
+         match Option.bind (J.member "ft-1k" j) (J.member "lookups_per_s") with
+         | Some (J.Num f) -> Some f
+         | _ -> None)
+       | Error _ -> None
+     end
+     else None
+   in
+   match (current, baseline) with
+   | Some cur, Some base ->
+     if cur < base /. 4.0 then begin
+       Printf.printf
+         "serving gate FAILED: ft-1k at %.2fM lookups/s, under a quarter of \
+          the %.2fM baseline\n"
+         (cur /. 1e6) (base /. 1e6);
+       gate_failed := true
+     end
+     else
+       Printf.printf
+         "serving gate ok: ft-1k at %.2fM lookups/s (baseline %.2fM)\n"
+         (cur /. 1e6) (base /. 1e6)
+   | Some _, None ->
+     Printf.printf "(no baseline at %s; serving gate skipped)\n"
+       serving_baseline
+   | None, _ -> ());
+  (* Traffic awareness: a hotspot storm heats a few links; recomputing
+     the table with the measured heat (and drop cost) steering
+     equal-cost choices should pull the p99 per-link slot occupancy
+     down on the re-run of the very same storm. *)
+  let g = (Option.get (Fabric.find_preset "ft-100")).Fabric.p_build ~seed:1 in
+  let storm table =
+    let stats = San_telemetry.Fabric_stats.create () in
+    San_telemetry.Fabric_stats.install stats;
+    let rep =
+      San_slo.Load.drive ~rng:(San_util.Prng.create 42)
+        (San_slo.Load.spec ~pattern:San_slo.Load.Hotspot 4.0)
+        ~table g
+    in
+    San_telemetry.Fabric_stats.uninstall ();
+    (stats, rep)
+  in
+  let occupied_p99 stats =
+    San_util.Summary.percentile
+      (List.map
+         (fun l -> l.San_telemetry.Fabric_stats.l_occupied_ns)
+         (San_telemetry.Fabric_stats.links stats g))
+      0.99
+  in
+  let baseline_table = San_routing.Routes.compute g in
+  let s_before, rep = storm baseline_table in
+  let p99_before = occupied_p99 s_before in
+  let drop_ns = San_slo.Digest.quantile rep.San_slo.Load.r_latency 0.5 in
+  let prefer u v =
+    List.fold_left
+      (fun acc (port, (w, _)) ->
+        if w <> v then acc
+        else
+          let pst =
+            match San_telemetry.Fabric_stats.port_stat s_before (u, port) with
+            | None -> 0.0
+            | Some s ->
+              s.San_telemetry.Fabric_stats.occupied_ns
+              +. s.San_telemetry.Fabric_stats.blocked_ns
+              +. (float_of_int s.San_telemetry.Fabric_stats.drops *. drop_ns)
+          in
+          Float.min acc pst)
+      infinity (Graph.wired_ports g u)
+  in
+  let aware_table = San_routing.Routes.compute ~prefer g in
+  let s_after, _ = storm aware_table in
+  let p99_after = occupied_p99 s_after in
+  let drop_pct =
+    if p99_before > 0.0 then 100.0 *. (1.0 -. (p99_after /. p99_before))
+    else 0.0
+  in
+  Printf.printf
+    "traffic-aware serving (ft-100, hotspot storm): p99 link occupancy \
+     %.0f -> %.0f ns (%.1f%% drop)\n"
+    p99_before p99_after drop_pct;
+  entries :=
+    ( "traffic_storm",
+      J.Obj
+        [
+          ("p99_occupied_ns_static", J.Num p99_before);
+          ("p99_occupied_ns_aware", J.Num p99_after);
+          ("drop_pct", J.Num drop_pct);
+          ( "loss_per_crossing",
+            J.Num rep.San_slo.Load.r_loss_per_crossing );
+        ] )
+    :: !entries;
+  obs_sections := ("serving", J.Obj (List.rev !entries)) :: !obs_sections
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment              *)
 
 let bechamel_section () =
@@ -2042,6 +2283,9 @@ let () =
      so it runs outside the generic [section] wrapper. *)
   if wants "scaling" then scaling_section ();
   if wants "scaling-shard" then scaling_shard_section ();
+  (* serving pushes its own structured obs entry (per-rung rates and
+     the traffic-storm comparison), so it runs outside the wrapper. *)
+  if wants "serving" then serving_section ();
   section "bechamel"
     ~when_:(!with_bechamel && (wants "bechamel" || !only = []))
     bechamel_section;

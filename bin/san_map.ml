@@ -31,26 +31,34 @@ open San_topology
 (* Topology selection                                                  *)
 
 let build_topology_classic spec rng =
+  (* Every numeric field goes through this, so `mesh:3xfour` dies with
+     a usage line naming the spec, not an uncaught int_of_string. *)
+  let dim s =
+    match int_of_string_opt s with
+    | Some n -> n
+    | None ->
+      raise
+        (Invalid_argument
+           (Printf.sprintf "topology %S: %S is not an integer" spec s))
+  in
   match String.split_on_char ':' spec with
   | [ "c" ] -> fst (Generators.now_c ())
   | [ "ca" ] -> fst (Generators.now_ca ())
   | [ "cab" ] | [ "now" ] -> fst (Generators.now_cab ())
-  | [ "hypercube"; d ] -> Generators.hypercube ~dim:(int_of_string d) ()
-  | [ "mesh"; r; c ] ->
-    Generators.mesh ~rows:(int_of_string r) ~cols:(int_of_string c) ()
-  | [ "torus"; r; c ] ->
-    Generators.torus ~rows:(int_of_string r) ~cols:(int_of_string c) ()
-  | [ "ring"; n ] -> Generators.ring ~switches:(int_of_string n) ~hosts_per_switch:1 ()
-  | [ "star"; n ] -> Generators.star ~leaves:(int_of_string n) ()
-  | [ "chain"; n ] -> Generators.chain ~switches:(int_of_string n) ()
+  | [ "hypercube"; d ] -> Generators.hypercube ~dim:(dim d) ()
+  | [ "mesh"; r; c ] -> Generators.mesh ~rows:(dim r) ~cols:(dim c) ()
+  | [ "torus"; r; c ] -> Generators.torus ~rows:(dim r) ~cols:(dim c) ()
+  | [ "ring"; n ] -> Generators.ring ~switches:(dim n) ~hosts_per_switch:1 ()
+  | [ "star"; n ] -> Generators.star ~leaves:(dim n) ()
+  | [ "chain"; n ] -> Generators.chain ~switches:(dim n) ()
   | [ "fat-tree"; l; h; s ] ->
-    Generators.fat_tree ~leaves:(int_of_string l)
-      ~hosts_per_leaf:(int_of_string h) ~spines:(int_of_string s) ()
+    Generators.fat_tree ~leaves:(dim l) ~hosts_per_leaf:(dim h) ~spines:(dim s)
+      ()
   | [ "random"; sw; h ] ->
-    Generators.random_connected ~rng ~switches:(int_of_string sw)
-      ~hosts:(int_of_string h) ~extra_links:(int_of_string sw / 2) ()
-  | [ "ccc"; d ] -> Generators.cube_connected_cycles ~dim:(int_of_string d) ()
-  | [ "shuffle"; d ] -> Generators.shuffle_exchange ~dim:(int_of_string d) ()
+    Generators.random_connected ~rng ~switches:(dim sw) ~hosts:(dim h)
+      ~extra_links:(dim sw / 2) ()
+  | [ "ccc"; d ] -> Generators.cube_connected_cycles ~dim:(dim d) ()
+  | [ "shuffle"; d ] -> Generators.shuffle_exchange ~dim:(dim d) ()
   | [ "pendant" ] -> Generators.pendant_branch ()
   | [ "lone" ] -> Generators.lone_host ()
   | [ "stub" ] -> Generators.stub_switch ()
@@ -581,7 +589,16 @@ let loads_arg =
   let doc = "Print the N hottest channels." in
   Arg.(value & opt int 0 & info [ "loads" ] ~docv:"N" ~doc)
 
-let run_routes spec seed mapper_name algo loads trace metrics =
+let spread_arg =
+  let doc =
+    "Spread equal-cost routes randomly over parallel wires and \
+     equal-length paths (seeded load balancing). Without it the table \
+     is deterministic: the same fabric always yields byte-identical \
+     routes."
+  in
+  Arg.(value & flag & info [ "spread" ] ~doc)
+
+let run_routes spec seed mapper_name algo loads spread trace metrics =
   with_obs ~trace ~metrics @@ fun () ->
   let g = build_topology spec seed in
   let mapper = pick_mapper g mapper_name in
@@ -598,8 +615,8 @@ let run_routes spec seed mapper_name algo loads trace metrics =
     failed := true;
     Format.printf "mapping failed: %s@." e
   | Ok map ->
-    let rng = San_util.Prng.create seed in
-    let table = San_routing.Routes.compute ~rng map in
+    let rng = if spread then Some (San_util.Prng.create seed) else None in
+    let table = San_routing.Routes.compute ?rng map in
     let st = San_routing.Routes.length_stats table in
     Format.printf "routes: %d pairs, turns %d / %.2f / %d (min/avg/max)@."
       st.San_routing.Routes.pairs st.San_routing.Routes.min_len
@@ -839,7 +856,10 @@ let load_arg =
      steady-state epoch, and the measured contention feeds that epoch's \
      probes. 0 disables."
   in
-  Arg.(value & opt float 0.0 & info [ "load" ] ~docv:"OFFERED" ~doc)
+  (* parsed by [resolve_load], not a float conv, so a malformed value
+     is a one-line usage error naming the spec (exit 2) like the other
+     spec grammars, not a cmdliner parse failure *)
+  Arg.(value & opt string "0" & info [ "load" ] ~docv:"OFFERED" ~doc)
 
 let load_pattern_arg =
   let doc =
@@ -867,11 +887,15 @@ let resolve_schedule ~epochs schedule scenario =
   | _, _ -> Error "--schedule and --scenario are mutually exclusive"
 
 let resolve_load load pattern =
-  if load <= 0.0 then Ok None
-  else
+  match float_of_string_opt (String.trim load) with
+  | None ->
+    Error
+      (Printf.sprintf "bad load %S: expected worms/host/ms as a number" load)
+  | Some f when f <= 0.0 -> Ok None
+  | Some f -> (
     match San_slo.Load.pattern_of_string pattern with
     | None -> Error (Printf.sprintf "unknown load pattern %S" pattern)
-    | Some p -> Ok (Some (San_slo.Load.spec ~pattern:p load))
+    | Some p -> Ok (Some (San_slo.Load.spec ~pattern:p f)))
 
 let resolve_slos slo_str load =
   if slo_str = "" then Ok (if load > 0.0 then San_slo.Slo.defaults else [])
@@ -950,7 +974,7 @@ let run_daemon spec seed epochs schedule scenario load lpat slo retries shards
     let* slos = resolve_slos slo (match load with Some _ -> 1.0 | None -> 0.0) in
     Ok (schedule, load, slos)
   with
-  | Error e -> Format.printf "bad arguments: %s@." e; 1
+  | Error e -> Format.eprintf "san_map: bad arguments: %s@." e; 2
   | Ok (schedule, load, slos) -> (
     let config =
       {
@@ -1108,10 +1132,12 @@ let run_health spec seed epochs schedule scenario load lpat slo retries dot
     let ( let* ) = Result.bind in
     let* parsed = resolve_schedule ~epochs schedule scenario in
     let* load_spec = resolve_load load lpat in
-    let* slos = resolve_slos slo load in
+    let* slos =
+      resolve_slos slo (match load_spec with Some _ -> 1.0 | None -> 0.0)
+    in
     Ok (parsed, load_spec, slos)
   with
-  | Error e -> Format.printf "bad arguments: %s@." e; 1
+  | Error e -> Format.eprintf "san_map: bad arguments: %s@." e; 2
   | Ok (parsed, load_spec, slos) -> (
     let fabric = San_telemetry.Fabric_stats.create () in
     San_telemetry.Fabric_stats.install fabric;
@@ -1349,12 +1375,182 @@ let shard_cmd =
       $ stale_arg $ compare_solo_arg $ json_arg $ out_dir_arg $ trace_arg
       $ metrics_arg $ chrome_arg $ prom_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve: the route-query plane                                        *)
+
+let queries_arg =
+  let doc = "Route queries to answer through the zero-allocation path." in
+  Arg.(value & opt int 200_000 & info [ "queries" ] ~docv:"N" ~doc)
+
+let serve_dsts_arg =
+  let doc =
+    "Destination working-set size (a seeded sample of hosts); bounds \
+     resident per-destination tables and therefore serving memory."
+  in
+  Arg.(value & opt int 24 & info [ "dsts" ] ~docv:"N" ~doc)
+
+let serve_check_arg =
+  let doc =
+    "Verify the serving plane: every served route in the working set \
+     must deliver its worm, and the set must be deadlock-free."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let run_serve spec seed queries dsts check load lpat trace metrics =
+  with_obs ~trace ~metrics @@ fun () ->
+  let g = build_topology spec seed in
+  let hosts = Array.of_list (Graph.hosts g) in
+  let nh = Array.length hosts in
+  if nh < 2 then begin
+    Format.eprintf "serve: topology %s has %d host(s); need at least 2@." spec
+      nh;
+    2
+  end
+  else begin
+    match resolve_load load lpat with
+    | Error e ->
+      Format.eprintf "san_map: %s@." e;
+      2
+    | Ok load_spec ->
+      let rng = San_util.Prng.create seed in
+      let ndst = max 1 (min dsts nh) in
+      let shuffled = Array.copy hosts in
+      San_util.Prng.shuffle rng shuffled;
+      let dst_set = Array.sub shuffled 0 ndst in
+      (* Traffic awareness: measure link heat and loss under the
+         offered load riding the deterministic table, then serve
+         equal-cost choices away from both. *)
+      let prefer =
+        match load_spec with
+        | None -> None
+        | Some ls ->
+          let baseline = San_routing.Routes.compute g in
+          let stats = San_telemetry.Fabric_stats.create () in
+          San_telemetry.Fabric_stats.install stats;
+          let rep =
+            San_slo.Load.drive ~rng:(San_util.Prng.copy rng) ls ~table:baseline
+              g
+          in
+          San_telemetry.Fabric_stats.uninstall ();
+          (* A drop costs one median redelivery; occupancy and queueing
+             are already nanoseconds, so the units agree. *)
+          let drop_ns =
+            San_slo.Digest.quantile rep.San_slo.Load.r_latency 0.5
+          in
+          Format.printf
+            "traffic: %s load %.2f — loss %.4f/crossing, drop cost %.0f ns@."
+            (San_slo.Load.pattern_to_string rep.San_slo.Load.r_pattern)
+            rep.San_slo.Load.r_offered rep.San_slo.Load.r_loss_per_crossing
+            drop_ns;
+          Some
+            (fun u v ->
+              List.fold_left
+                (fun acc (port, (w, _)) ->
+                  if w <> v then acc
+                  else
+                    let p =
+                      match
+                        San_telemetry.Fabric_stats.port_stat stats (u, port)
+                      with
+                      | None -> 0.0
+                      | Some s ->
+                        s.San_telemetry.Fabric_stats.occupied_ns
+                        +. s.San_telemetry.Fabric_stats.blocked_ns
+                        +. float_of_int s.San_telemetry.Fabric_stats.drops
+                           *. drop_ns
+                    in
+                    Float.min acc p)
+                infinity (Graph.wired_ports g u))
+      in
+      let serve =
+        San_routing.Serve.create ~cache_limit:(max 64 ndst) ?prefer g
+      in
+      let t0 = Unix.gettimeofday () in
+      Array.iter (fun dst -> San_routing.Serve.warm serve ~dst) dst_set;
+      let warm_s = Unix.gettimeofday () -. t0 in
+      let q =
+        Array.init queries (fun _ ->
+            let dst = dst_set.(San_util.Prng.int rng ndst) in
+            let rec src () =
+              let s = hosts.(San_util.Prng.int rng nh) in
+              if s = dst then src () else s
+            in
+            (src (), dst))
+      in
+      let buf = Array.make (Graph.num_nodes g + 1) 0 in
+      let t1 = Unix.gettimeofday () in
+      let served = San_routing.Serve.batch serve q ~buf in
+      let dt = Unix.gettimeofday () -. t1 in
+      let rate = if dt > 0.0 then float_of_int queries /. dt else 0.0 in
+      let st = San_routing.Serve.stats serve in
+      Format.printf
+        "served %d/%d queries over %d destinations in %.3f s — %.2fM \
+         lookups/s (tables compiled in %.3f s)@."
+        served queries ndst dt (rate /. 1e6) warm_s;
+      Format.printf
+        "pool: %d routes, %d turns in %d shared cells; %d B packed vs %d B \
+         naive (%.1f%%)@."
+        st.San_routing.Serve.entries st.San_routing.Serve.turns_total
+        st.San_routing.Serve.pool_cells st.San_routing.Serve.packed_bytes
+        st.San_routing.Serve.naive_bytes
+        (100.0
+        *. float_of_int st.San_routing.Serve.packed_bytes
+        /. float_of_int (max 1 st.San_routing.Serve.naive_bytes));
+      if not check then 0
+      else begin
+        let failed = ref 0 in
+        let routes = ref [] in
+        Array.iter
+          (fun dst ->
+            Array.iter
+              (fun src ->
+                if src <> dst then
+                  match San_routing.Serve.lookup serve ~src ~dst with
+                  | None -> incr failed
+                  | Some turns -> (
+                    routes := (src, turns) :: !routes;
+                    let trace = San_simnet.Worm.eval g ~src ~turns in
+                    match trace.San_simnet.Worm.outcome with
+                    | San_simnet.Worm.Arrived h when h = dst -> ()
+                    | _ -> incr failed))
+              hosts)
+          dst_set;
+        (match San_routing.Deadlock.check_acyclic g !routes with
+        | Ok () ->
+          Format.printf "deadlock freedom: channel dependency graph acyclic@."
+        | Error e ->
+          incr failed;
+          Format.printf "deadlock: %s@." e);
+        if !failed = 0 then begin
+          Format.printf "check: every served route delivered@.";
+          0
+        end
+        else begin
+          Format.printf "check: %d served routes failed@." !failed;
+          1
+        end
+      end
+  end
+
 let routes_cmd =
   Cmd.v
     (Cmd.info "routes" ~doc:"Map, then compute and verify UP*/DOWN* routes")
     Term.(
       const run_routes $ topo_arg $ seed_arg $ mapper_arg $ algo_arg
-      $ loads_arg $ trace_arg $ metrics_arg)
+      $ loads_arg $ spread_arg $ trace_arg $ metrics_arg)
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve route queries from lazily compiled, shared-suffix \
+          compressed per-destination tables, optionally traffic-aware \
+          (give $(b,--load) to steer equal-cost choices away from \
+          measured heat and loss)")
+    Term.(
+      const run_serve $ topo_arg $ seed_arg $ queries_arg $ serve_dsts_arg
+      $ serve_check_arg $ load_arg $ load_pattern_arg $ trace_arg
+      $ metrics_arg)
 
 let fuzz_cmd =
   Cmd.v
@@ -1447,11 +1643,17 @@ let () =
       ~doc:"System area network mapping (SPAA'97 reproduction)"
   in
   exit
-    (Cmd.eval'
-       (Cmd.group info
-          [
-            topo_cmd; gen_cmd; map_cmd; shard_cmd; routes_cmd; diff_cmd;
-            verify_cmd;
-            fuzz_cmd; daemon_cmd; health_cmd; explain_cmd; blame_cmd;
-            postmortem_cmd; version_cmd;
-          ]))
+    (try
+       Cmd.eval' ~catch:false
+         (Cmd.group info
+            [
+              topo_cmd; gen_cmd; map_cmd; shard_cmd; routes_cmd; serve_cmd;
+              diff_cmd; verify_cmd;
+              fuzz_cmd; daemon_cmd; health_cmd; explain_cmd; blame_cmd;
+              postmortem_cmd; version_cmd;
+            ])
+     with Invalid_argument msg | Failure msg ->
+       (* Malformed specs (topologies, fabrics, schedules) surface as a
+          one-line usage error, never a backtrace. *)
+       Format.eprintf "san_map: %s@." msg;
+       2)

@@ -556,6 +556,34 @@ let prop_load_agreement ctx =
                    report.Load.r_loss_per_crossing
                    report.Load.r_drop_rate e))))
 
+(* 10. Route tables are a pure function of the fabric: two
+   computations yield byte-identical tables (no hidden rng in the
+   default path — spreading is the explicit [?rng] opt-in), and the
+   serving plane reproduces the table entry for entry. *)
+let prop_routes_deterministic ctx =
+  let g = ctx.case.Fuzz_gen.graph in
+  let module R = San_routing.Routes in
+  let t1 = R.compute g and t2 = R.compute g in
+  if R.all t1 <> R.all t2 then
+    Error "two route computations differ on one fabric"
+  else begin
+    let serve = San_routing.Serve.create g in
+    let disagree =
+      List.filter_map
+        (fun (src, dst, turns) ->
+          match San_routing.Serve.lookup serve ~src ~dst with
+          | Some t when t = turns -> None
+          | _ -> Some (src, dst))
+        (R.all t1)
+    in
+    match disagree with
+    | [] -> Ok ()
+    | (s, d) :: more ->
+      Error
+        (Printf.sprintf "served route differs from table at (%d,%d) (+%d more)"
+           s d (List.length more))
+  end
+
 (* ------------------------------------------------------------------ *)
 
 let all =
@@ -569,6 +597,7 @@ let all =
     ("provenance", prop_provenance);
     ("shard_agreement", prop_shard_agreement);
     ("load_agreement", prop_load_agreement);
+    ("routes_deterministic", prop_routes_deterministic);
   ]
 
 let names = List.map fst all

@@ -33,7 +33,12 @@
       measured background traffic ([retries = 2]) exports a map
       isomorphic to the quiescent map of the same fabric; skipped
       when the measured per-crossing loss exceeds the proven retry
-      tolerance.
+      tolerance;
+    - ["routes_deterministic"] — route tables are a pure function of
+      the fabric: computing twice yields byte-identical tables
+      (randomized spreading only happens through the explicit [?rng]
+      opt-in), and the lazy serving plane ({!San_routing.Serve})
+      reproduces the eager table entry for entry.
 
     Degenerate fabrics (no hosts, no mapper) make a property pass
     trivially rather than error: the generator is free to produce

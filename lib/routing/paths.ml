@@ -2,7 +2,14 @@ open San_topology
 
 (* State encoding: node n in phase Up -> 2n, phase Down -> 2n+1. *)
 
-type t = { pt_ud : Updown.t; dist : int array array; nstates : int }
+type t = {
+  pt_ud : Updown.t;
+  nstates : int;
+  cache : (Graph.node, int array) Hashtbl.t;
+  (* FIFO of cached destinations, oldest first, for eviction. *)
+  order : Graph.node Queue.t;
+  cache_limit : int;
+}
 
 let updown t = t.pt_ud
 
@@ -11,64 +18,100 @@ let inf = max_int / 4
 let state_up n = 2 * n
 let state_down n = (2 * n) + 1
 
-let compute ud =
-  let g = Updown.graph ud in
-  let n = Graph.num_nodes g in
-  let ns = 2 * n in
-  let dist = Array.make_matrix ns ns inf in
-  for s = 0 to ns - 1 do
-    dist.(s).(s) <- 0
-  done;
-  (* One-hop transitions. *)
-  List.iter
-    (fun ((u, _), (v, _)) ->
-      let hop a b =
-        if Updown.is_up ud a b then begin
-          (* up edge: only usable while still in the Up phase *)
-          dist.(state_up a).(state_up b) <- 1
-        end
-        else begin
-          (* down edge: usable from either phase, lands in Down *)
-          dist.(state_up a).(state_down b) <- 1;
-          dist.(state_down a).(state_down b) <- 1
-        end
-      in
-      hop u v;
-      hop v u)
-    (Graph.wires g);
-  for k = 0 to ns - 1 do
-    let dk = dist.(k) in
-    for i = 0 to ns - 1 do
-      let dik = dist.(i).(k) in
-      if dik < inf then begin
-        let di = dist.(i) in
-        for j = 0 to ns - 1 do
-          let v = dik + dk.(j) in
-          if v < di.(j) then di.(j) <- v
-        done
-      end
-    done
-  done;
-  { pt_ud = ud; dist; nstates = ns }
+let default_cache_limit = 64
 
-let dist_to_dst t s dst =
-  min t.dist.(s).(state_up dst) t.dist.(s).(state_down dst)
+let compute ?(cache_limit = default_cache_limit) ud =
+  {
+    pt_ud = ud;
+    nstates = 2 * Graph.num_nodes (Updown.graph ud);
+    cache = Hashtbl.create 64;
+    order = Queue.create ();
+    cache_limit = max 1 cache_limit;
+  }
+
+(* Distances to [dst] from every state, by one backward BFS over the
+   reversed phase edges. Forward transitions are: an up edge a->b is
+   usable only in the Up phase and stays Up; a down edge a->b is usable
+   from either phase and lands in Down. Both phases of [dst] seed the
+   frontier at 0, so the array directly holds the compliant distance to
+   the destination node. *)
+let to_dst t dst =
+  match Hashtbl.find_opt t.cache dst with
+  | Some dist -> dist
+  | None ->
+    let ud = t.pt_ud in
+    let g = Updown.graph ud in
+    let dist = Array.make t.nstates inf in
+    let queue = Array.make t.nstates 0 in
+    let head = ref 0 and tail = ref 0 in
+    let push s d =
+      if dist.(s) >= inf then begin
+        dist.(s) <- d;
+        queue.(!tail) <- s;
+        incr tail
+      end
+    in
+    push (state_up dst) 0;
+    push (state_down dst) 0;
+    while !head < !tail do
+      let s = queue.(!head) in
+      incr head;
+      let b = s / 2 in
+      let d = dist.(s) + 1 in
+      (* Predecessor states: phases of a neighbor [a] whose one-hop
+         transition lands in [s]. Parallel wires repeat a neighbor;
+         [push]'s visited guard makes the repeats free. *)
+      List.iter
+        (fun (_, (a, _)) ->
+          if Updown.is_up ud a b then begin
+            if s land 1 = 0 then push (state_up a) d
+          end
+          else if s land 1 = 1 then begin
+            push (state_up a) d;
+            push (state_down a) d
+          end)
+        (Graph.wired_ports g b)
+    done;
+    if Queue.length t.order >= t.cache_limit then
+      Hashtbl.remove t.cache (Queue.pop t.order);
+    Hashtbl.add t.cache dst dist;
+    Queue.push dst t.order;
+    dist
 
 let distance t ~src ~dst =
-  let d = dist_to_dst t (state_up src) dst in
+  let d = (to_dst t dst).(state_up src) in
   if d >= inf then None else Some d
 
-let node_path ?rng t ~src ~dst =
+let node_path ?rng ?prefer t ~src ~dst =
   let ud = t.pt_ud in
   let g = Updown.graph ud in
-  match distance t ~src ~dst with
-  | None -> None
-  | Some total ->
-    let pick candidates =
+  let dist = to_dst t dst in
+  let total = dist.(state_up src) in
+  if total >= inf then None
+  else begin
+    let pick node candidates =
       match (rng, candidates) with
       | _, [] -> None
-      | None, c :: _ -> Some c
       | Some rng, l -> Some (List.nth l (San_util.Prng.int rng (List.length l)))
+      | None, first :: rest -> (
+        match prefer with
+        | None ->
+          (* First candidate in port order: deterministic for a given
+             graph, and stable across remaps because port numbering
+             mirrors the physical switch (node ids do not). *)
+          Some first
+        | Some penalty ->
+          (* Least penalty wins; exact ties keep the earliest (port
+             order), preserving the stability property above. *)
+          let best =
+            List.fold_left
+              (fun (bp, bs) s ->
+                let p = penalty node (s / 2) in
+                if p < bp then (p, s) else (bp, bs))
+              (penalty node (first / 2), first)
+              rest
+          in
+          Some (snd best))
     in
     let rec walk state acc remaining =
       let node = state / 2 in
@@ -78,19 +121,20 @@ let node_path ?rng t ~src ~dst =
           List.filter_map
             (fun (_, (v, _)) ->
               let next_state =
-                if state mod 2 = 0 && Updown.is_up ud node v then
+                if state land 1 = 0 && Updown.is_up ud node v then
                   Some (state_up v)
                 else if not (Updown.is_up ud node v) then Some (state_down v)
                 else None
               in
               match next_state with
-              | Some s when dist_to_dst t s dst = remaining - 1 -> Some s
+              | Some s when dist.(s) = remaining - 1 -> Some s
               | Some _ | None -> None)
             (Graph.wired_ports g node)
         in
-        match pick succs with
+        match pick node succs with
         | None -> None
         | Some s -> walk s (node :: acc) (remaining - 1)
       end
     in
     walk (state_up src) [] total
+  end

@@ -1,30 +1,55 @@
-(** Compliant all-pairs shortest paths.
+(** Compliant shortest paths, one destination at a time.
 
-    The paper computes routes with Floyd–Warshall over paths compliant
-    with the UP*/DOWN* orientation. We run Floyd–Warshall on the
-    phase-expanded graph — states are [(node, Up | Down)], an up edge
-    keeps the Up phase, a down edge enters and stays in the Down phase
-    — which makes every shortest path automatically compliant.
-    Reconstruction walks greedily along distance-decreasing states,
-    breaking ties randomly where multiple shortest continuations exist
-    (the paper's load-balancing option over parallel links and equal
-    paths). *)
+    The paper computes routes over paths compliant with the UP*/DOWN*
+    orientation. We work on the phase-expanded graph — states are
+    [(node, Up | Down)], an up edge keeps the Up phase, a down edge
+    enters and stays in the Down phase — which makes every shortest
+    path automatically compliant.
+
+    Distances are produced by one backward BFS per {e destination}
+    over the reversed phase DAG: O(E) time and O(V) memory per
+    destination, computed lazily on first use and kept in a bounded
+    FIFO cache. This replaces the earlier all-pairs Floyd–Warshall,
+    whose O(V³) time and [(2V)²] matrix cannot survive the 10k-host
+    fabrics — peak memory is now [cache_limit] distance vectors no
+    matter how many pairs are routed.
+
+    Reconstruction walks forward along distance-decreasing states.
+    Tie-breaking is deterministic by default — the first shortest
+    continuation in port order — so identical fabrics always yield
+    identical paths, and tables stay stable across remaps (port
+    numbering mirrors the physical switch; discovery-order node ids do
+    not). Randomized spreading over equal paths is an explicit
+    opt-in. *)
 
 open San_topology
 
 type t
 
-val compute : Updown.t -> t
-(** All-pairs compliant distances. O(V³) on the doubled state space;
-    instantaneous at SAN scales. *)
+val compute : ?cache_limit:int -> Updown.t -> t
+(** Set up lazy per-destination distances; no path computation happens
+    until {!distance} or {!node_path} asks about a destination.
+    [cache_limit] (default 64, minimum 1) bounds how many destination
+    distance vectors stay resident; the oldest is evicted first. *)
 
 val distance : t -> src:Graph.node -> dst:Graph.node -> int option
 (** Compliant hop distance, [None] if unreachable without an illegal
     turn. *)
 
 val node_path :
-  ?rng:San_util.Prng.t -> t -> src:Graph.node -> dst:Graph.node -> Graph.node list option
+  ?rng:San_util.Prng.t ->
+  ?prefer:(Graph.node -> Graph.node -> float) ->
+  t ->
+  src:Graph.node ->
+  dst:Graph.node ->
+  Graph.node list option
 (** A shortest compliant node sequence [src; ...; dst]. Deterministic
-    without [rng]; with it, ties are broken uniformly. *)
+    by default: ties between equal-length continuations go to the
+    first in port order. [prefer u v] biases the choice instead —
+    among shortest continuations the hop with the least penalty wins
+    (port order still breaks exact penalty ties), which is how
+    traffic-aware serving steers equal-cost multipath away from hot
+    links. [rng] overrides both with the paper's uniform
+    load-balancing pick. *)
 
 val updown : t -> Updown.t

@@ -40,19 +40,21 @@ let turns_of_path ?rng g = function
     in
     go src 0 [] rest
 
-let compute ?rng ?root ?ignore_hosts ?labeling g =
+let compute ?rng ?prefer ?root ?ignore_hosts ?labeling g =
   San_obs.Obs.with_span "routes.compute" (fun () ->
       let ud = Updown.build ?root ?ignore_hosts ?labeling g in
       let pt = Paths.compute ud in
       let table = Hashtbl.create 256 in
       let missing = ref [] in
       let hosts = Graph.hosts g in
+      (* Destination-major so each destination's distance vector is
+         computed once and served straight from the Paths cache. *)
       List.iter
-        (fun src ->
+        (fun dst ->
           List.iter
-            (fun dst ->
+            (fun src ->
               if src <> dst then
-                match Paths.node_path ?rng pt ~src ~dst with
+                match Paths.node_path ?rng ?prefer pt ~src ~dst with
                 | None -> missing := (src, dst) :: !missing
                 | Some path -> (
                   match turns_of_path ?rng g path with

@@ -16,19 +16,33 @@ type t
 
 val compute :
   ?rng:San_util.Prng.t ->
+  ?prefer:(Graph.node -> Graph.node -> float) ->
   ?root:Graph.node ->
   ?ignore_hosts:Graph.node list ->
   ?labeling:Updown.labeling ->
   Graph.t ->
   t
-(** Orient the graph (UP*/DOWN* orientation), run the compliant all-pairs
-    computation, and derive one turn route per ordered host pair.
-    [rng] enables random tie-breaking over equal-length paths and
-    parallel wires (load balance); without it the choice is
-    deterministic. *)
+(** Orient the graph (UP*/DOWN* orientation), compute compliant
+    per-destination distances lazily, and derive one turn route per
+    ordered host pair. Deterministic by default — identical fabrics
+    yield byte-identical tables (ties go to the first shortest
+    continuation and wire in port order), so independent daemons
+    mapping the same network never see spurious delta churn. [prefer u v] steers equal-cost
+    multipath toward least-penalty hops (traffic-aware tables); [rng]
+    is the explicit opt-in for the paper's randomized spreading over
+    equal paths and parallel wires. *)
 
 val graph : t -> Graph.t
 val updown : t -> Updown.t
+
+val turns_of_path :
+  ?rng:San_util.Prng.t -> Graph.t -> Graph.node list -> Route.t option
+(** Translate a node path [h0; s1; ...; sk; h1] into the turn string a
+    worm would follow: at each switch, exit port minus entry port.
+    Deterministic (lowest exit port) over parallel wires unless [rng]
+    asks for uniform spreading; [None] if consecutive nodes are not
+    wired. The serving plane reuses this to compile per-destination
+    tables. *)
 
 val route : t -> src:Graph.node -> dst:Graph.node -> Route.t option
 (** The turn string from [src] to [dst]; [None] when no compliant path

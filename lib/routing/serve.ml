@@ -1,0 +1,207 @@
+open San_topology
+
+module Pool = struct
+  type t = {
+    mutable turn : int array;
+    mutable next : int array;
+    mutable depth : int array;
+    mutable n : int;
+    index : (int * int, int) Hashtbl.t;
+    mutable entries : int;
+    mutable turns_total : int;
+    mutable max_depth : int;
+  }
+
+  let create () =
+    {
+      turn = Array.make 64 0;
+      next = Array.make 64 (-1);
+      depth = Array.make 64 0;
+      n = 0;
+      index = Hashtbl.create 64;
+      entries = 0;
+      turns_total = 0;
+      max_depth = 0;
+    }
+
+  let grow t =
+    let cap = Array.length t.turn in
+    if t.n >= cap then begin
+      let cap' = 2 * cap in
+      let extend a fill =
+        let a' = Array.make cap' fill in
+        Array.blit a 0 a' 0 cap;
+        a'
+      in
+      t.turn <- extend t.turn 0;
+      t.next <- extend t.next (-1);
+      t.depth <- extend t.depth 0
+    end
+
+  let intern t turn next =
+    match Hashtbl.find_opt t.index (turn, next) with
+    | Some c -> c
+    | None ->
+      grow t;
+      let c = t.n in
+      t.n <- c + 1;
+      t.turn.(c) <- turn;
+      t.next.(c) <- next;
+      t.depth.(c) <- 1 + (if next < 0 then 0 else t.depth.(next));
+      Hashtbl.add t.index (turn, next) c;
+      c
+
+  (* Intern back to front so the cell chain reads the route forward:
+     a cell is the head turn, its [next] the shared remainder. *)
+  let add t turns =
+    let arr = Array.of_list turns in
+    let idx = ref (-1) in
+    for i = Array.length arr - 1 downto 0 do
+      idx := intern t arr.(i) !idx
+    done;
+    t.entries <- t.entries + 1;
+    t.turns_total <- t.turns_total + Array.length arr;
+    if Array.length arr > t.max_depth then t.max_depth <- Array.length arr;
+    !idx
+
+  let write t idx buf =
+    let j = ref idx and pos = ref 0 in
+    while !j >= 0 do
+      buf.(!pos) <- t.turn.(!j);
+      incr pos;
+      j := t.next.(!j)
+    done;
+    !pos
+
+  let to_route t idx =
+    let rec go j acc = if j < 0 then List.rev acc else go t.next.(j) (t.turn.(j) :: acc) in
+    go idx []
+
+  let cells t = t.n
+  let entries t = t.entries
+  let turns_total t = t.turns_total
+  let max_depth t = t.max_depth
+
+  (* Wire model: 3-byte route reference per entry; 4 bytes per cell
+     (turn byte + 3-byte suffix reference). The naive comparator is
+     Distribute.entry_bytes = 3 + length. *)
+  let entry_ref_bytes = 3
+  let cell_bytes = 4
+  let packed_bytes t = (entry_ref_bytes * t.entries) + (cell_bytes * t.n)
+end
+
+type t = {
+  sv_graph : Graph.t;
+  sv_ud : Updown.t;
+  paths : Paths.t;
+  pool : Pool.t;
+  prefer : (Graph.node -> Graph.node -> float) option;
+  host_slot : int array;
+  hosts : Graph.node array;
+  (* dst -> per-source-slot pool index; -2 marks self/unreachable. *)
+  tables : (Graph.node, int array) Hashtbl.t;
+  order : Graph.node Queue.t;
+  cache_limit : int;
+  mutable dst_builds : int;
+}
+
+let no_route = -2
+
+let create ?(cache_limit = 64) ?root ?ignore_hosts ?labeling ?prefer g =
+  let ud = Updown.build ?root ?ignore_hosts ?labeling g in
+  let hosts = Array.of_list (Graph.hosts g) in
+  let host_slot = Array.make (Graph.num_nodes g) (-1) in
+  Array.iteri (fun slot h -> host_slot.(h) <- slot) hosts;
+  {
+    sv_graph = g;
+    sv_ud = ud;
+    paths = Paths.compute ~cache_limit ud;
+    pool = Pool.create ();
+    prefer;
+    host_slot;
+    hosts;
+    tables = Hashtbl.create 64;
+    order = Queue.create ();
+    cache_limit = max 1 cache_limit;
+    dst_builds = 0;
+  }
+
+let graph t = t.sv_graph
+let updown t = t.sv_ud
+
+let build_table t dst =
+  San_obs.Obs.with_span "serve.compile_dst" (fun () ->
+      let table = Array.make (Array.length t.hosts) no_route in
+      Array.iteri
+        (fun slot src ->
+          if src <> dst then
+            match Paths.node_path ?prefer:t.prefer t.paths ~src ~dst with
+            | None -> ()
+            | Some path -> (
+              match Routes.turns_of_path t.sv_graph path with
+              | None -> ()
+              | Some turns -> table.(slot) <- Pool.add t.pool turns))
+        t.hosts;
+      if Queue.length t.order >= t.cache_limit then
+        Hashtbl.remove t.tables (Queue.pop t.order);
+      Hashtbl.add t.tables dst table;
+      Queue.push dst t.order;
+      t.dst_builds <- t.dst_builds + 1;
+      if San_obs.Obs.on () then San_obs.Obs.count "serve.dst_compiled";
+      table)
+
+let table_for t dst =
+  try Hashtbl.find t.tables dst with Not_found -> build_table t dst
+
+let lookup_into t ~src ~dst ~buf =
+  if
+    src < 0 || dst < 0
+    || src >= Array.length t.host_slot
+    || dst >= Array.length t.host_slot
+    || t.host_slot.(dst) < 0
+  then -1
+  else
+    let slot = t.host_slot.(src) in
+    if slot < 0 then -1
+    else
+      let table = table_for t dst in
+      let idx = table.(slot) in
+      if idx = no_route then -1 else Pool.write t.pool idx buf
+
+let max_route_len t = Pool.max_depth t.pool
+
+let lookup t ~src ~dst =
+  let buf = Array.make (Graph.num_nodes t.sv_graph + 1) 0 in
+  match lookup_into t ~src ~dst ~buf with
+  | -1 -> None
+  | len -> Some (Array.to_list (Array.sub buf 0 len))
+
+let batch t queries ~buf =
+  let served = ref 0 in
+  Array.iter
+    (fun (src, dst) -> if lookup_into t ~src ~dst ~buf >= 0 then incr served)
+    queries;
+  !served
+
+let warm t ~dst = ignore (table_for t dst)
+
+type stats = {
+  destinations : int;
+  resident : int;
+  entries : int;
+  pool_cells : int;
+  turns_total : int;
+  packed_bytes : int;
+  naive_bytes : int;
+}
+
+let stats t =
+  {
+    destinations = t.dst_builds;
+    resident = Hashtbl.length t.tables;
+    entries = Pool.entries t.pool;
+    pool_cells = Pool.cells t.pool;
+    turns_total = Pool.turns_total t.pool;
+    packed_bytes = Pool.packed_bytes t.pool;
+    naive_bytes = (3 * Pool.entries t.pool) + Pool.turns_total t.pool;
+  }

@@ -1,0 +1,114 @@
+(** The route-serving plane: answer "how do I get from [src] to
+    [dst]?" at memory-bandwidth speed, on fabrics far too large for an
+    all-pairs table.
+
+    Tables are compiled lazily, one destination at a time, from the
+    per-destination distances of {!Paths} — O(E) work and O(V) memory
+    per destination, kept in a bounded FIFO cache. Every compiled turn
+    string is interned into a shared-{e suffix} pool: routes converging
+    on one destination share their down-phase tails (and, reversed,
+    per-source slices share their up-phase heads), so the pool is a
+    hash-consed trie generalizing the [Delta] idea — never ship or
+    store bytes the receiver can already derive — from {e between}
+    epochs to {e within} a table.
+
+    The hot path ({!lookup_into}) is allocation-free once a
+    destination's table is warm: two array reads to find the pool cell,
+    then one write per turn into a caller-provided buffer. *)
+
+open San_topology
+
+(** Hash-consed route storage: each cell is a turn plus a shared
+    suffix; a route is a cell index. Interning is cold-path; reading
+    back never allocates. *)
+module Pool : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> San_simnet.Route.t -> int
+  (** Intern a turn string, sharing any suffix already present.
+      Returns the route's cell index ([-1] for the empty route). *)
+
+  val write : t -> int -> int array -> int
+  (** [write t idx buf] reconstructs the route into [buf.(0..len-1)]
+      and returns [len]. Allocation-free. [buf] must have room;
+      {!max_depth} bounds the need. *)
+
+  val to_route : t -> int -> San_simnet.Route.t
+  (** Allocating convenience inverse of {!add}. *)
+
+  val cells : t -> int
+  (** Distinct (turn, suffix) cells — the pool's resident size. *)
+
+  val entries : t -> int
+  (** Routes interned (lifetime, duplicates counted). *)
+
+  val turns_total : t -> int
+  (** Turns summed over interned routes — what naive storage holds. *)
+
+  val max_depth : t -> int
+  (** Longest interned route; sizes {!write} buffers. *)
+
+  val packed_bytes : t -> int
+  (** Wire cost of the pooled encoding: a 3-byte route reference per
+      entry plus 4 bytes per cell (turn byte + 3-byte suffix
+      reference). Compare with [3 + length] per naive entry
+      ({!Distribute.entry_bytes}). *)
+end
+
+type t
+
+val create :
+  ?cache_limit:int ->
+  ?root:Graph.node ->
+  ?ignore_hosts:Graph.node list ->
+  ?labeling:Updown.labeling ->
+  ?prefer:(Graph.node -> Graph.node -> float) ->
+  Graph.t ->
+  t
+(** Orient the graph and set up the lazy serving plane; nothing is
+    compiled until the first query. [cache_limit] (default 64) bounds
+    resident per-destination tables and distance vectors — total
+    memory stays O([cache_limit] · V) + pool. [prefer u v] is the
+    traffic-awareness hook: a penalty (say, measured link heat plus
+    loss) steering equal-cost multipath away from hot links. Serving
+    is always deterministic — same fabric, same penalties, same
+    routes. *)
+
+val lookup_into : t -> src:Graph.node -> dst:Graph.node -> buf:int array -> int
+(** The production query: turn count written into [buf], or [-1] when
+    [src = dst], either end is not a host, or no compliant route
+    exists. Compiles the destination's table on first touch;
+    afterwards the path is allocation-free. Size [buf] with
+    {!max_route_len}. *)
+
+val lookup : t -> src:Graph.node -> dst:Graph.node -> San_simnet.Route.t option
+(** Allocating convenience wrapper over {!lookup_into}. *)
+
+val batch : t -> (Graph.node * Graph.node) array -> buf:int array -> int
+(** Serve a batch of queries through the zero-allocation path,
+    returning how many were answerable. Grouping a batch by
+    destination costs nothing here but maximizes warm hits. *)
+
+val warm : t -> dst:Graph.node -> unit
+(** Compile a destination's table ahead of the first query. *)
+
+val max_route_len : t -> int
+(** Longest route compiled so far; [lookup_into] buffers of
+    [Graph.num_nodes] are always safe. *)
+
+val graph : t -> Graph.t
+val updown : t -> Updown.t
+
+type stats = {
+  destinations : int;  (** per-destination tables compiled (lifetime) *)
+  resident : int;  (** tables currently cached *)
+  entries : int;  (** routes interned into the pool (lifetime) *)
+  pool_cells : int;  (** distinct cells — the sharing denominator *)
+  turns_total : int;  (** turns a naive table would store *)
+  packed_bytes : int;  (** pooled wire cost ({!Pool.packed_bytes}) *)
+  naive_bytes : int;  (** [3 + length] per entry, summed *)
+}
+
+val stats : t -> stats

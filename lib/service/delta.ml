@@ -27,12 +27,19 @@ let entries_for t name =
 
 type kind = Unchanged | Delta of { changed : int; removed : int } | Full
 
-type slice = { owner : string; kind : kind; bytes : int; full_bytes : int }
+type slice = {
+  owner : string;
+  kind : kind;
+  bytes : int;
+  full_bytes : int;
+  packed_bytes : int;
+}
 
 type plan = {
   slices : slice list;
   delta_bytes : int;
   full_bytes : int;
+  packed_full_bytes : int;
   unchanged_hosts : int;
 }
 
@@ -41,12 +48,27 @@ type plan = {
 let delta_header_bytes = 4
 let tombstone_bytes = 3
 
+(* The cost of shipping this host's whole slice pooled: routes from
+   one source share their up-phase *prefixes*, so we intern them
+   reversed and the common heads collapse into pool suffixes. Pays off
+   once slices are fabric-sized (~80% of naive on ft-1k); on tiny NOW
+   tables the per-entry reference overhead loses, so a header bit
+   selects whichever encoding is smaller. *)
+let packed_slice_bytes ~full_bytes fresh_slice =
+  let pool = San_routing.Serve.Pool.create () in
+  Smap.iter
+    (fun _ turns -> ignore (San_routing.Serve.Pool.add pool (List.rev turns)))
+    fresh_slice;
+  min full_bytes
+    (delta_header_bytes + San_routing.Serve.Pool.packed_bytes pool)
+
 let slice_of_host ~installed owner fresh_slice =
   let full_bytes =
     Smap.fold (fun _ turns acc -> acc + D.entry_bytes turns) fresh_slice 0
   in
+  let packed_bytes = packed_slice_bytes ~full_bytes fresh_slice in
   match Smap.find_opt owner installed with
-  | None -> { owner; kind = Full; bytes = full_bytes; full_bytes }
+  | None -> { owner; kind = Full; bytes = full_bytes; full_bytes; packed_bytes }
   | Some old_slice ->
     let changed, changed_bytes =
       Smap.fold
@@ -62,14 +84,21 @@ let slice_of_host ~installed owner fresh_slice =
         old_slice 0
     in
     if changed = 0 && removed = 0 then
-      { owner; kind = Unchanged; bytes = 0; full_bytes }
+      { owner; kind = Unchanged; bytes = 0; full_bytes; packed_bytes }
     else
       let delta_bytes =
         delta_header_bytes + changed_bytes + (removed * tombstone_bytes)
       in
       if delta_bytes >= full_bytes then
-        { owner; kind = Full; bytes = full_bytes; full_bytes }
-      else { owner; kind = Delta { changed; removed }; bytes = delta_bytes; full_bytes }
+        { owner; kind = Full; bytes = full_bytes; full_bytes; packed_bytes }
+      else
+        {
+          owner;
+          kind = Delta { changed; removed };
+          bytes = delta_bytes;
+          full_bytes;
+          packed_bytes;
+        }
 
 let plan ~installed table =
   let fresh = of_routes table in
@@ -82,6 +111,8 @@ let plan ~installed table =
     slices;
     delta_bytes = List.fold_left (fun a s -> a + s.bytes) 0 slices;
     full_bytes = List.fold_left (fun a (s : slice) -> a + s.full_bytes) 0 slices;
+    packed_full_bytes =
+      List.fold_left (fun a (s : slice) -> a + s.packed_bytes) 0 slices;
     unchanged_hosts =
       List.length (List.filter (fun s -> s.kind = Unchanged) slices);
   }

@@ -42,12 +42,21 @@ type slice = {
   kind : kind;
   bytes : int;  (** shipped under delta distribution; 0 when [Unchanged] *)
   full_bytes : int;  (** the full slice's cost, for comparison *)
+  packed_bytes : int;
+      (** the full slice under {!San_routing.Serve.Pool} shared-suffix
+          compression (routes interned reversed, so one source's common
+          up-phase prefixes collapse) — what a pool-aware interface
+          would be shipped instead of [full_bytes]. Never larger than
+          [full_bytes]: a header bit selects the naive encoding when
+          the slice is too small for pooling to pay. *)
 }
 
 type plan = {
   slices : slice list;  (** one per host of the table, name-sorted *)
   delta_bytes : int;
   full_bytes : int;
+  packed_full_bytes : int;
+      (** a complete pooled redistribution, for the compression ratio *)
   unchanged_hosts : int;
 }
 

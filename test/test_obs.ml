@@ -145,6 +145,45 @@ let test_hist_quantile_edges () =
   Alcotest.(check bool) "q=1 within a bucket of the max" true
     (q1 >= 1000.0 /. 1.10 && q1 <= 1000.0)
 
+(* The exporter must emit parseable, finite JSON even for histograms
+   that observed nothing at all (min/max start at +/-infinity
+   internally, and [%.17g] would print "inf" — unparseable JSON) and
+   for diff windows in which a histogram did not move. *)
+let test_hist_json_finite () =
+  let r = Metrics.create () in
+  ignore (Metrics.histogram r "silent");
+  let h = Metrics.histogram r "negative" in
+  Metrics.observe h (-2.5);
+  (* non-positive observations land in the zero bucket *)
+  Alcotest.(check (float 1e-9))
+    "negative obs p99" 0.0 (Metrics.quantile h 0.99);
+  let before = Metrics.snapshot r in
+  let after = Metrics.snapshot r in
+  let window = Metrics.diff ~before ~after in
+  List.iter
+    (fun (label, snap) ->
+      let s = San_util.Json.to_string (Metrics.to_json snap) in
+      match San_util.Json.of_string s with
+      | Error e -> Alcotest.failf "%s JSON does not parse: %s" label e
+      | Ok j ->
+        let hists = Option.get (San_util.Json.member "histograms" j) in
+        List.iter
+          (fun name ->
+            let hist = Option.get (San_util.Json.member name hists) in
+            List.iter
+              (fun field ->
+                match San_util.Json.member field hist with
+                | Some (San_util.Json.Num v) when Float.is_finite v -> ()
+                | Some (San_util.Json.Num v) ->
+                  Alcotest.failf "%s: %s.%s = %g is not finite" label name
+                    field v
+                | _ ->
+                  Alcotest.failf "%s: %s.%s missing from export" label name
+                    field)
+              [ "min"; "max"; "p50"; "p90"; "p99" ])
+          [ "silent"; "negative" ])
+    [ ("snapshot", after); ("zero-window diff", window) ]
+
 (* ------------------------------------------------------------------ *)
 (* Trace ring buffer                                                   *)
 
@@ -424,6 +463,8 @@ let () =
             test_hist_quantiles_exponential;
           Alcotest.test_case "zero bucket and clamping" `Quick
             test_hist_zero_and_clamp;
+          Alcotest.test_case "empty and diff exports stay finite" `Quick
+            test_hist_json_finite;
           Alcotest.test_case "quantile edge cases" `Quick
             test_hist_quantile_edges;
           Alcotest.test_case "snapshot and diff" `Quick

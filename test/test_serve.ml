@@ -1,0 +1,244 @@
+(* The route-serving plane: served answers must be exactly the routes
+   the eager table computes, deadlock-free, and the shared-suffix pool
+   must reconstruct every route it interned byte for byte. *)
+
+open San_topology
+module Routes = San_routing.Routes
+module Serve = San_routing.Serve
+module Deadlock = San_routing.Deadlock
+
+let fabric name seed =
+  match San_fabric.Fabric.find_preset name with
+  | Some p -> p.San_fabric.Fabric.p_build ~seed
+  | None -> Alcotest.failf "unknown fabric preset %s" name
+
+(* Served next-hops reproduce the eager table, pair for pair. *)
+let check_agreement name g =
+  let table = Routes.compute g in
+  let serve = Serve.create g in
+  let hosts = Graph.hosts g in
+  List.iter
+    (fun dst ->
+      List.iter
+        (fun src ->
+          if src <> dst then
+            let expected = Routes.route table ~src ~dst in
+            let got = Serve.lookup serve ~src ~dst in
+            if got <> expected then
+              Alcotest.failf "%s: serve disagrees with table on %s->%s" name
+                (Graph.name g src) (Graph.name g dst))
+        hosts)
+    hosts
+
+let test_agreement_now () =
+  check_agreement "c" (fst (Generators.now_c ()));
+  check_agreement "ca" (fst (Generators.now_ca ()));
+  check_agreement "cab" (fst (Generators.now_cab ()))
+
+(* ft-1k is too big for all pairs in a unit test: agree on a seeded
+   sample of destinations (all sources each), and check the served set
+   is deadlock-free. *)
+let test_agreement_ft1k () =
+  let g = fabric "ft-1k" 1 in
+  let table = Routes.compute g in
+  let serve = Serve.create g in
+  let hosts = Array.of_list (Graph.hosts g) in
+  let rng = San_util.Prng.create 11 in
+  let dsts = Array.init 12 (fun _ -> San_util.Prng.choose rng hosts) in
+  let served = ref [] in
+  Array.iter
+    (fun dst ->
+      Array.iter
+        (fun src ->
+          if src <> dst then begin
+            let expected = Routes.route table ~src ~dst in
+            let got = Serve.lookup serve ~src ~dst in
+            if got <> expected then
+              Alcotest.failf "ft-1k: serve disagrees with table on %s->%s"
+                (Graph.name g src) (Graph.name g dst);
+            match got with
+            | Some turns -> served := (src, turns) :: !served
+            | None -> Alcotest.failf "ft-1k: no served route"
+          end)
+        hosts)
+    dsts;
+  (match Deadlock.check_acyclic g !served with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "served routes not deadlock-free: %s" e);
+  (* fabric-sized slices genuinely compress: pooled full redistribution
+     is strictly cheaper than naive here *)
+  let p = San_service.Delta.plan ~installed:San_service.Delta.empty table in
+  Alcotest.(check bool)
+    "ft-1k packed beats naive full" true
+    (p.San_service.Delta.packed_full_bytes < p.San_service.Delta.full_bytes)
+
+(* Deadlock freedom of the served plane on every NOW preset. *)
+let test_deadlock_now () =
+  List.iter
+    (fun (name, g) ->
+      let serve = Serve.create g in
+      let hosts = Graph.hosts g in
+      let served =
+        List.concat_map
+          (fun dst ->
+            List.filter_map
+              (fun src ->
+                if src = dst then None
+                else
+                  Option.map
+                    (fun turns -> (src, turns))
+                    (Serve.lookup serve ~src ~dst))
+              hosts)
+          hosts
+      in
+      match Deadlock.check_acyclic g served with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" name e)
+    [
+      ("c", fst (Generators.now_c ()));
+      ("ca", fst (Generators.now_ca ()));
+      ("cab", fst (Generators.now_cab ()));
+    ]
+
+(* The pool gives back exactly what it interned — compressed-table
+   round-trip over a real table's routes, via both the allocating and
+   the zero-allocation readers. *)
+let test_pool_roundtrip () =
+  let g = fst (Generators.now_cab ()) in
+  let table = Routes.compute g in
+  let pool = Serve.Pool.create () in
+  let interned =
+    List.map (fun (_, _, turns) -> (Serve.Pool.add pool turns, turns))
+    @@ Routes.all table
+  in
+  let buf = Array.make (Serve.Pool.max_depth pool + 1) 0 in
+  List.iter
+    (fun (idx, turns) ->
+      Alcotest.(check (list int))
+        "to_route roundtrip" turns
+        (Serve.Pool.to_route pool idx);
+      let len = Serve.Pool.write pool idx buf in
+      Alcotest.(check (list int))
+        "write roundtrip" turns
+        (Array.to_list (Array.sub buf 0 len)))
+    interned;
+  (* sharing actually happened: fewer cells than total turns *)
+  Alcotest.(check bool)
+    "suffixes shared" true
+    (Serve.Pool.cells pool < Serve.Pool.turns_total pool);
+  Alcotest.(check bool)
+    "packed beats naive" true
+    (Serve.Pool.packed_bytes pool
+    < 3 * Serve.Pool.entries pool + Serve.Pool.turns_total pool)
+
+(* Warm lookups must not allocate: the whole query loop runs on
+   preallocated arrays. A little slack covers the test harness itself. *)
+let test_lookup_zero_alloc () =
+  let g = fst (Generators.now_c ()) in
+  let serve = Serve.create g in
+  let hosts = Array.of_list (Graph.hosts g) in
+  let src = hosts.(0) and dst = hosts.(Array.length hosts - 1) in
+  let buf = Array.make (Graph.num_nodes g) 0 in
+  ignore (Serve.lookup_into serve ~src ~dst ~buf);
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    ignore (Serve.lookup_into serve ~src ~dst ~buf)
+  done;
+  let w1 = Gc.minor_words () in
+  Alcotest.(check bool)
+    (Printf.sprintf "10k warm lookups allocated %.0f words" (w1 -. w0))
+    true
+    (w1 -. w0 < 256.0)
+
+(* Evicting per-destination tables must never change answers. *)
+let test_eviction_agrees () =
+  let g = fst (Generators.now_ca ()) in
+  let table = Routes.compute g in
+  let tight = Serve.create ~cache_limit:2 g in
+  let hosts = Array.of_list (Graph.hosts g) in
+  let rng = San_util.Prng.create 3 in
+  for _ = 1 to 2_000 do
+    let src = San_util.Prng.choose rng hosts
+    and dst = San_util.Prng.choose rng hosts in
+    if src <> dst then
+      let expected = Routes.route table ~src ~dst in
+      if Serve.lookup tight ~src ~dst <> expected then
+        Alcotest.failf "eviction changed the answer for %s->%s"
+          (Graph.name g src) (Graph.name g dst)
+  done;
+  let st = Serve.stats tight in
+  Alcotest.(check bool)
+    "tables were rebuilt after eviction" true
+    (st.Serve.destinations > st.Serve.resident);
+  Alcotest.(check bool) "resident bounded" true (st.Serve.resident <= 2)
+
+(* Traffic awareness: penalizing one spine steers every equal-cost
+   choice through the other. *)
+let test_prefer_steers () =
+  let g = Generators.fat_tree ~leaves:2 ~hosts_per_leaf:2 ~spines:2 () in
+  let spines =
+    List.filter (fun s -> Graph.degree g s = 2) (Graph.switches g)
+  in
+  match spines with
+  | [ hot; _ ] ->
+    let prefer u _v = if u = hot then 1.0 else 0.0 in
+    (* penalty keyed on leaving the hot spine: routes through it pay *)
+    let prefer u v = prefer u v +. if v = hot then 1.0 else 0.0 in
+    let serve = Serve.create ~prefer g in
+    let hosts = Graph.hosts g in
+    List.iter
+      (fun dst ->
+        List.iter
+          (fun src ->
+            if src <> dst then
+              match Serve.lookup serve ~src ~dst with
+              | None -> Alcotest.failf "no route"
+              | Some turns ->
+                let trace = San_simnet.Worm.eval g ~src ~turns in
+                let nodes = San_simnet.Worm.path_nodes g ~src trace in
+                if List.mem hot nodes then
+                  Alcotest.failf
+                    "route %s->%s crossed the penalized spine"
+                    (Graph.name g src) (Graph.name g dst))
+          hosts)
+      hosts
+  | l -> Alcotest.failf "expected 2 spines, found %d" (List.length l)
+
+(* The delta planner's pooled accounting: never worse than naive (the
+   header bit falls back), and populated for every slice. NOW slices
+   are too short for pooling to win; ft-1k's strict win is asserted in
+   the slow test above. *)
+let test_delta_packed () =
+  let g = fst (Generators.now_cab ()) in
+  let table = Routes.compute g in
+  let p = San_service.Delta.plan ~installed:San_service.Delta.empty table in
+  Alcotest.(check bool)
+    "packed never beats naive by losing" true
+    (p.San_service.Delta.packed_full_bytes <= p.San_service.Delta.full_bytes);
+  Alcotest.(check bool)
+    "packed is non-trivial" true
+    (p.San_service.Delta.packed_full_bytes > 0)
+
+let () =
+  Alcotest.run "san_serve"
+    [
+      ( "serve",
+        [
+          Alcotest.test_case "NOW presets agree with table" `Quick
+            test_agreement_now;
+          Alcotest.test_case "ft-1k sample agrees, deadlock-free" `Slow
+            test_agreement_ft1k;
+          Alcotest.test_case "NOW presets deadlock-free" `Quick
+            test_deadlock_now;
+          Alcotest.test_case "pool roundtrip and sharing" `Quick
+            test_pool_roundtrip;
+          Alcotest.test_case "warm lookups allocation-free" `Quick
+            test_lookup_zero_alloc;
+          Alcotest.test_case "eviction never changes answers" `Quick
+            test_eviction_agrees;
+          Alcotest.test_case "prefer steers off the hot spine" `Quick
+            test_prefer_steers;
+          Alcotest.test_case "delta ships packed slices cheaper" `Quick
+            test_delta_packed;
+        ] );
+    ]

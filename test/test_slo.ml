@@ -93,6 +93,30 @@ let test_zero_and_negative_bucket () =
     (Digest.quantile d 0.5);
   close ~rel:0.05 "p100 near max" 10.0 (Digest.quantile d 1.0)
 
+let test_quantile_empty_and_single () =
+  (* The serving/bench paths take p99 of whatever a run produced,
+     including nothing: an empty digest must answer 0.0 (never index
+     out of range or leak vmin = +inf), and a one-sample digest must
+     answer that sample exactly at every q via the [vmin, vmax]
+     clamp. *)
+  let e = Digest.create () in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "empty q=%g" q)
+        0.0 (Digest.quantile e q))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  (match Digest.of_json (Digest.to_json e) with
+  | None -> Alcotest.fail "empty digest JSON did not parse back"
+  | Some e' -> Alcotest.(check int) "empty roundtrip count" 0 (Digest.count e'));
+  let one = Digest.of_list [ 42.0 ] in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "single q=%g" q)
+        42.0 (Digest.quantile one q))
+    [ 0.0; 0.5; 0.99; 1.0 ]
+
 let test_json_roundtrip () =
   let d = Digest.of_list (samples 9 500) in
   match Digest.of_json (Digest.to_json d) with
@@ -312,6 +336,8 @@ let () =
             test_quantile_accuracy;
           Alcotest.test_case "zero bucket" `Quick
             test_zero_and_negative_bucket;
+          Alcotest.test_case "empty and single-sample quantiles" `Quick
+            test_quantile_empty_and_single;
           Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "adopts hist snapshot" `Quick
             test_adopts_hist_snapshot;
