@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-fast bench-smoke scale-smoke shard-smoke serve-smoke fuzz-smoke health-smoke explain-smoke slo-smoke artifacts examples clean
+.PHONY: all build test check bench bench-fast bench-smoke scale-smoke shard-smoke serve-smoke fuzz-smoke health-smoke explain-smoke slo-smoke cover-smoke artifacts examples clean
 
 all: build
 
@@ -22,6 +22,7 @@ check:
 	$(MAKE) shard-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) slo-smoke
+	$(MAKE) cover-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -86,6 +87,18 @@ slo-smoke:
 	dune exec bin/san_map.exe -- daemon -t fat-tree:2:2:4 --epochs 8 \
 	  --quiet --load 1.0 --load-pattern hotspot --scenario storm --seed 5
 	test -s BENCH_obs.json
+
+# Budgeted mapping at CI size: a seeded 30%-budget ft-100 run (the CLI
+# exits non-zero unless the partial map passes the subgraph embedding
+# check) whose confidence-annotated artifact must land under
+# _artifacts/, then the fast coverage bench rung, which gates the
+# accuracy-vs-budget curve against bench/coverage_baseline.json.
+cover-smoke:
+	mkdir -p _artifacts
+	dune exec bin/san_map.exe -- map -t ft-100 --seed 1 --budget 0.3 \
+	  --metrics _artifacts/cover_metrics.json --out-dir _artifacts
+	test -s _artifacts/partial-map-ft-100-b0.3.json
+	dune exec bench/main.exe -- --only coverage --fast --no-bechamel
 
 # The provenance ledger end to end: explain a Figure-3 switch and a
 # route (with the evidence DOT), attribute a map diff to the probes

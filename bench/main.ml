@@ -2120,6 +2120,216 @@ let serving_section () =
   obs_sections := ("serving", J.Obj (List.rev !entries)) :: !obs_sections
 
 (* ------------------------------------------------------------------ *)
+(* Accuracy vs budget: San_cover budgeted partial mapping on the        *)
+(* fat-tree rungs. One full reference run per rung is shared by every   *)
+(* budget; each budgeted run must pass the subgraph embedding check     *)
+(* (hard gate), and the recovered fractions / mean confidence are       *)
+(* gated against bench/coverage_baseline.json. Directed (Goldstein)     *)
+(* sub-runs on ft-100 record in the notes how wire orientation          *)
+(* degrades probe complexity.                                           *)
+
+let coverage_baseline = "bench/coverage_baseline.json"
+
+let coverage_section () =
+  let module J = San_util.Json in
+  let module Fabric = San_fabric.Fabric in
+  let module Cover = San_cover.Cover in
+  let rungs = "ft-100" :: (if !fast then [] else [ "ft-1k" ]) in
+  let budgets = [ 0.1; 0.3; 0.6 ] in
+  let fr n d = if d <= 0 then 0.0 else float_of_int n /. float_of_int d in
+  let t =
+    T.create
+      ~header:
+        [ "fabric"; "budget"; "probes"; "switches"; "links"; "hosts";
+          "mean conf"; "frontier"; "subgraph" ]
+  in
+  let entries = ref [] in
+  let notes = ref [] in
+  (* (fabric, budget key, switch/link/host fracs, mean conf) for the
+     baseline gate. *)
+  let gatevals = ref [] in
+  List.iter
+    (fun name ->
+      let p = Option.get (Fabric.find_preset name) in
+      let g = p.Fabric.p_build ~seed:1 in
+      let mapper = List.hd (Graph.hosts g) in
+      let depth = Berkeley.Fixed (Option.get p.Fabric.p_depth) in
+      let net = Network.create g in
+      let reference = Berkeley.run ~depth net ~mapper in
+      let budget_entries = ref [] in
+      List.iter
+        (fun f ->
+          match
+            Cover.run ~depth ~record_trace:false ~reference
+              ~budget:(Cover.Frac f) net ~mapper
+          with
+          | Error e ->
+            Printf.printf "coverage %s @ %g FAILED: %s\n" name f e;
+            gate_failed := true
+          | Ok rep ->
+            let ok = Result.is_ok rep.Cover.r_subgraph in
+            if not ok then gate_failed := true;
+            let sf = fr rep.Cover.r_recovered_switches rep.Cover.r_full_switches
+            and lf = fr rep.Cover.r_recovered_links rep.Cover.r_full_links
+            and hf = fr rep.Cover.r_recovered_hosts rep.Cover.r_full_hosts in
+            let bkey = Printf.sprintf "b%g" f in
+            gatevals := (name, bkey, sf, lf, hf, rep.Cover.r_mean_conf)
+              :: !gatevals;
+            T.add_row t
+              [ name; Printf.sprintf "%g" f;
+                Printf.sprintf "%d/%d" rep.Cover.r_probes_used
+                  rep.Cover.r_full_probes;
+                Printf.sprintf "%d/%d" rep.Cover.r_recovered_switches
+                  rep.Cover.r_full_switches;
+                Printf.sprintf "%d/%d" rep.Cover.r_recovered_links
+                  rep.Cover.r_full_links;
+                Printf.sprintf "%d/%d" rep.Cover.r_recovered_hosts
+                  rep.Cover.r_full_hosts;
+                Printf.sprintf "%.3f" rep.Cover.r_mean_conf;
+                string_of_int rep.Cover.r_frontier;
+                (if ok then "ok" else "FAILED") ];
+            budget_entries :=
+              ( bkey,
+                J.Obj
+                  [
+                    ("probe_limit", J.int rep.Cover.r_probe_limit);
+                    ("probes_used", J.int rep.Cover.r_probes_used);
+                    ("switch_frac", J.Num sf);
+                    ("link_frac", J.Num lf);
+                    ("host_frac", J.Num hf);
+                    ("mean_conf", J.Num rep.Cover.r_mean_conf);
+                    ("frontier", J.int rep.Cover.r_frontier);
+                    ("est_links", J.Num rep.Cover.r_est_links);
+                    ("subgraph", J.Bool ok);
+                  ] )
+              :: !budget_entries)
+        budgets;
+      (* The Goldstein directed-fabric variant: orient every
+         switch-switch wire, silence probes that walk against the
+         orientation, and measure the probe-complexity degradation at
+         the same budgets. The reference stays undirected so the
+         fractions are comparable. *)
+      if name = "ft-100" then
+        List.iter
+          (fun f ->
+            let d = San_cover.Directed.create ~seed:1 g in
+            match
+              Cover.run ~depth ~record_trace:false ~reference ~directed:d
+                ~budget:(Cover.Frac f) net ~mapper
+            with
+            | Error e ->
+              Printf.printf "coverage directed %s @ %g FAILED: %s\n" name f e;
+              gate_failed := true
+            | Ok rep ->
+              if Result.is_error rep.Cover.r_subgraph then gate_failed := true;
+              let note =
+                Printf.sprintf
+                  "directed (Goldstein) %s @ %g: %d/%d probes spent, %d \
+                   blocked by orientation; recovered %d/%d switches, %d/%d \
+                   links (undirected recovered %s)"
+                  name f rep.Cover.r_probes_used rep.Cover.r_probe_limit
+                  rep.Cover.r_blocked rep.Cover.r_recovered_switches
+                  rep.Cover.r_full_switches rep.Cover.r_recovered_links
+                  rep.Cover.r_full_links
+                  (match
+                     List.find_opt
+                       (fun (n, b, _, _, _, _) ->
+                         n = name && b = Printf.sprintf "b%g" f)
+                       !gatevals
+                   with
+                  | Some (_, _, sf, lf, _, _) ->
+                    Printf.sprintf "%.0f%%/%.0f%% switch/link" (100. *. sf)
+                      (100. *. lf)
+                  (* at full budget the undirected run IS the reference *)
+                  | None -> "100%/100% switch/link")
+              in
+              notes := note :: !notes;
+              budget_entries :=
+                ( Printf.sprintf "directed_b%g" f,
+                  J.Obj
+                    [
+                      ("probes_used", J.int rep.Cover.r_probes_used);
+                      ("blocked", J.int rep.Cover.r_blocked);
+                      ( "switch_frac",
+                        J.Num
+                          (fr rep.Cover.r_recovered_switches
+                             rep.Cover.r_full_switches) );
+                      ( "link_frac",
+                        J.Num
+                          (fr rep.Cover.r_recovered_links
+                             rep.Cover.r_full_links) );
+                      ( "subgraph",
+                        J.Bool (Result.is_ok rep.Cover.r_subgraph) );
+                    ] )
+                :: !budget_entries)
+          [ 0.3; 1.0 ];
+      entries := (name, J.Obj (List.rev !budget_entries)) :: !entries)
+    rungs;
+  T.print
+    ~title:
+      "Coverage — accuracy vs probe budget (San_cover, seed 1; every \
+       partial map verified to embed in N - F)"
+    t;
+  List.iter (fun n -> Printf.printf "note: %s\n" n) (List.rev !notes);
+  write_csv "coverage"
+    [ "fabric"; "budget"; "switch_frac"; "link_frac"; "host_frac";
+      "mean_conf" ]
+    (List.rev_map
+       (fun (name, bkey, sf, lf, hf, mc) ->
+         [ name; bkey; Printf.sprintf "%.3f" sf; Printf.sprintf "%.3f" lf;
+           Printf.sprintf "%.3f" hf; Printf.sprintf "%.3f" mc ])
+       !gatevals);
+  (* Regression gate: every recovered fraction must stay within 0.05,
+     and the mean confidence within 0.1, of the checked-in baseline.
+     The runs are seeded and the simulation deterministic, so drift
+     means the mapper, the budget gate or the scoring model changed. *)
+  (let baseline =
+     if Sys.file_exists coverage_baseline then begin
+       let ic = open_in coverage_baseline in
+       let s = really_input_string ic (in_channel_length ic) in
+       close_in ic;
+       match J.of_string s with Ok j -> Some j | Error _ -> None
+     end
+     else None
+   in
+   match baseline with
+   | None ->
+     Printf.printf "(no baseline at %s; coverage gate skipped)\n"
+       coverage_baseline
+   | Some base ->
+     let checked = ref 0 and bad = ref 0 in
+     List.iter
+       (fun (name, bkey, sf, lf, hf, mc) ->
+         match Option.bind (J.member name base) (J.member bkey) with
+         | None -> ()
+         | Some b ->
+           let num k =
+             match J.member k b with Some (J.Num v) -> Some v | _ -> None
+           in
+           let off what tol cur =
+             match num what with
+             | Some v when Float.abs (cur -. v) > tol ->
+               Printf.printf
+                 "coverage gate FAILED: %s %s %s %.3f drifted from baseline \
+                  %.3f\n"
+                 name bkey what cur v;
+               bad := !bad + 1
+             | _ -> ()
+           in
+           checked := !checked + 1;
+           off "switch_frac" 0.05 sf;
+           off "link_frac" 0.05 lf;
+           off "host_frac" 0.05 hf;
+           off "mean_conf" 0.1 mc)
+       !gatevals;
+     if !bad > 0 then gate_failed := true
+     else
+       Printf.printf "coverage gate ok: %d fabric/budget points within the \
+                      baseline bands\n"
+         !checked);
+  obs_sections := ("coverage", J.Obj (List.rev !entries)) :: !obs_sections
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment              *)
 
 let bechamel_section () =
@@ -2286,6 +2496,9 @@ let () =
   (* serving pushes its own structured obs entry (per-rung rates and
      the traffic-storm comparison), so it runs outside the wrapper. *)
   if wants "serving" then serving_section ();
+  (* coverage pushes its own structured obs entry (per-budget accuracy
+     curves and directed sub-runs), so it runs outside the wrapper. *)
+  if wants "coverage" then coverage_section ();
   section "bechamel"
     ~when_:(!with_bechamel && (wants "bechamel" || !only = []))
     bechamel_section;

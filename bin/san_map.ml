@@ -3,7 +3,11 @@
    Subcommands:
      topo    — generate a topology, print statistics, optionally DOT
      map     — discover a topology with the Berkeley (or Myricom)
-               mapper, verify the result, optionally save JSON/DOT
+               mapper, verify the result, optionally save JSON/DOT;
+               --budget stops at a probe budget and emits a
+               confidence-annotated partial map instead
+     coverage — budgeted map plus the coverage observatory dashboard
+               (frontier sparkline, confidence deciles, explain hooks)
      routes  — map, then compute and check UP*/DOWN* routes
      diff    — compare two saved maps, anchored at host names
      verify  — incrementally check a saved map against the live
@@ -82,16 +86,23 @@ let build_topology_ex spec seed =
     match San_fabric.Fabric.parse arg with
     | Ok p -> (p.San_fabric.Fabric.p_build ~seed, p.San_fabric.Fabric.p_depth)
     | Error e -> raise (Invalid_argument e))
-  | _ -> (build_topology_classic spec (San_util.Prng.create seed), None)
+  | _ -> (
+    (* A bare fabric preset name (`ft-100`) works without the
+       `fabric:` prefix; preset names never collide with the classic
+       generator specs. *)
+    match San_fabric.Fabric.find_preset spec with
+    | Some p -> (p.San_fabric.Fabric.p_build ~seed, p.San_fabric.Fabric.p_depth)
+    | None -> (build_topology_classic spec (San_util.Prng.create seed), None))
 
 let build_topology spec seed = fst (build_topology_ex spec seed)
 
 let topo_arg =
   let doc =
-    "Topology to operate on: c | ca | cab | fabric:PRESET | \
-     fabric:key=value,... | hypercube:D | mesh:R:C | torus:R:C | ring:N | \
-     star:N | chain:N | fat-tree:L:H:S | ccc:D | shuffle:D | random:SW:H | \
-     pendant | lone | stub. See `san_map gen` for fabric presets."
+    "Topology to operate on: c | ca | cab | fabric:PRESET (or a bare preset \
+     name like ft-100) | fabric:key=value,... | hypercube:D | mesh:R:C | \
+     torus:R:C | ring:N | star:N | chain:N | fat-tree:L:H:S | ccc:D | \
+     shuffle:D | random:SW:H | pendant | lone | stub. See `san_map gen` for \
+     fabric presets."
   in
   Arg.(value & opt string "c" & info [ "t"; "topology" ] ~docv:"SPEC" ~doc)
 
@@ -298,8 +309,62 @@ let json_arg =
   let doc = "Save the resulting map as JSON (loadable by `diff' and `verify')." in
   Cmdliner.Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
-let run_map spec seed mapper_name algo model depth policy dot json out_dir
-    trace metrics chrome prom =
+let budget_arg =
+  let doc =
+    "Stop mapping at a probe budget — a fraction of the full run's probe \
+     count (e.g. 0.3) or an absolute count (probes:N) — and emit a \
+     confidence-annotated partial map (JSON artifact under --out-dir) \
+     instead of a full map. Berkeley mapper only."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "budget" ] ~docv:"FRAC|probes:N" ~doc)
+
+let parse_budget_exn s =
+  match San_cover.Cover.parse_budget s with
+  | Ok b -> b
+  | Error e -> raise (Invalid_argument e)
+
+(* The budgeted mapping mode: full reference run, budget-stopped rerun
+   with the why ledger on, confidence-annotated partial-map artifact.
+   Exits non-zero if the partial map fails to embed in N - F. *)
+let run_map_budgeted ~spec ~seed ~policy ~depth ~out_dir net ~mapper b =
+  match San_cover.Cover.run ~policy ~depth ~budget:b net ~mapper with
+  | Error e ->
+    Format.printf "coverage run failed: %s@." e;
+    false
+  | Ok rep ->
+    Format.printf "%a@." San_cover.Cover.pp_summary rep;
+    let ok =
+      match rep.San_cover.Cover.r_subgraph with
+      | Ok () ->
+        Format.printf
+          "verified: partial map embeds in the full map (N - F)@.";
+        true
+      | Error e ->
+        Format.printf "subgraph check FAILED: %s@." e;
+        false
+    in
+    if out_dir <> "" then begin
+      ensure_dir out_dir;
+      let file =
+        Filename.concat out_dir
+          (Printf.sprintf "partial-map-%s-b%s.json" (spec_stem spec)
+             (spec_stem (San_cover.Cover.budget_to_string b)))
+      in
+      let oc = open_out file in
+      output_string oc
+        (San_util.Json.to_string
+           (San_cover.Cover.report_to_json ~spec ~seed rep));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "wrote %s@." file
+    end;
+    ok
+
+let run_map spec seed mapper_name algo model depth policy budget dot json
+    out_dir trace metrics chrome prom =
   with_obs ~chrome ~prom ~trace ~metrics @@ fun () ->
   let g, depth_hint = build_topology_ex spec seed in
   let mapper = pick_mapper g mapper_name in
@@ -337,6 +402,12 @@ let run_map spec seed mapper_name algo model depth policy dot json out_dir
         San_mapper.Berkeley.Fixed d
       | None, None -> San_mapper.Berkeley.Oracle
     in
+    match Option.map parse_budget_exn budget with
+    | Some b ->
+      if
+        not (run_map_budgeted ~spec ~seed ~policy ~depth ~out_dir net ~mapper b)
+      then failed := true
+    | None ->
     let r = San_mapper.Berkeley.run ~policy ~depth net ~mapper in
     Format.printf
       "berkeley: %d explorations, %d probes (host %d/%d, switch %d/%d), %.1f \
@@ -358,6 +429,11 @@ let run_map spec seed mapper_name algo model depth policy dot json out_dir
       failed := true;
       Format.printf "export failed: %s@." e)
   | `Myricom -> (
+    if budget <> None then
+      raise
+        (Invalid_argument
+           "--budget requires the berkeley mapper (the myricom baseline has \
+            no budget hook)");
     let r = San_myricom.Myricom.run ~model g ~mapper in
     let c = r.San_myricom.Myricom.counts in
     Format.printf
@@ -379,6 +455,185 @@ let run_map spec seed mapper_name algo model depth policy dot json out_dir
       failed := true;
       Format.printf "export failed: %s@." e));
   if !failed then 1 else 0
+
+(* ------------------------------------------------------------------ *)
+(* coverage: the budgeted-mapping observatory dashboard                *)
+
+let coverage_budget_arg =
+  let doc =
+    "Probe budget for the dashboard run: a fraction of the full run's \
+     probes (e.g. 0.3) or probes:N."
+  in
+  Arg.(value & opt string "0.3" & info [ "budget" ] ~docv:"FRAC|probes:N" ~doc)
+
+let directed_arg =
+  let doc =
+    "Orient every switch-switch link in a seeded random direction before \
+     mapping (the Goldstein directed-fabric variant) and report how probe \
+     complexity degrades."
+  in
+  Arg.(value & flag & info [ "directed" ] ~doc)
+
+(* Resolve a budgeted element back to the full map so the dashboard can
+   print a working `explain` query: its discovery probe walks to the
+   same place on the exported map (worm turns are frame-shift
+   invariant). *)
+let explain_hook full_map ~src (e : San_cover.Cover.element) =
+  let open San_simnet in
+  match e.San_cover.Cover.el_kind with
+  | `Host ->
+    let self = Graph.name full_map src in
+    if e.San_cover.Cover.el_label = self then "-"
+    else Printf.sprintf "route:%s->%s" self e.San_cover.Cover.el_label
+  | `Switch -> (
+    if e.San_cover.Cover.el_path = [] then
+      (* the root switch: the mapper's cable neighbour on the map *)
+      match Graph.wired_ports full_map src with
+      | (_, (s, _)) :: _ -> "switch:" ^ Graph.name full_map s
+      | [] -> "-"
+    else
+      let t = Worm.eval full_map ~src ~turns:e.San_cover.Cover.el_path in
+      match t.Worm.outcome with
+      | Worm.Stranded n -> "switch:" ^ Graph.name full_map n
+      | _ -> "-")
+  | `Link -> (
+    if e.San_cover.Cover.el_path = [] then "-"
+    else
+      let t = Worm.eval full_map ~src ~turns:e.San_cover.Cover.el_path in
+      match (t.Worm.outcome, List.rev t.Worm.hops) with
+      | (Worm.Stranded _ | Worm.Arrived _), h :: _ ->
+        let ((na, pa), (nb, pb)) = (h.Worm.exit_end, h.Worm.entry_end) in
+        if Graph.is_host full_map na || Graph.is_host full_map nb then "-"
+        else
+          Printf.sprintf "link:%s.%d-%s.%d" (Graph.name full_map na) pa
+            (Graph.name full_map nb) pb
+      | _ -> "-")
+
+let print_coverage_dashboard spec budget ~mapper_name
+    (rep : San_cover.Cover.report) =
+  let open San_cover.Cover in
+  Format.printf "== coverage: %s @@ budget %s ==@." spec
+    (budget_to_string budget);
+  Format.printf "%a@.@." pp_summary rep;
+  (* The frontier over the run: how much known-unexplored edge the
+     exploration was still holding when the budget ran out. *)
+  let series f = List.map f rep.r_trace in
+  Format.printf "frontier   %s  (now %d)@."
+    (San_util.Tablefmt.sparkline ~width:60
+       (series (fun (t : San_mapper.Berkeley.trace_point) ->
+            float_of_int t.San_mapper.Berkeley.frontier_length)))
+    rep.r_frontier;
+  Format.printf "hosts      %s  (%d/%d)@."
+    (San_util.Tablefmt.sparkline ~width:60
+       (series (fun (t : San_mapper.Berkeley.trace_point) ->
+            float_of_int t.San_mapper.Berkeley.hosts_found)))
+    rep.r_recovered_hosts rep.r_full_hosts;
+  Format.printf "live nodes %s  (%d switch classes)@.@."
+    (San_util.Tablefmt.sparkline ~width:60
+       (series (fun (t : San_mapper.Berkeley.trace_point) ->
+            float_of_int t.San_mapper.Berkeley.live_nodes)))
+    (List.length rep.r_switches);
+  let all = elements rep in
+  let tbl = San_util.Tablefmt.create ~header:[ "confidence"; "elements"; "" ] in
+  let n = List.length all in
+  for d = 9 downto 0 do
+    let lo = float_of_int d /. 10.0 in
+    let hi = lo +. 0.1 in
+    let count =
+      List.length
+        (List.filter
+           (fun e ->
+             e.el_conf >= lo && (e.el_conf < hi || (d = 9 && e.el_conf <= 1.0)))
+           all)
+    in
+    let bar =
+      String.make
+        (if n = 0 then 0 else count * 40 / max 1 n)
+        '#'
+    in
+    San_util.Tablefmt.add_row tbl
+      [ Printf.sprintf "[%.1f,%.1f)" lo hi; string_of_int count; bar ]
+  done;
+  San_util.Tablefmt.print ~title:"confidence deciles" tbl;
+  Format.printf "@.";
+  let src =
+    Option.value
+      ~default:(-1)
+      (Graph.host_by_name rep.r_full_map mapper_name)
+  in
+  let worst =
+    List.filteri (fun i _ -> i < 10)
+      (List.sort (fun a b -> compare a.el_conf b.el_conf) all)
+  in
+  let tbl =
+    San_util.Tablefmt.create
+      ~header:[ "element"; "conf"; "probes"; "merges"; "d1/d2"; "explain" ]
+  in
+  List.iter
+    (fun e ->
+      San_util.Tablefmt.add_row tbl
+        [
+          e.el_label;
+          Printf.sprintf "%.3f" e.el_conf;
+          string_of_int e.el_probes;
+          string_of_int e.el_merges;
+          string_of_int e.el_corrob;
+          (if src < 0 then "-"
+           else
+             let q = explain_hook rep.r_full_map ~src e in
+             if q = "-" then "-"
+             else Printf.sprintf "san_map explain -t %s --why '%s'" spec q);
+        ])
+    worst;
+  San_util.Tablefmt.print ~title:"top 10 least-confident elements" tbl
+
+let run_coverage spec seed mapper_name budget_str directed depth out_dir trace
+    metrics chrome prom =
+  with_obs ~chrome ~prom ~trace ~metrics @@ fun () ->
+  let b = parse_budget_exn budget_str in
+  let g, depth_hint = build_topology_ex spec seed in
+  let mapper = pick_mapper g mapper_name in
+  let net = San_simnet.Network.create g in
+  let depth =
+    match (depth, depth_hint) with
+    | Some d, _ -> San_mapper.Berkeley.Fixed d
+    | None, _ when oracle_feasible g -> San_mapper.Berkeley.Oracle
+    | None, Some d -> San_mapper.Berkeley.Fixed d
+    | None, None -> San_mapper.Berkeley.Oracle
+  in
+  let dir =
+    if directed then Some (San_cover.Directed.create ~seed g) else None
+  in
+  match San_cover.Cover.run ?directed:dir ~depth ~budget:b net ~mapper with
+  | Error e ->
+    Format.printf "coverage run failed: %s@." e;
+    1
+  | Ok rep ->
+    print_coverage_dashboard spec b ~mapper_name:(Graph.name g mapper) rep;
+    Option.iter
+      (fun d ->
+        Format.printf
+          "@.directed fabric: %d oriented links, %d probes silenced by \
+           orientation@."
+          (San_cover.Directed.oriented_wires d)
+          (San_cover.Directed.blocked d))
+      dir;
+    if out_dir <> "" then begin
+      ensure_dir out_dir;
+      let file =
+        Filename.concat out_dir
+          (Printf.sprintf "partial-map-%s-b%s.json" (spec_stem spec)
+             (spec_stem (San_cover.Cover.budget_to_string b)))
+      in
+      let oc = open_out file in
+      output_string oc
+        (San_util.Json.to_string
+           (San_cover.Cover.report_to_json ~spec ~seed rep));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "@.wrote %s@." file
+    end;
+    (match rep.San_cover.Cover.r_subgraph with Ok () -> 0 | Error _ -> 1)
 
 (* ------------------------------------------------------------------ *)
 (* shard: N concurrent mappers, conflict-resolved merge               *)
@@ -1361,8 +1616,20 @@ let map_cmd =
     (Cmd.info "map" ~doc:"Discover a topology with in-band probes")
     Term.(
       const run_map $ topo_arg $ seed_arg $ mapper_arg $ algo_arg $ model_arg
-      $ depth_arg $ policy_arg $ dot_arg $ json_arg $ out_dir_arg $ trace_arg
-      $ metrics_arg $ chrome_arg $ prom_arg)
+      $ depth_arg $ policy_arg $ budget_arg $ dot_arg $ json_arg $ out_dir_arg
+      $ trace_arg $ metrics_arg $ chrome_arg $ prom_arg)
+
+let coverage_cmd =
+  Cmd.v
+    (Cmd.info "coverage"
+       ~doc:
+         "Map under a probe budget and print the coverage observatory \
+          dashboard (frontier sparkline, confidence deciles, least-confident \
+          elements with explain hooks)")
+    Term.(
+      const run_coverage $ topo_arg $ seed_arg $ mapper_arg
+      $ coverage_budget_arg $ directed_arg $ depth_arg $ out_dir_arg
+      $ trace_arg $ metrics_arg $ chrome_arg $ prom_arg)
 
 let shard_cmd =
   Cmd.v
@@ -1647,7 +1914,8 @@ let () =
        Cmd.eval' ~catch:false
          (Cmd.group info
             [
-              topo_cmd; gen_cmd; map_cmd; shard_cmd; routes_cmd; serve_cmd;
+              topo_cmd; gen_cmd; map_cmd; coverage_cmd; shard_cmd; routes_cmd;
+              serve_cmd;
               diff_cmd; verify_cmd;
               fuzz_cmd; daemon_cmd; health_cmd; explain_cmd; blame_cmd;
               postmortem_cmd; version_cmd;

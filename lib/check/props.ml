@@ -584,6 +584,69 @@ let prop_routes_deterministic ctx =
            s d (List.length more))
   end
 
+(* 11. A budget-stopped partial map embeds in N - F: San_cover's
+   re-walk check must pass on whatever prefix of the exploration the
+   budget bought (the Guillemin-Robert subgraph guarantee holds at
+   every stopping point, not just at completion), every confidence
+   score stays in [0, 1], and the spend respects the documented
+   overshoot bound — the budget gates whole explorations, so it can
+   run over by at most one exploration plus the always-exempt turn-0
+   root-confirmation probe. *)
+let prop_partial_subgraph ctx =
+  match ctx.mapper with
+  | None -> Ok ()
+  | Some m -> (
+    match Lazy.force ctx.berkeley with
+    | Error _ -> Ok () (* prop_iso owns full-map failures *)
+    | Ok _ ->
+      let g = ctx.case.graph in
+      let frac = if ctx.case.case_seed land 1 = 0 then 0.3 else 0.6 in
+      let net = San_simnet.Network.create ~responding:ctx.responding g in
+      match
+        San_cover.Cover.run
+          ~depth:(San_mapper.Berkeley.Fixed (Lazy.force ctx.depth))
+          ~record_trace:false
+          ~effective:(Lazy.force ctx.eff)
+          ~budget:(San_cover.Cover.Frac frac) net ~mapper:m
+      with
+      | Error e -> Error ("cover run failed: " ^ e)
+      | Ok rep -> (
+        match rep.San_cover.Cover.r_subgraph with
+        | Error e ->
+          Error
+            (Printf.sprintf "budget %g: partial map does not embed in N - F: %s"
+               frac e)
+        | Ok () ->
+          let retries = San_mapper.Berkeley.faithful.San_mapper.Berkeley.retries in
+          (* One exploration (2(radix-1) turns, two probes per turn,
+             retried) plus the exempt turn-0 root confirmation. *)
+          let overshoot =
+            (4 * (Graph.radix g - 1) * (1 + retries)) + (1 + retries)
+          in
+          let limit = rep.San_cover.Cover.r_probe_limit + overshoot in
+          if rep.San_cover.Cover.r_probes_used > limit then
+            Error
+              (Printf.sprintf
+                 "budget %g: spent %d probes, over the %d limit + %d overshoot \
+                  bound"
+                 frac rep.San_cover.Cover.r_probes_used
+                 rep.San_cover.Cover.r_probe_limit overshoot)
+          else
+            let bad_conf =
+              List.find_opt
+                (fun (e : San_cover.Cover.element) ->
+                  e.San_cover.Cover.el_conf < 0.0
+                  || e.San_cover.Cover.el_conf > 1.0
+                  || Float.is_nan e.San_cover.Cover.el_conf)
+                (San_cover.Cover.elements rep)
+            in
+            (match bad_conf with
+            | Some e ->
+              Error
+                (Printf.sprintf "element %s has confidence %g outside [0, 1]"
+                   e.San_cover.Cover.el_label e.San_cover.Cover.el_conf)
+            | None -> Ok ())))
+
 (* ------------------------------------------------------------------ *)
 
 let all =
@@ -598,6 +661,7 @@ let all =
     ("shard_agreement", prop_shard_agreement);
     ("load_agreement", prop_load_agreement);
     ("routes_deterministic", prop_routes_deterministic);
+    ("partial_subgraph", prop_partial_subgraph);
   ]
 
 let names = List.map fst all

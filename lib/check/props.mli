@@ -38,7 +38,12 @@
       the fabric: computing twice yields byte-identical tables
       (randomized spreading only happens through the explicit [?rng]
       opt-in), and the lazy serving plane ({!San_routing.Serve})
-      reproduces the eager table entry for entry.
+      reproduces the eager table entry for entry;
+    - ["partial_subgraph"] — a budget-stopped {!San_cover} run (a
+      seed-chosen 30% or 60% fraction) produces a partial map that
+      embeds in [N - F], every element's confidence is in [0, 1], and
+      the probe spend stays within the budget plus the documented
+      one-exploration overshoot bound.
 
     Degenerate fabrics (no hosts, no mapper) make a property pass
     trivially rather than error: the generator is free to produce

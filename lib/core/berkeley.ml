@@ -81,18 +81,23 @@ let service_of_network net ~mapper =
    on-line mapper over the event-driven simulator. Returns
    (explorations, elapsed_ns, trace) and leaves the model stabilised
    but unpruned. *)
-let explore_service ?(expand = fun _ -> true) ~policy ~depth_used
-    ~record_trace sv model seeds =
+let explore_service ?(expand = fun _ -> true) ?probe_budget ?tick ~policy
+    ~depth_used ~record_trace sv model seeds =
   let frontier : Model.vid San_util.Fifo.t = San_util.Fifo.create () in
   List.iter (San_util.Fifo.add frontier) seeds;
   let elapsed = ref 0.0 in
   let explorations = ref 0 in
+  let probes_sent = ref 0 in
   let trace = ref [] in
   let turn_order = Probe_order.turn_order ~radix:sv.sv_radix in
+  let budget_left () =
+    match probe_budget with None -> true | Some b -> !probes_sent < b
+  in
   let with_retries send =
     (* One initial attempt plus up to [retries] re-sends on silence. *)
     let rec go attempt =
       let (resp : Network.response), cost = send () in
+      incr probes_sent;
       elapsed := !elapsed +. cost;
       match resp with
       | Network.Nothing when attempt < policy.retries -> go (attempt + 1)
@@ -159,15 +164,29 @@ let explore_service ?(expand = fun _ -> true) ~policy ~depth_used
           hosts_found = Model.known_hosts model;
           elapsed_ns = !elapsed;
         }
-        :: !trace
-  in
-  let rec drain () =
-    match San_util.Fifo.next_element frontier with
+        :: !trace;
+    match tick with
+    | Some f ->
+      f ~probes:!probes_sent ~frontier:(San_util.Fifo.length frontier)
     | None -> ()
-    | Some v ->
-      let path = Model.probe_string model v in
-      let within_depth = List.length path < depth_used in
-      if within_depth && Model.is_live model v then begin
+  in
+  (* The budget gates whole explorations, never individual probes
+     inside one: a half-enumerated switch would leave the model with
+     false absence evidence (slots that were merely unprobed look like
+     slots that answered nothing). So the overshoot past [probe_budget]
+     is bounded by one exploration — 2 * (radix - 1) turns, at most a
+     switch and a host probe per turn, each retried: 4 * (radix - 1) *
+     (1 + retries) probes — plus the turn-0 root confirmation below,
+     which is always exempt. *)
+  let rec drain () =
+    if not (budget_left ()) then ()
+    else
+      match San_util.Fifo.next_element frontier with
+      | None -> ()
+      | Some v ->
+        let path = Model.probe_string model v in
+        let within_depth = List.length path < depth_used in
+        (if within_depth && Model.is_live model v then begin
         (* A replicate of an explored class is not skipped outright:
            each worm holds the wires of its own path, so a member
            reached by a different route can probe into slots the first
@@ -175,19 +194,19 @@ let explore_service ?(expand = fun _ -> true) ~policy ~depth_used
            with itself). Probing only the still-unknown slots keeps
            the heuristic's savings while recovering that evidence. *)
         if expand path then begin
-          if not (policy.skip_explored && Model.is_explored model v) then
-            explore ~fill_only:false v
-          else explore ~fill_only:true v
-        end
-        else if Model.is_explored model v then
-          (* Beyond the exploration scope, replicates of explored
-             classes still fill in the slots self-collision blocked on
-             the short path: without this, a scope-edge switch whose
-             only in-scope route retraces the worm's own wires is never
-             discovered. Unexplored classes stay unexpanded stubs. *)
-          explore ~fill_only:true v
-      end;
-      drain ()
+            if not (policy.skip_explored && Model.is_explored model v) then
+              explore ~fill_only:false v
+            else explore ~fill_only:true v
+          end
+          else if Model.is_explored model v then
+            (* Beyond the exploration scope, replicates of explored
+               classes still fill in the slots self-collision blocked on
+               the short path: without this, a scope-edge switch whose
+               only in-scope route retraces the worm's own wires is never
+               discovered. Unexplored classes stay unexpanded stubs. *)
+            explore ~fill_only:true v
+        end);
+        drain ()
   in
   drain ();
   (* The root switch is the one vertex the model assumes rather than
@@ -222,9 +241,9 @@ let explore_service ?(expand = fun _ -> true) ~policy ~depth_used
   end;
   (!explorations, !elapsed, List.rev !trace)
 
-let explore_from ?expand ~policy ~depth_used ~record_trace net ~mapper model
-    seeds =
-  explore_service ?expand ~policy ~depth_used ~record_trace
+let explore_from ?expand ?probe_budget ?tick ~policy ~depth_used ~record_trace
+    net ~mapper model seeds =
+  explore_service ?expand ?probe_budget ?tick ~policy ~depth_used ~record_trace
     (service_of_network net ~mapper)
     model seeds
 
@@ -255,7 +274,7 @@ let resolve_depth net ~mapper = function
   | Fixed d -> d
 
 let run ?(policy = faithful) ?(depth = Oracle) ?(record_trace = false) ?expand
-    net ~mapper =
+    ?probe_budget ?tick net ~mapper =
   let g = Network.graph net in
   if not (Graph.is_host g mapper) then
     invalid_arg "Berkeley.run: mapper must be a host";
@@ -266,8 +285,8 @@ let run ?(policy = faithful) ?(depth = Oracle) ?(record_trace = false) ?expand
         Model.create ~mapper_name:(Graph.name g mapper) ~radix:(Graph.radix g)
       in
       let explorations, elapsed, trace =
-        explore_from ?expand ~policy ~depth_used ~record_trace net ~mapper
-          model
+        explore_from ?expand ?probe_budget ?tick ~policy ~depth_used
+          ~record_trace net ~mapper model
           [ Model.root_switch model ]
       in
       finish ~model ~explorations ~elapsed ~depth_used ~trace net)

@@ -87,6 +87,8 @@ val run :
   ?depth:depth ->
   ?record_trace:bool ->
   ?expand:(Route.t -> bool) ->
+  ?probe_budget:int ->
+  ?tick:(probes:int -> frontier:int -> unit) ->
   Network.t ->
   mapper:Graph.node ->
   result
@@ -105,7 +107,21 @@ val run :
     shards each strictly cheaper than one global mapper. Scoped-out
     switches are still discovered (their parent probed into them) but
     stay unexpanded stubs with unknown frames, so callers must trim
-    the exported map to the expanded region. *)
+    the exported map to the expanded region.
+
+    [probe_budget] stops the exploration once that many probes have
+    been sent (retries included). The gate sits between explorations,
+    never inside one — a half-enumerated switch would fabricate
+    absence evidence — so the actual spend can overshoot by up to one
+    exploration, [4 * (radix - 1) * (1 + retries)] probes, plus the turn-0
+    root-confirmation probe, which is always sent. A budget-stopped
+    model is partial: {!Model.to_graph} may raise on its unresolved
+    replicates, so budgeted callers (see [San_cover]) read the model
+    through the why-ledger replay instead of exporting it.
+
+    [tick ~probes ~frontier] fires after every exploration with the
+    cumulative probe count and current frontier length — the live
+    coverage feed for [San_cover]'s gauges. *)
 
 (** {1 Engine hooks for the §6 extensions} *)
 
@@ -123,6 +139,8 @@ val service_of_network : Network.t -> mapper:Graph.node -> service
 
 val explore_service :
   ?expand:(Route.t -> bool) ->
+  ?probe_budget:int ->
+  ?tick:(probes:int -> frontier:int -> unit) ->
   policy:policy ->
   depth_used:int ->
   record_trace:bool ->
@@ -132,10 +150,13 @@ val explore_service :
   int * float * trace_point list
 (** The breadth-first engine on an existing model: seed the frontier
     with the given vertices, drain it, return (explorations, simulated
-    elapsed ns, trace). Does not prune or export. *)
+    elapsed ns, trace). Does not prune or export. [probe_budget] and
+    [tick] as in {!run}. *)
 
 val explore_from :
   ?expand:(Route.t -> bool) ->
+  ?probe_budget:int ->
+  ?tick:(probes:int -> frontier:int -> unit) ->
   policy:policy ->
   depth_used:int ->
   record_trace:bool ->

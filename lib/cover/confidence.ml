@@ -1,0 +1,31 @@
+let clamp01 x = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 else x
+
+let evidence_factor ~probes ~merges ~corroborations =
+  let e =
+    float_of_int probes
+    +. (1.5 *. float_of_int merges)
+    +. (2.0 *. float_of_int corroborations)
+  in
+  if e <= 0.0 then 0.0 else e /. (e +. 0.5)
+
+let structure_factor ~known_ports ~radix ~density ~explored =
+  if explored then 1.0
+  else
+    let k = float_of_int (min known_ports radix) in
+    let unseen = density *. float_of_int (max 0 (radix - known_ports)) in
+    if k <= 0.0 then 0.0 else clamp01 (k /. (k +. unseen))
+
+let score ~evidence ~structure = clamp01 (evidence *. structure)
+
+let wired_density ~explored_ports ~explored_switches ~radix =
+  let rho =
+    if explored_switches <= 0 || radix <= 0 then 0.5
+    else float_of_int explored_ports /. float_of_int (explored_switches * radix)
+  in
+  Float.max 0.05 (Float.min 1.0 rho)
+
+let estimated_link_ends ~known_ports ~radix ~density ~explored =
+  if explored then float_of_int known_ports
+  else
+    float_of_int known_ports
+    +. (density *. float_of_int (max 0 (radix - known_ports)))

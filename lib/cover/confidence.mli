@@ -1,0 +1,54 @@
+(** Per-element confidence scoring for partial maps.
+
+    A budget-stopped map is not just incomplete, it is {e biased}:
+    probe sampling systematically under-observes degree mass
+    (Dall'Asta et al., "Exploring networks with traceroute-like
+    probes"). So an element's score has two independent factors:
+
+    - an {e evidence} factor — how much ledger evidence supports the
+      element's existence and identity (probe count, replicate
+      agreement, D1/D2 corroboration). Monotone in each input,
+      strictly below 1 (no finite probe count proves a map);
+    - a {e structure} factor — the expected fraction of the element's
+      true degree mass that has been observed, with the unprobed-port
+      mass estimated from the wired-port density measured on fully
+      enumerated switches. An explored class scores 1 here: every
+      port was probed, absence evidence included.
+
+    The final score is their product, clamped to [0, 1]. All functions
+    are pure. *)
+
+val evidence_factor : probes:int -> merges:int -> corroborations:int -> float
+(** [e / (e + k)] over the weighted evidence mass
+    [e = probes + 1.5*merges + 2*corroborations] with [k = 0.5]: one
+    probe scores 2/3, three independent probes ~0.86, and replicate
+    merges (each an identity deduction) count more than raw probes.
+    Returns 0 on non-positive evidence. *)
+
+val structure_factor :
+  known_ports:int -> radix:int -> density:float -> explored:bool -> float
+(** Expected observed fraction of the element's true wired degree:
+    [k / (k + rho * (R - k))] for [k] known wired ports out of [R],
+    where [rho] is the wired-port density estimate (the Dall'Asta
+    correction: each unprobed port is wired with probability [rho],
+    so unobserved mass is [rho * (R - k)]). [explored] short-circuits
+    to 1.0 — every port was probed, so the degree is exact. *)
+
+val score : evidence:float -> structure:float -> float
+(** The product, clamped to [0, 1]. *)
+
+val wired_density :
+  explored_ports:int -> explored_switches:int -> radix:int -> float
+(** The density estimate [rho]: wired ports observed on fully explored
+    switches over the ports they expose ([radix] each). Falls back to
+    0.5 when no switch has been fully explored yet (maximum-entropy
+    prior over a port being wired). Clamped to [0.05, 1.0] so the
+    correction never divides by a vanishing mass. *)
+
+val estimated_link_ends :
+  known_ports:int -> radix:int -> density:float -> explored:bool -> float
+(** Bias-corrected estimate of a switch's true wired degree:
+    [known] when explored, else [known + rho * (R - known)]. Summing
+    this over discovered elements and halving estimates the link count
+    of the discovered region {e including} its unprobed-degree mass —
+    the quantity raw counting under-reports. *)

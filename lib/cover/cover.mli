@@ -1,0 +1,120 @@
+(** Budgeted partial mapping with a coverage-and-confidence report.
+
+    The paper's mapper runs to completion; this module stops it at a
+    probe budget and reports {e what the partial map knows and how
+    well it knows it}. Every discovered element (host, switch class,
+    link) carries a {!Confidence} score derived from its why-ledger
+    evidence; the report also records the exploration frontier, the
+    recovered fraction against a full reference map, and a
+    bias-corrected link estimate (Dall'Asta correction for
+    unprobed-degree mass).
+
+    A budget-stopped model is partial, so it cannot be exported with
+    [Model.to_graph] (unresolved replicates raise). Instead the run
+    forces the why ledger on and reads the stabilised model back
+    through {!San_why.Replay} — classes, live edges, member probe
+    paths — which is exactly the evidence the confidence scores need
+    anyway.
+
+    The subgraph guarantee (Guillemin–Robert: a probed map embeds in
+    the true map): every element's discovery probes are re-walked on
+    the true network, all members of a class must land on one true
+    node, and no walked node may lie in the separated set [F] — so
+    the pruned partial map always embeds in [N - F], the graph the
+    full map is isomorphic to (Theorem 1). *)
+
+open San_topology
+open San_simnet
+module Berkeley = San_mapper.Berkeley
+
+(** {1 Budgets} *)
+
+type budget = Frac of float | Probes of int
+    (** [Frac f] spends [f] times the probes of the full reference run
+        ([0 < f <= 1]); [Probes n] is an absolute probe count. *)
+
+val parse_budget : string -> (budget, string) result
+(** ["0.3"] or ["probes:1500"]. *)
+
+val budget_to_string : budget -> string
+
+(** {1 Reports} *)
+
+type element = {
+  el_label : string;  (** host name, switch class ["m<vid>"], or ["A-B.p"] *)
+  el_kind : [ `Host | `Switch | `Link ];
+  el_path : Route.t;  (** a discovery probe's turn string (shortest) *)
+  el_conf : float;  (** {!Confidence.score}, in [0, 1] *)
+  el_probes : int;  (** distinct probe entries in its evidence tree *)
+  el_merges : int;  (** replicate merges folded into the class *)
+  el_corrob : int;  (** distinct D1/D2 rules among those merges *)
+  el_explored : bool;  (** every port probed (class fully enumerated) *)
+  el_ports : int;  (** known wired ports (hosts 1, links 2) *)
+}
+
+type report = {
+  r_budget : budget;
+  r_probe_limit : int;  (** the resolved absolute budget *)
+  r_probes_used : int;  (** actual spend, retries and overshoot included *)
+  r_full_probes : int;  (** the full reference run's probe count *)
+  r_explorations : int;
+  r_depth_used : int;
+  r_hosts : element list;
+  r_switches : element list;
+  r_links : element list;
+  r_frontier : int;  (** live discovered-but-unexplored switch classes *)
+  r_trace : Berkeley.trace_point list;
+  r_full_map : Graph.t;  (** the reference full map *)
+  r_recovered_hosts : int;  (** distinct true hosts the partial map names *)
+  r_recovered_switches : int;  (** distinct true switches its classes hit *)
+  r_recovered_links : int;  (** distinct true wires its edges walk *)
+  r_full_hosts : int;
+  r_full_switches : int;
+  r_full_links : int;  (** full-map denominators for the fractions *)
+  r_mean_conf : float;  (** mean confidence over all elements *)
+  r_density : float;  (** measured wired-port density (the rho estimate) *)
+  r_est_links : float;  (** bias-corrected link estimate, see {!Confidence} *)
+  r_subgraph : (unit, string) result;
+      (** the embedding check: [Error] names the first violating element *)
+  r_blocked : int;  (** probes a {!Directed} gate silenced (0 if none) *)
+}
+
+val elements : report -> element list
+(** Hosts, switches, then links. *)
+
+val run :
+  ?policy:Berkeley.policy ->
+  ?depth:Berkeley.depth ->
+  ?record_trace:bool ->
+  ?directed:Directed.t ->
+  ?reference:Berkeley.result ->
+  ?effective:Graph.t ->
+  budget:budget ->
+  Network.t ->
+  mapper:Graph.node ->
+  (report, string) result
+(** Run the full reference map (unless [reference] is given — it must
+    have succeeded), resolve the budget against its probe count, then
+    re-run the exploration budget-stopped with the why ledger forced
+    on and build the report. [directed] gates every probe through a
+    wire-orientation (the Goldstein variant; the reference run is
+    still undirected, so fractions stay comparable). [effective] is
+    the graph ground truth is judged against (default the network's
+    own graph; the fuzzer passes its silent-hosts-detached view).
+    Errors when the reference map fails to export.
+
+    Metrics (when {!San_obs.Obs.on}): gauges [cover.frontier_size] and
+    [cover.probes_used] update live from the exploration tick;
+    counters [cover.hosts_confirmed] / [cover.switches_confirmed] /
+    [cover.links_confirmed], gauges [cover.budget_frac_used] /
+    [cover.recovered_switch_frac] and the [cover.confidence] histogram
+    (one observation per element) land when the run completes. *)
+
+val report_to_json : ?spec:string -> ?seed:int -> report -> San_util.Json.t
+(** The confidence-annotated partial map artifact: budget accounting,
+    recovered fractions, and every element with its score and
+    evidence counts. *)
+
+val pp_summary : Format.formatter -> report -> unit
+(** A few human lines: spend, recovered fractions, mean confidence,
+    frontier, subgraph verdict. *)

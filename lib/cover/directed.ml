@@ -1,0 +1,53 @@
+open San_topology
+open San_simnet
+
+type t = {
+  graph : Graph.t;
+  allowed : (Graph.wire_end * Graph.wire_end, unit) Hashtbl.t;
+      (** permitted (exit_end, entry_end) crossings of oriented wires *)
+  mutable oriented : int;
+  mutable n_blocked : int;
+}
+
+let create ~seed g =
+  let rng = San_util.Prng.create seed in
+  let allowed = Hashtbl.create 64 in
+  let oriented = ref 0 in
+  List.iter
+    (fun ((e1 : Graph.wire_end), (e2 : Graph.wire_end)) ->
+      let n1 = fst e1 and n2 = fst e2 in
+      if (not (Graph.is_host g n1)) && not (Graph.is_host g n2) then begin
+        incr oriented;
+        if San_util.Prng.bool rng then Hashtbl.replace allowed (e1, e2) ()
+        else Hashtbl.replace allowed (e2, e1) ()
+      end)
+    (Graph.wires g);
+  { graph = g; allowed; oriented = !oriented; n_blocked = 0 }
+
+let blocked t = t.n_blocked
+let oriented_wires t = t.oriented
+
+let forward_legal t ~src ~turns =
+  let trace = Worm.eval t.graph ~src ~turns in
+  List.for_all
+    (fun (h : Worm.hop) ->
+      let a = fst h.Worm.exit_end and b = fst h.Worm.entry_end in
+      Graph.is_host t.graph a
+      || Graph.is_host t.graph b
+      || Hashtbl.mem t.allowed (h.Worm.exit_end, h.Worm.entry_end))
+    trace.Worm.hops
+
+let wrap t net ~mapper =
+  let gate probe ~turns =
+    if forward_legal t ~src:mapper ~turns then probe ~turns
+    else begin
+      t.n_blocked <- t.n_blocked + 1;
+      (Network.Nothing, Network.probe_cost_miss net)
+    end
+  in
+  {
+    San_mapper.Berkeley.sv_radix = Graph.radix (Network.graph net);
+    sv_host_probe = gate (fun ~turns -> Network.host_probe net ~src:mapper ~turns);
+    sv_switch_probe =
+      gate (fun ~turns -> Network.switch_probe net ~src:mapper ~turns);
+  }

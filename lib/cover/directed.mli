@@ -1,0 +1,41 @@
+(** The Goldstein directed-fabric variant: unidirectional switch links.
+
+    The paper's probe calculus assumes every cable carries worms both
+    ways; D1 (one cable per port) and D2 (unique host names) then let
+    replicate evidence propagate in either direction. On a fabric with
+    unidirectional switch-switch links that symmetry breaks, and probe
+    complexity degrades — the measurement this module supports.
+
+    Modelling note: a Berkeley switch-probe is a loopback
+    [a1..ak 0 -ak..-a1] that retraces its own path, so {e strict}
+    unidirectionality would kill every switch probe outright and the
+    mapper would learn nothing. We model the forward data path as
+    directed and treat replies and loopback legs as out-of-band (as if
+    carried on a separate control plane): a probe is silenced exactly
+    when its {e forward} walk crosses a switch-switch wire against the
+    wire's orientation. Host cables stay bidirectional (a host's one
+    port must both send and receive). *)
+
+open San_topology
+open San_simnet
+
+type t
+
+val create : seed:int -> Graph.t -> t
+(** Orient every switch-switch wire in a uniformly random direction
+    drawn from the seed (host wires stay bidirectional). The same seed
+    and graph give the same orientation. *)
+
+val blocked : t -> int
+(** Probes silenced so far because their forward walk crossed a wire
+    against its orientation. *)
+
+val oriented_wires : t -> int
+(** How many wires carry an orientation (= switch-switch wires). *)
+
+val wrap : t -> Network.t -> mapper:Graph.node -> San_mapper.Berkeley.service
+(** A probe service over [net] that drops (returns [Nothing], charging
+    the timeout cost) any probe whose forward path is illegal under
+    the orientation, and otherwise delegates to the network. The
+    wrapped service is what a budgeted exploration runs against to
+    measure directed-fabric probe complexity. *)

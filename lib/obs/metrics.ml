@@ -158,7 +158,16 @@ let snapshot t =
 (* [diff ~before ~after]: activity between two snapshots of the same
    registry. Counters and histogram populations subtract; gauges keep
    the later value; a histogram's min/max are taken from [after] (the
-   window extremes are not recoverable from summaries). *)
+   window extremes are not recoverable from summaries).
+
+   Instruments restart when [reset] runs mid-window, and a restarted
+   instrument must not subtract: the after-side population IS the
+   window's activity. The telltale is any count going backwards —
+   a counter below its before value, or a histogram whose total, zero
+   bucket or any individual bucket shrank (the "only new buckets
+   appeared" window: the old population vanished with the reset, so
+   naive subtraction reported negative counts against a bucket list
+   holding only the new bins). *)
 let diff ~before ~after =
   let base assoc name = Option.value ~default:0 (List.assoc_opt name assoc) in
   let sub_buckets older newer =
@@ -168,10 +177,20 @@ let diff ~before ~after =
         if d > 0 then Some (b, d) else None)
       newer
   in
+  let restarted h0 h =
+    h.hs_count < h0.hs_count
+    || h.hs_zero < h0.hs_zero
+    || List.exists
+         (fun (b, n0) ->
+           Option.value ~default:0 (List.assoc_opt b h.hs_buckets) < n0)
+         h0.hs_buckets
+  in
   {
     s_counters =
       List.map
-        (fun (name, v) -> (name, v - base before.s_counters name))
+        (fun (name, v) ->
+          let d = v - base before.s_counters name in
+          (name, if d < 0 then v else d))
         after.s_counters;
     s_gauges = after.s_gauges;
     s_histograms =
@@ -179,6 +198,7 @@ let diff ~before ~after =
         (fun (name, h) ->
           match List.assoc_opt name before.s_histograms with
           | None -> (name, h)
+          | Some h0 when restarted h0 h -> (name, h)
           | Some h0 ->
             ( name,
               {

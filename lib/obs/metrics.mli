@@ -78,7 +78,14 @@ val diff : before:snapshot -> after:snapshot -> snapshot
 (** Activity between two snapshots of the same registry: counters and
     histogram populations subtract, gauges keep the later value, and a
     histogram's min/max come from [after] (window extremes are not
-    recoverable from summaries). *)
+    recoverable from summaries).
+
+    An instrument that restarted mid-window (a {!reset} between the
+    snapshots: its counter went backwards, or a histogram's total,
+    zero bucket or any individual bucket shrank) is reported as its
+    [after] state wholesale — everything since the reset is the
+    window's activity — so deltas are never negative even when the
+    window holds only new buckets. *)
 
 val quantile_of : hist_snapshot -> float -> float
 

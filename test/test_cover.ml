@@ -1,0 +1,235 @@
+(* San_cover: budget parsing, the confidence model's shape, budgeted
+   partial mapping end to end (subgraph embedding, overshoot bound,
+   recovered fractions, determinism), the directed (Goldstein)
+   wrapper, and the artifact JSON. *)
+
+open San_topology
+open San_simnet
+module Berkeley = San_mapper.Berkeley
+module Cover = San_cover.Cover
+module Confidence = San_cover.Confidence
+module Directed = San_cover.Directed
+
+let mapper_of g name = Option.get (Graph.host_by_name g name)
+
+(* ---------- budget parsing ---------- *)
+
+let test_parse_budget () =
+  (match Cover.parse_budget "0.3" with
+  | Ok (Cover.Frac f) -> Alcotest.(check (float 1e-9)) "frac" 0.3 f
+  | _ -> Alcotest.fail "0.3 should parse as Frac");
+  (match Cover.parse_budget "1" with
+  | Ok (Cover.Frac f) -> Alcotest.(check (float 1e-9)) "full frac" 1.0 f
+  | _ -> Alcotest.fail "1 should parse as Frac 1.0");
+  (match Cover.parse_budget "probes:500" with
+  | Ok (Cover.Probes n) -> Alcotest.(check int) "probes" 500 n
+  | _ -> Alcotest.fail "probes:500 should parse as Probes");
+  List.iter
+    (fun s ->
+      match Cover.parse_budget s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should not parse" s)
+    [ "0"; "-0.3"; "1.5"; "probes:0"; "probes:-3"; "probes:x"; "nope"; "" ];
+  List.iter
+    (fun b ->
+      match Cover.parse_budget (Cover.budget_to_string b) with
+      | Ok b' when b = b' -> ()
+      | _ -> Alcotest.failf "%s does not round-trip" (Cover.budget_to_string b))
+    [ Cover.Frac 0.25; Cover.Frac 1.0; Cover.Probes 1234 ]
+
+(* ---------- the confidence model's shape ---------- *)
+
+let test_confidence_shape () =
+  let ef ~p ~m ~c =
+    Confidence.evidence_factor ~probes:p ~merges:m ~corroborations:c
+  in
+  Alcotest.(check (float 1e-9)) "no evidence, no confidence" 0.0
+    (ef ~p:0 ~m:0 ~c:0);
+  (* monotone in probes, bounded by 1 *)
+  let last = ref (-1.0) in
+  for p = 1 to 50 do
+    let v = ef ~p ~m:0 ~c:0 in
+    if v <= !last then Alcotest.failf "evidence not monotone at %d probes" p;
+    if v >= 1.0 then Alcotest.failf "evidence unbounded at %d probes" p;
+    last := v
+  done;
+  (* corroboration outweighs a replicate merge outweighs a bare probe *)
+  Alcotest.(check bool) "merge beats probe" true
+    (ef ~p:1 ~m:1 ~c:0 > ef ~p:2 ~m:0 ~c:0);
+  Alcotest.(check bool) "corroboration beats merge" true
+    (ef ~p:1 ~m:0 ~c:1 > ef ~p:1 ~m:1 ~c:0);
+  let sf ~k ~e =
+    Confidence.structure_factor ~known_ports:k ~radix:8 ~density:0.8
+      ~explored:e
+  in
+  Alcotest.(check (float 1e-9)) "explored class is structurally certain" 1.0
+    (sf ~k:3 ~e:true);
+  Alcotest.(check (float 1e-9)) "no known ports, no structure" 0.0
+    (sf ~k:0 ~e:false);
+  let last = ref (-1.0) in
+  for k = 1 to 8 do
+    let v = sf ~k ~e:false in
+    if v <= !last then Alcotest.failf "structure not monotone at %d ports" k;
+    if v > 1.0 then Alcotest.failf "structure above 1 at %d ports" k;
+    last := v
+  done;
+  (* density estimate: clamped, with the no-data fallback *)
+  Alcotest.(check (float 1e-9)) "density fallback" 0.5
+    (Confidence.wired_density ~explored_ports:0 ~explored_switches:0 ~radix:8);
+  Alcotest.(check (float 1e-9)) "density clamps low" 0.05
+    (Confidence.wired_density ~explored_ports:0 ~explored_switches:5 ~radix:8);
+  Alcotest.(check (float 1e-9)) "density measures" 0.75
+    (Confidence.wired_density ~explored_ports:12 ~explored_switches:2 ~radix:8);
+  (* score: clamped product *)
+  Alcotest.(check (float 1e-9)) "score clamps" 1.0
+    (Confidence.score ~evidence:2.0 ~structure:3.0);
+  Alcotest.(check bool) "score in bounds" true
+    (let s = Confidence.score ~evidence:0.7 ~structure:0.9 in
+     s > 0.0 && s < 1.0)
+
+(* ---------- budgeted runs end to end ---------- *)
+
+let overshoot g =
+  (* one exploration plus the exempt turn-0 probe, retries = 0 *)
+  (4 * (Graph.radix g - 1)) + 1
+
+let run_cab budget =
+  let g, _ = Generators.now_cab () in
+  let net = Network.create g in
+  match Cover.run ~record_trace:false ~budget net ~mapper:(mapper_of g "C-util")
+  with
+  | Error e -> Alcotest.failf "cover run failed: %s" e
+  | Ok rep -> (g, rep)
+
+let test_budgeted_run () =
+  let g, rep = run_cab (Cover.Frac 0.3) in
+  (match rep.Cover.r_subgraph with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "partial map does not embed: %s" e);
+  Alcotest.(check bool) "respects the budget plus overshoot" true
+    (rep.Cover.r_probes_used <= rep.Cover.r_probe_limit + overshoot g);
+  Alcotest.(check bool) "spent less than the full run" true
+    (rep.Cover.r_probes_used < rep.Cover.r_full_probes);
+  Alcotest.(check bool) "recovered a strict subset of switches" true
+    (rep.Cover.r_recovered_switches > 0
+    && rep.Cover.r_recovered_switches < rep.Cover.r_full_switches);
+  Alcotest.(check bool) "recovered some links" true
+    (rep.Cover.r_recovered_links > 0
+    && rep.Cover.r_recovered_links <= rep.Cover.r_full_links);
+  Alcotest.(check bool) "mean confidence in (0, 1]" true
+    (rep.Cover.r_mean_conf > 0.0 && rep.Cover.r_mean_conf <= 1.0);
+  List.iter
+    (fun (e : Cover.element) ->
+      if e.Cover.el_conf < 0.0 || e.Cover.el_conf > 1.0 then
+        Alcotest.failf "element %s confidence %g out of bounds" e.Cover.el_label
+          e.Cover.el_conf)
+    (Cover.elements rep);
+  (* element counts match the recovered tallies' source lists *)
+  Alcotest.(check int) "one element per recovered host"
+    rep.Cover.r_recovered_hosts
+    (List.length rep.Cover.r_hosts)
+
+let test_absolute_budget () =
+  let g, rep = run_cab (Cover.Probes 200) in
+  Alcotest.(check int) "limit is the absolute count" 200
+    rep.Cover.r_probe_limit;
+  Alcotest.(check bool) "respects it" true
+    (rep.Cover.r_probes_used <= 200 + overshoot g)
+
+let test_full_budget_recovers_everything () =
+  let _, rep = run_cab (Cover.Frac 1.0) in
+  (match rep.Cover.r_subgraph with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "full-budget map does not embed: %s" e);
+  Alcotest.(check int) "all switches" rep.Cover.r_full_switches
+    rep.Cover.r_recovered_switches;
+  Alcotest.(check int) "all links" rep.Cover.r_full_links
+    rep.Cover.r_recovered_links;
+  Alcotest.(check int) "all hosts" rep.Cover.r_full_hosts
+    rep.Cover.r_recovered_hosts;
+  Alcotest.(check int) "empty frontier" 0 rep.Cover.r_frontier
+
+let test_deterministic () =
+  let _, r1 = run_cab (Cover.Frac 0.3) in
+  let _, r2 = run_cab (Cover.Frac 0.3) in
+  Alcotest.(check string) "two runs produce the identical artifact"
+    (San_util.Json.to_string (Cover.report_to_json r1))
+    (San_util.Json.to_string (Cover.report_to_json r2))
+
+(* ---------- the directed (Goldstein) wrapper ---------- *)
+
+let test_directed_blocks_probes () =
+  let g, _ = Generators.now_cab () in
+  let net = Network.create g in
+  let d = Directed.create ~seed:7 g in
+  Alcotest.(check bool) "some switch-switch wires oriented" true
+    (Directed.oriented_wires d > 0);
+  match
+    Cover.run ~record_trace:false ~directed:d ~budget:(Cover.Frac 1.0) net
+      ~mapper:(mapper_of g "C-util")
+  with
+  | Error e -> Alcotest.failf "directed run failed: %s" e
+  | Ok rep ->
+    Alcotest.(check bool) "orientation blocked probes" true
+      (rep.Cover.r_blocked > 0);
+    (match rep.Cover.r_subgraph with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "directed partial map does not embed: %s" e);
+    Alcotest.(check bool) "directed recovery degrades" true
+      (rep.Cover.r_recovered_links < rep.Cover.r_full_links)
+
+(* ---------- the artifact ---------- *)
+
+let test_report_json () =
+  let _, rep = run_cab (Cover.Frac 0.3) in
+  let s =
+    San_util.Json.to_string (Cover.report_to_json ~spec:"cab" ~seed:1 rep)
+  in
+  match San_util.Json.of_string s with
+  | Error e -> Alcotest.failf "artifact does not parse: %s" e
+  | Ok j ->
+    let module J = San_util.Json in
+    let arr k =
+      match J.member k j with
+      | Some (J.Arr l) -> List.length l
+      | _ -> Alcotest.failf "artifact missing %s array" k
+    in
+    Alcotest.(check int) "hosts array" (List.length rep.Cover.r_hosts)
+      (arr "hosts");
+    Alcotest.(check int) "switches array" (List.length rep.Cover.r_switches)
+      (arr "switches");
+    Alcotest.(check int) "links array" (List.length rep.Cover.r_links)
+      (arr "links");
+    (match J.member "subgraph" j with
+    | Some (J.Bool true) -> ()
+    | _ -> Alcotest.fail "artifact should record subgraph = true");
+    (match J.member "spec" j with
+    | Some (J.Str "cab") -> ()
+    | _ -> Alcotest.fail "artifact should carry the topology spec")
+
+let () =
+  Alcotest.run "cover"
+    [
+      ( "budget",
+        [
+          Alcotest.test_case "parse and round-trip" `Quick test_parse_budget;
+          Alcotest.test_case "absolute budget" `Quick test_absolute_budget;
+        ] );
+      ( "confidence",
+        [ Alcotest.test_case "model shape" `Quick test_confidence_shape ] );
+      ( "budgeted run",
+        [
+          Alcotest.test_case "30% budget embeds and bounds" `Quick
+            test_budgeted_run;
+          Alcotest.test_case "full budget recovers everything" `Quick
+            test_full_budget_recovers_everything;
+          Alcotest.test_case "deterministic artifact" `Quick test_deterministic;
+        ] );
+      ( "directed",
+        [
+          Alcotest.test_case "orientation blocks probes" `Quick
+            test_directed_blocks_probes;
+        ] );
+      ( "artifact",
+        [ Alcotest.test_case "JSON round-trip" `Quick test_report_json ] );
+    ]

@@ -184,6 +184,68 @@ let test_hist_json_finite () =
           [ "silent"; "negative" ])
     [ ("snapshot", after); ("zero-window diff", window) ]
 
+(* A reset between the two snapshots of a diff window restarts the
+   instruments; the diff must adopt the after-state wholesale rather
+   than subtract across the restart. The nasty shape is the
+   "only new buckets appeared" window: the post-reset histogram holds
+   bins the pre-reset one never saw, so naive per-bucket subtraction
+   produced no negative bucket — only the count went backwards — and
+   the window exported negative totals. *)
+let test_diff_restart_adopts_after () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "lat" in
+  let c = Metrics.counter r "probes" in
+  Metrics.incr ~by:7 c;
+  (* pre-reset population: two observations in the 100ish bucket *)
+  Metrics.observe h 100.0;
+  Metrics.observe h 110.0;
+  let before = Metrics.snapshot r in
+  Metrics.reset r;
+  (* post-reset: only NEW buckets (5.0 is far from 100.0), and fewer
+     observations than the window started with *)
+  Metrics.observe h 5.0;
+  Metrics.incr ~by:2 c;
+  let after = Metrics.snapshot r in
+  let d = Metrics.diff ~before ~after in
+  Alcotest.(check (option int))
+    "restarted counter adopts after-value" (Some 2)
+    (Metrics.counter_in d "probes");
+  let hs = Option.get (Metrics.histogram_in d "lat") in
+  Alcotest.(check int) "restarted histogram adopts after-count" 1 hs.hs_count;
+  Alcotest.(check int) "no negative zero bucket" 0 hs.hs_zero;
+  List.iter
+    (fun (b, n) ->
+      if n < 0 then Alcotest.failf "bucket %d has negative delta %d" b n)
+    hs.hs_buckets;
+  Alcotest.(check (float 1e-9)) "sum is the post-reset sum" 5.0 hs.hs_sum;
+  (* same reset, but the post-reset window re-populates an OLD bucket
+     past its before-count: that looks like plain growth per-bucket,
+     and the shrunken zero bucket is the only restart telltale *)
+  let h2 = Metrics.histogram r "zeroes" in
+  Metrics.observe h2 0.0;
+  Metrics.observe h2 50.0;
+  let before2 = Metrics.snapshot r in
+  Metrics.reset r;
+  List.iter (Metrics.observe h2) [ 50.0; 51.0; 52.0 ];
+  let d2 = Metrics.diff ~before:before2 ~after:(Metrics.snapshot r) in
+  let hs2 = Option.get (Metrics.histogram_in d2 "zeroes") in
+  Alcotest.(check int) "zero-bucket shrink detected as restart" 3 hs2.hs_count;
+  Alcotest.(check int) "adopted zero bucket" 0 hs2.hs_zero
+
+(* A diff window with no reset still subtracts (the restart detection
+   must not misfire on plain growth). *)
+let test_diff_plain_growth_still_subtracts () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "lat" in
+  Metrics.observe h 100.0;
+  let before = Metrics.snapshot r in
+  Metrics.observe h 100.0;
+  Metrics.observe h 200.0;
+  let d = Metrics.diff ~before ~after:(Metrics.snapshot r) in
+  let hs = Option.get (Metrics.histogram_in d "lat") in
+  Alcotest.(check int) "window count is the delta" 2 hs.hs_count;
+  Alcotest.(check (float 1e-9)) "window sum is the delta" 300.0 hs.hs_sum
+
 (* ------------------------------------------------------------------ *)
 (* Trace ring buffer                                                   *)
 
@@ -467,6 +529,10 @@ let () =
             test_hist_json_finite;
           Alcotest.test_case "quantile edge cases" `Quick
             test_hist_quantile_edges;
+          Alcotest.test_case "diff adopts restarted instruments" `Quick
+            test_diff_restart_adopts_after;
+          Alcotest.test_case "diff still subtracts plain growth" `Quick
+            test_diff_plain_growth_still_subtracts;
           Alcotest.test_case "snapshot and diff" `Quick
             test_registry_snapshot_diff;
           Alcotest.test_case "to_json parses back" `Quick test_metrics_to_json;

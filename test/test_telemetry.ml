@@ -121,6 +121,50 @@ let test_prom_roundtrip () =
         (find (Printf.sprintf "san_probe_latency_ns{quantile=%S}" label)))
     [ ("0.5", 0.5); ("0.9", 0.9); ("0.99", 0.99) ]
 
+(* An empty registry must expose as an empty, parseable document —
+   the scrape endpoint serves whatever exists, including nothing. *)
+let test_prom_empty_registry () =
+  let r = Metrics.create () in
+  let text = Prom.of_snapshot (Metrics.snapshot r) in
+  Alcotest.(check string) "empty registry exposes empty text" "" text;
+  Alcotest.(check int) "no series parsed" 0
+    (List.length (Prom.parse_values text))
+
+(* A gauge overwritten within a scrape window exports once, with the
+   last value, exactly — and the exposition is deterministic text
+   with no duplicated series or metadata lines. *)
+let test_prom_gauge_overwrite () =
+  let r = Metrics.create () in
+  let g = Metrics.gauge r "daemon.coverage" in
+  Metrics.set g 0.25;
+  Metrics.set g 0.7071067811865476;
+  Metrics.incr (Metrics.counter r "probes.sent");
+  ignore (Metrics.histogram r "probe.latency_ns");
+  let snap = Metrics.snapshot r in
+  let text = Prom.of_snapshot snap in
+  Alcotest.(check string) "exposition is deterministic" text
+    (Prom.of_snapshot snap);
+  let values = Prom.parse_values text in
+  let coverage =
+    List.filter (fun (s, _) -> s = "san_daemon_coverage") values
+  in
+  (match coverage with
+  | [ (_, v) ] ->
+    Alcotest.(check (float 0.0)) "last write round-trips exactly"
+      0.7071067811865476 v
+  | l ->
+    Alcotest.failf "gauge exported %d times, want exactly once"
+      (List.length l));
+  (* metadata lines (# HELP / # TYPE) must be unique per series *)
+  let meta =
+    List.filter
+      (fun l -> String.length l > 0 && l.[0] = '#')
+      (String.split_on_char '\n' text)
+  in
+  let uniq = List.sort_uniq compare meta in
+  Alcotest.(check int) "no duplicate # HELP/# TYPE lines"
+    (List.length uniq) (List.length meta)
+
 let test_prom_sanitizes_names () =
   let r = Metrics.create () in
   Metrics.incr (Metrics.counter r "weird name-with:stuff!");
@@ -418,6 +462,9 @@ let () =
           Alcotest.test_case "exposition round-trips" `Quick
             test_prom_roundtrip;
           Alcotest.test_case "names sanitized" `Quick test_prom_sanitizes_names;
+          Alcotest.test_case "empty registry" `Quick test_prom_empty_registry;
+          Alcotest.test_case "gauge overwrite within window" `Quick
+            test_prom_gauge_overwrite;
         ] );
       ( "fabric",
         [
